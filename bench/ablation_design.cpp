@@ -1,0 +1,95 @@
+// Ablations over the simulator's calibrated design constants — each sweep
+// isolates one modeling mechanism DESIGN.md documents and shows the paper
+// observation it is responsible for.
+//
+//  A. Shared-memory per-transaction overhead -> the 1D > 2D ordering.
+//     Raw CA volume alone makes 1D and 2D tie at p = 4 square shapes; the
+//     instruction overhead of moving the same bytes in more, smaller
+//     transfers (§5.2.1's "45% more nops") is what separates them.
+//  B. Slice width -> §4.7's choice of 16 ("align with the MMA unit
+//     granularity"): narrower slices pad MMA instructions, wider slices
+//     inflate the receive buffers.
+//  C. MMA issue efficiency -> the Fig 15 theory/measured computation gap.
+//  D. Barrier latency -> stage-count sensitivity (1D has more stages).
+#include "bench_common.hpp"
+
+namespace kami::bench {
+namespace {
+
+void ablate_transaction_overhead() {
+  TablePrinter t({"overhead (cyc/transfer)", "KAMI-1D", "KAMI-2D", "1D/2D"});
+  for (double ov : {0.0, 6.0, 12.0, 24.0}) {
+    auto dev = sim::gh200();
+    dev.smem_transaction_overhead_cycles = ov;
+    const auto r1 = kami_tput<fp16_t>(Algo::OneD, dev, 64, 64, 64);
+    const auto r2 = kami_tput<fp16_t>(Algo::TwoD, dev, 64, 64, 64);
+    t.add_row({fmt_double(ov, 0), cell(r1), cell(r2),
+               (r1 && r2) ? fmt_double(*r1 / *r2, 2) : "-"});
+  }
+  t.print(std::cout,
+          "Ablation A: smem transaction overhead, 64^3 FP16 GH200 [TFLOPS]");
+  std::cout << "  the overhead term is what makes 1D beat 2D (their CA byte "
+               "volumes tie at p=4)\n\n";
+}
+
+void ablate_slice_width() {
+  TablePrinter t({"slice width", "square 64^3", "low-rank 128x128x16"});
+  for (std::size_t sw : {4u, 8u, 16u, 32u}) {
+    GemmOptions opt;
+    opt.slice_pref = sw;
+    opt.warps = 4;
+    opt.smem_ratio = 0.0;
+    const auto sq = kami_tput<fp16_t>(Algo::OneD, sim::gh200(), 64, 64, 64, opt);
+    const auto lr = kami_tput<fp16_t>(Algo::OneD, sim::gh200(), 128, 128, 16, opt);
+    t.add_row({std::to_string(sw), cell(sq), cell(lr)});
+  }
+  t.print(std::cout, "Ablation B: k-slice width (16 = MMA granularity) [TFLOPS]");
+  std::cout << "  slices below the MMA k-shape pad every instruction; §4.7's "
+               "choice of 16 is the knee\n\n";
+}
+
+void ablate_mma_efficiency() {
+  TablePrinter t({"mma efficiency", "single-block cycles", "compute cycles",
+                  "device TFLOPS"});
+  for (double eff : {0.62, 0.8, 1.0}) {
+    auto dev = sim::gh200();
+    dev.mma_efficiency = eff;
+    Rng rng(9);
+    const auto A = random_matrix<fp16_t>(128, 128, rng);
+    const auto B = random_matrix<fp16_t>(128, 128, rng);
+    GemmOptions opt;
+    opt.warps = 4;
+    const auto r = kami::gemm(Algo::OneD, dev, A, B, opt);
+    t.add_row({fmt_double(eff, 2), fmt_double(r.profile.latency, 0),
+               fmt_double(r.profile.mean_breakdown.compute, 0),
+               fmt_double(tput(dev, r.profile), 1)});
+  }
+  t.print(std::cout, "Ablation C: MMA issue efficiency (Hopper measures 62%, §5.6.2)");
+  std::cout << "  warp-visible compute stretches by 1/eff; steady-state "
+               "throughput is shielded when other resources bound it\n\n";
+}
+
+void ablate_sync_latency() {
+  TablePrinter t({"sync latency (cyc)", "KAMI-1D 16^3", "KAMI-1D 128^3"});
+  for (double sync : {0.0, 15.0, 30.0, 60.0}) {
+    auto dev = sim::gh200();
+    dev.sync_latency_cycles = sync;
+    const auto small = kami_tput<fp16_t>(Algo::OneD, dev, 16, 16, 16);
+    const auto large = kami_tput<fp16_t>(Algo::OneD, dev, 128, 128, 128);
+    t.add_row({fmt_double(sync, 0), cell(small), cell(large)});
+  }
+  t.print(std::cout, "Ablation D: barrier latency [TFLOPS]");
+  std::cout << "  tiny problems are barrier-bound (3 syncs per broadcast "
+               "stage); large ones amortize\n";
+}
+
+}  // namespace
+}  // namespace kami::bench
+
+int main() {
+  kami::bench::ablate_transaction_overhead();
+  kami::bench::ablate_slice_width();
+  kami::bench::ablate_mma_efficiency();
+  kami::bench::ablate_sync_latency();
+  return 0;
+}

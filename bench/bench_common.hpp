@@ -1,0 +1,112 @@
+// Shared helpers for the experiment harnesses. Every bench binary
+// regenerates one table or figure from the paper's evaluation section:
+// it prints the same rows/series the paper reports plus the derived
+// average/peak speedups quoted in the text.
+#pragma once
+
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "baselines/cublasdx_like.hpp"
+#include "baselines/cutlass_like.hpp"
+#include "baselines/syclbench_like.hpp"
+#include "core/kami.hpp"
+#include "sim/throughput.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace kami::bench {
+
+/// The paper's block-level launch width (§5.1): "16,384 blocks launched
+/// simultaneously per run".
+inline constexpr std::size_t kBlocks = 16384;
+
+/// Device-level TFLOPS of a block kernel under the paper's launch setup.
+inline double tput(const sim::DeviceSpec& dev, const sim::KernelProfile& prof) {
+  return sim::throughput_tflops(dev, prof, kBlocks);
+}
+
+/// One measured series entry; nullopt = configuration infeasible.
+using Series = std::vector<std::optional<double>>;
+
+/// "avg (up to max)" speedup text of series a over series b.
+inline std::string speedup_summary(const Series& kami, const Series& base) {
+  std::vector<double> ratios;
+  for (std::size_t i = 0; i < kami.size() && i < base.size(); ++i)
+    if (kami[i] && base[i] && *base[i] > 0.0) ratios.push_back(*kami[i] / *base[i]);
+  if (ratios.empty()) return "n/a";
+  return fmt_double(mean(ratios), 2) + "x avg (up to " + fmt_double(max_of(ratios), 2) +
+         "x)";
+}
+
+inline std::string cell(const std::optional<double>& v, int precision = 2) {
+  return v ? fmt_double(*v, precision) : "-";
+}
+
+/// Run one KAMI variant at block level, nullopt when the planner reports
+/// the configuration infeasible (e.g. 3D FP64 at order 128).
+template <Scalar T>
+std::optional<double> kami_tput(Algo algo, const sim::DeviceSpec& dev, std::size_t m,
+                                std::size_t n, std::size_t k,
+                                const GemmOptions& opt = {}) {
+  Rng rng(m * 92821 + n * 31 + k + static_cast<std::size_t>(algo));
+  const auto A = random_matrix<T>(m, k, rng);
+  const auto B = random_matrix<T>(k, n, rng);
+  try {
+    const auto r = kami::gemm(algo, dev, A, B, opt);
+    return tput(dev, r.profile);
+  } catch (const PreconditionError&) {
+    return std::nullopt;
+  }
+}
+
+template <Scalar T>
+std::optional<double> cublasdx_tput(const sim::DeviceSpec& dev, std::size_t m,
+                                    std::size_t n, std::size_t k) {
+  Rng rng(m * 3 + n * 5 + k * 7);
+  const auto A = random_matrix<T>(m, k, rng);
+  const auto B = random_matrix<T>(k, n, rng);
+  try {
+    const auto r = baselines::cublasdx_gemm(dev, A, B);
+    if (!r.feasible) return std::nullopt;
+    return tput(dev, r.profile);
+  } catch (const PreconditionError&) {
+    return std::nullopt;
+  }
+}
+
+template <Scalar T>
+std::optional<double> cutlass_tput(const sim::DeviceSpec& dev, std::size_t m,
+                                   std::size_t n, std::size_t k) {
+  Rng rng(m * 11 + n * 13 + k * 17);
+  const auto A = random_matrix<T>(m, k, rng);
+  const auto B = random_matrix<T>(k, n, rng);
+  try {
+    // CUTLASS's collective mainloop streams A/B from global pointers every
+    // iteration — it has no data-resident mode — so its block-level profile
+    // includes (pipelined) global traffic.
+    const auto r = baselines::cutlass_gemm(dev, A, B, /*charge_global_io=*/true);
+    if (!r.feasible) return std::nullopt;
+    return tput(dev, r.profile);
+  } catch (const PreconditionError&) {
+    return std::nullopt;
+  }
+}
+
+template <Scalar T>
+std::optional<double> syclbench_tput(const sim::DeviceSpec& dev, std::size_t n) {
+  Rng rng(n * 19);
+  const auto A = random_matrix<T>(n, n, rng);
+  const auto B = random_matrix<T>(n, n, rng);
+  try {
+    const auto r = baselines::syclbench_gemm(dev, A, B);
+    if (!r.feasible) return std::nullopt;
+    return tput(dev, r.profile);
+  } catch (const PreconditionError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace kami::bench

@@ -1,0 +1,71 @@
+// Figure 8: block-level square GEMM across GPU architectures.
+//
+// Reproduces every panel of Fig 8 and the §5.2.1 speedup summary:
+//   (a) GH200 FP64        KAMI-1D/2D/3D vs cuBLASDx vs CUTLASS
+//   (b) GH200 FP16        (+ order 192)
+//   (c) 5090 TF32
+//   (d) 5090 FP16         (+ order 192)
+//   (e) 5090 FP8          (+ order 256)
+//   (f) 7900 XTX FP16     KAMI only (no block-level library exists on AMD)
+//   (g) Max 1100 FP16     KAMI vs SYCL-Bench
+#include "bench_common.hpp"
+
+namespace kami::bench {
+namespace {
+
+template <Scalar T>
+void panel(const char* title, const sim::DeviceSpec& dev,
+           const std::vector<std::size_t>& orders, bool with_nvidia_baselines,
+           bool with_syclbench) {
+  TablePrinter table({"order", "KAMI-1D", "KAMI-2D", "KAMI-3D",
+                      with_syclbench ? "SYCL-Bench" : "cuBLASDx-like", "CUTLASS-like"});
+  Series s1, s2, s3, sdx, sct, ssy;
+  for (std::size_t n : orders) {
+    s1.push_back(kami_tput<T>(Algo::OneD, dev, n, n, n));
+    s2.push_back(kami_tput<T>(Algo::TwoD, dev, n, n, n));
+    s3.push_back(kami_tput<T>(Algo::ThreeD, dev, n, n, n));
+    sdx.push_back(with_nvidia_baselines ? cublasdx_tput<T>(dev, n, n, n) : std::nullopt);
+    sct.push_back(with_nvidia_baselines ? cutlass_tput<T>(dev, n, n, n) : std::nullopt);
+    ssy.push_back(with_syclbench ? syclbench_tput<T>(dev, n) : std::nullopt);
+    table.add_row({std::to_string(n), cell(s1.back()), cell(s2.back()), cell(s3.back()),
+                   with_syclbench ? cell(ssy.back()) : cell(sdx.back()),
+                   cell(sct.back())});
+  }
+  table.print(std::cout, std::string(title) + " [TFLOPS]");
+  if (with_nvidia_baselines) {
+    std::cout << "  speedup vs cuBLASDx-like: 1D " << speedup_summary(s1, sdx) << ", 2D "
+              << speedup_summary(s2, sdx) << ", 3D " << speedup_summary(s3, sdx) << "\n";
+    std::cout << "  speedup vs CUTLASS-like:  1D " << speedup_summary(s1, sct) << ", 2D "
+              << speedup_summary(s2, sct) << ", 3D " << speedup_summary(s3, sct) << "\n";
+  }
+  if (with_syclbench) {
+    std::cout << "  speedup vs SYCL-Bench-like: 1D " << speedup_summary(s1, ssy) << ", 2D "
+              << speedup_summary(s2, ssy) << ", 3D " << speedup_summary(s3, ssy) << "\n";
+  }
+  std::cout << "\n";
+}
+
+void run() {
+  const std::vector<std::size_t> base{16, 32, 64, 128};
+  std::vector<std::size_t> fp16_orders = base;
+  fp16_orders.push_back(192);  // §5.1: "an additional 192 for FP16"
+  std::vector<std::size_t> fp8_orders = base;
+  fp8_orders.push_back(256);  // "and 256 for FP8"
+
+  panel<double>("Fig 8(a): GH200 FP64", sim::gh200(), base, true, false);
+  panel<fp16_t>("Fig 8(b): GH200 FP16", sim::gh200(), fp16_orders, true, false);
+  panel<tf32_t>("Fig 8(c): RTX 5090 TF32", sim::rtx5090(), base, true, false);
+  panel<fp16_t>("Fig 8(d): RTX 5090 FP16", sim::rtx5090(), fp16_orders, true, false);
+  panel<fp8_e4m3_t>("Fig 8(e): RTX 5090 FP8", sim::rtx5090(), fp8_orders, true, false);
+  panel<fp16_t>("Fig 8(f): AMD 7900 XTX FP16 (no block-level library on AMD)",
+                sim::amd7900xtx(), base, false, false);
+  panel<fp16_t>("Fig 8(g): Intel Max 1100 FP16", sim::intel_max1100(), base, false, true);
+}
+
+}  // namespace
+}  // namespace kami::bench
+
+int main() {
+  kami::bench::run();
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 9: impact of block size (threads per block) on a 64x64 FP16 GEMM
+// on the RTX 5090.
+//
+// The paper's finding: KAMI-1D delivers high performance across the whole
+// range; KAMI-2D needs a square warp grid (only 54% of 1D at 64 threads,
+// where p = 2 cannot form one and must fall back to p = 4's grid at reduced
+// efficiency — here: infeasible); KAMI-3D needs a cube (>= 256 threads).
+#include <cmath>
+
+#include "bench_common.hpp"
+
+namespace kami::bench {
+namespace {
+
+template <Scalar T>
+std::optional<double> at_warps(Algo algo, int warps) {
+  GemmOptions opt;
+  opt.warps = warps;
+  return kami_tput<T>(algo, sim::rtx5090(), 64, 64, 64, opt);
+}
+
+void run() {
+  TablePrinter table({"block size (threads)", "warps", "KAMI-1D", "KAMI-2D", "KAMI-3D"});
+  Series s1, s2, s3;
+  for (int warps : {2, 4, 8, 16, 27, 32}) {
+    auto legal_2d = [&](int p) {
+      const int q = static_cast<int>(std::lround(std::sqrt(double(p))));
+      return q * q == p;
+    };
+    auto legal_3d = [&](int p) {
+      const int c = static_cast<int>(std::lround(std::cbrt(double(p))));
+      return c * c * c == p;
+    };
+    s1.push_back(64 % warps == 0 ? at_warps<fp16_t>(Algo::OneD, warps) : std::nullopt);
+    s2.push_back(legal_2d(warps) ? at_warps<fp16_t>(Algo::TwoD, warps) : std::nullopt);
+    s3.push_back(legal_3d(warps) ? at_warps<fp16_t>(Algo::ThreeD, warps) : std::nullopt);
+    table.add_row({std::to_string(warps * 32), std::to_string(warps), cell(s1.back()),
+                   cell(s2.back()), cell(s3.back())});
+  }
+  table.print(std::cout, "Fig 9: impact of block size, 64x64 FP16 on RTX 5090 [TFLOPS]");
+  std::cout << "\n  '-' marks warp counts the algorithm's grid shape cannot use\n";
+
+  double best1 = 0, best2 = 0, best3 = 0;
+  for (const auto& v : s1)
+    if (v) best1 = std::max(best1, *v);
+  for (const auto& v : s2)
+    if (v) best2 = std::max(best2, *v);
+  for (const auto& v : s3)
+    if (v) best3 = std::max(best3, *v);
+  std::cout << "  peak TFLOPS: 1D " << fmt_double(best1, 2) << ", 2D "
+            << fmt_double(best2, 2) << ", 3D " << fmt_double(best3, 2)
+            << "  (paper: 469.80 / 470.57 / 449.07)\n";
+}
+
+}  // namespace
+}  // namespace kami::bench
+
+int main() {
+  kami::bench::run();
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Figure 13: SpMM and SpGEMM in FP16 on GH200 with 50% random block
+// sparsity (§5.1/§5.5), alongside the dense KAMI-1D GEMM for scale.
+//
+// Expected shape (§5.5): SpMM tracks dense GEMM closely (B and C dense,
+// regular accesses); SpGEMM's irregular indexing and index-array
+// communication reduce throughput.
+#include "bench_common.hpp"
+#include "sparse/spgemm.hpp"
+#include "sparse/spmm.hpp"
+#include "sparse/spmm_2d.hpp"
+#include "sparse/spmm_3d.hpp"
+
+namespace kami::bench {
+namespace {
+
+void run() {
+  const auto& dev = sim::gh200();
+  TablePrinter table({"order", "dense KAMI-1D", "SpMM-1D", "SpMM-2D", "SpMM-3D",
+                      "SpGEMM", "SpMM/dense", "SpGEMM/SpMM"});
+  for (std::size_t n : {32u, 64u, 96u, 128u}) {
+    Rng rng(n * 3 + 1);
+    const auto Asp =
+        sparse::BlockSparseMatrix<fp16_t>::random(n, n, 0.5, rng, 16,
+                                                  sparse::BlockOrder::RowMajor);
+    const auto Bsp =
+        sparse::BlockSparseMatrix<fp16_t>::random(n, n, 0.5, rng, 16,
+                                                  sparse::BlockOrder::RowMajor);
+    const auto Bd = random_matrix<fp16_t>(n, n, rng);
+
+    const auto Azm =
+        sparse::BlockSparseMatrix<fp16_t>::random(n, n, 0.5, rng, 16,
+                                                  sparse::BlockOrder::ZMorton);
+    const auto dense = kami_tput<fp16_t>(Algo::OneD, dev, n, n, n);
+    const auto spmm = sparse::spmm_1d(dev, Asp, Bd);
+    const auto spmm2 = sparse::spmm_2d(dev, Azm, Bd);
+    const auto spmm3 = sparse::spmm_3d(dev, Azm, Bd);
+    const auto spgemm = sparse::spgemm_1d(dev, Asp, Bsp);
+
+    // Effective TFLOPS over useful (nonzero) flops, as sparse kernels report.
+    const double t_spmm = tput(dev, spmm.profile);
+    // SpGEMM adds its symbolic kernel's cycles to every block's interval.
+    auto prof = spgemm.profile;
+    prof.latency += spgemm.symbolic.cycles;
+    const double t_spgemm = tput(dev, prof);
+
+    const double t_spmm2 = tput(dev, spmm2.profile);
+    const double t_spmm3 = tput(dev, spmm3.profile);
+    table.add_row({std::to_string(n), cell(dense), fmt_double(t_spmm, 2),
+                   fmt_double(t_spmm2, 2), fmt_double(t_spmm3, 2),
+                   fmt_double(t_spgemm, 2),
+                   dense ? fmt_double(t_spmm / *dense, 2) : "-",
+                   fmt_double(t_spgemm / t_spmm, 2)});
+  }
+  table.print(std::cout,
+              "Fig 13: SpMM and SpGEMM, FP16 on GH200, 50% block sparsity [TFLOPS on "
+              "useful flops]");
+  std::cout << "\n  SpMM tracks dense GEMM (dense B/C, regular accesses); SpGEMM's\n"
+               "  sparse indexing and index-array transfers reduce throughput (§5.5)\n";
+}
+
+}  // namespace
+}  // namespace kami::bench
+
+int main() {
+  kami::bench::run();
+  return 0;
+}

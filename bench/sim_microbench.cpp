@@ -1,0 +1,80 @@
+// google-benchmark microbenchmarks of the simulator substrate itself:
+// how fast the host can simulate KAMI kernels — useful when sizing sweeps
+// (a full Fig 8 reproduction simulates hundreds of blocks).
+#include <benchmark/benchmark.h>
+
+#include "baselines/cublasdx_like.hpp"
+#include "core/kami.hpp"
+
+namespace kami {
+namespace {
+
+template <Scalar T>
+void BM_Kami1dBlock(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(n);
+  const auto A = random_matrix<T>(n, n, rng);
+  const auto B = random_matrix<T>(n, n, rng);
+  for (auto _ : state) {
+    auto r = core::kami_1d_gemm(sim::gh200(), A, B);
+    benchmark::DoNotOptimize(r.profile.latency);
+  }
+  state.counters["sim_cycles"] = benchmark::Counter(0.0);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Kami1dBlock<fp16_t>)->Arg(16)->Arg(64)->Arg(128);
+BENCHMARK(BM_Kami1dBlock<double>)->Arg(64);
+
+void BM_Kami2dBlock(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(n);
+  const auto A = random_matrix<fp16_t>(n, n, rng);
+  const auto B = random_matrix<fp16_t>(n, n, rng);
+  for (auto _ : state) {
+    auto r = core::kami_2d_gemm(sim::gh200(), A, B);
+    benchmark::DoNotOptimize(r.profile.latency);
+  }
+}
+BENCHMARK(BM_Kami2dBlock)->Arg(64);
+
+void BM_Kami3dBlock(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(n);
+  const auto A = random_matrix<fp16_t>(n, n, rng);
+  const auto B = random_matrix<fp16_t>(n, n, rng);
+  for (auto _ : state) {
+    auto r = core::kami_3d_gemm(sim::gh200(), A, B);
+    benchmark::DoNotOptimize(r.profile.latency);
+  }
+}
+BENCHMARK(BM_Kami3dBlock)->Arg(64);
+
+void BM_CublasdxBlock(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(n);
+  const auto A = random_matrix<fp16_t>(n, n, rng);
+  const auto B = random_matrix<fp16_t>(n, n, rng);
+  for (auto _ : state) {
+    auto r = baselines::cublasdx_gemm(sim::gh200(), A, B);
+    benchmark::DoNotOptimize(r.profile.latency);
+  }
+}
+BENCHMARK(BM_CublasdxBlock)->Arg(64);
+
+void BM_Fp16Conversion(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<float> xs(4096);
+  for (auto& x : xs) x = static_cast<float>(rng.uniform(-100.0, 100.0));
+  for (auto _ : state) {
+    std::uint32_t acc = 0;
+    for (float x : xs) acc += fp16_t::encode(x);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(xs.size()));
+}
+BENCHMARK(BM_Fp16Conversion);
+
+}  // namespace
+}  // namespace kami
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Tables 3 and 4: the evaluation devices and their programming interfaces.
+#include "bench_common.hpp"
+
+namespace kami::bench {
+namespace {
+
+void run() {
+  const std::vector<const sim::DeviceSpec*> devs{&sim::gh200(), &sim::rtx5090(),
+                                                 &sim::amd7900xtx(),
+                                                 &sim::intel_max1100()};
+
+  TablePrinter t3({"Specification", "GH200", "RTX 5090", "7900 XTX", "Max 1100"});
+  auto row = [&](const std::string& name, auto&& get) {
+    std::vector<std::string> cells{name};
+    for (const auto* d : devs) cells.push_back(get(*d));
+    t3.add_row(cells);
+  };
+  row("Boost clock (MHz)", [](const sim::DeviceSpec& d) {
+    return fmt_double(d.boost_clock_ghz * 1000.0, 0);
+  });
+  row("#Banks x bank width (Bytes)", [](const sim::DeviceSpec& d) {
+    return std::to_string(d.smem_banks) + "x" + std::to_string(d.bank_width_bytes);
+  });
+  row("#SMs x #tensor cores/SM", [](const sim::DeviceSpec& d) {
+    return std::to_string(d.num_sms) + "x" + std::to_string(d.tensor_cores_per_sm);
+  });
+  row("Peak FP16 tensor (TFLOPS)", [](const sim::DeviceSpec& d) {
+    return fmt_double(d.peak_fp16_tflops, 0);
+  });
+  row("Peak FP64 tensor (TFLOPS)", [](const sim::DeviceSpec& d) {
+    return d.peak_fp64_tflops > 0 ? fmt_double(d.peak_fp64_tflops, 0) : std::string("N/A");
+  });
+  t3.print(std::cout, "Table 3: Four GPUs from NVIDIA, AMD and Intel");
+  std::cout << "\n";
+
+  TablePrinter t4({"GPU Vendor", "NVIDIA", "AMD", "Intel"});
+  t4.add_row({"Programming API", "CUDA", "HIP", "SYCL"});
+  t4.add_row({"Local storage", "Register", "fragment", "joint_matrix"});
+  t4.add_row({"Communication space", "Shared memory", "Shared memory", "Local memory"});
+  t4.add_row({"Tensor core func.", "mma", "mma_sync", "joint_matrix_mad"});
+  auto shape_str = [](const sim::MmaShape& s) {
+    return "m" + std::to_string(s.m) + "n" + std::to_string(s.n) + "k" +
+           std::to_string(s.k);
+  };
+  t4.add_row({"Instruction shape (FP16)", shape_str(sim::gh200().mma_shape(Precision::FP16)),
+              shape_str(sim::amd7900xtx().mma_shape(Precision::FP16)),
+              shape_str(sim::intel_max1100().mma_shape(Precision::FP16))});
+  t4.add_row({"Instruction shape (FP64)", shape_str(sim::gh200().mma_shape(Precision::FP64)),
+              "N/A", "N/A"});
+  t4.print(std::cout, "Table 4: Programming API supported by KAMI");
+
+  std::cout << "\nDerived simulator constants:\n";
+  TablePrinter derived({"Device", "O_tc FP16 (flops/cyc/TC)", "B_sm (B/cyc)",
+                        "L_sm (cyc)", "regs/warp (KiB)", "smem/block (KiB)"});
+  for (const auto* d : devs) {
+    derived.add_row({d->name, fmt_double(d->ops_per_cycle_per_tc(Precision::FP16), 1),
+                     fmt_double(d->smem_bytes_per_cycle(), 0),
+                     fmt_double(d->smem_latency_cycles, 0),
+                     fmt_double(static_cast<double>(d->reg_bytes_per_warp()) / 1024.0, 1),
+                     fmt_double(static_cast<double>(d->smem_bytes_per_block) / 1024.0, 0)});
+  }
+  derived.print(std::cout, "Simulator hardware constants");
+}
+
+}  // namespace
+}  // namespace kami::bench
+
+int main() {
+  kami::bench::run();
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Batched GEMM in a block-Jacobi setting (§3.1 motivates KAMI with
+// "block-wise scientific solvers" and batched workloads).
+//
+// A block-diagonal preconditioner application needs, for every diagonal
+// block D_i, an approximate inverse applied to a panel X_i. We use the
+// Newton-Schulz iteration V <- V (2I - D V), which is nothing but a stream
+// of small GEMMs — exactly KAMI's batched workload. The example builds a
+// batch of diagonally dominant blocks, runs two Newton-Schulz sweeps with
+// the batched driver, and reports the preconditioner quality ||I - D V||.
+#include <iostream>
+#include <vector>
+
+#include "core/batched.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace kami;
+
+Matrix<double> identity(std::size_t n) {
+  Matrix<double> I(n, n);
+  for (std::size_t i = 0; i < n; ++i) I(i, i) = 1.0;
+  return I;
+}
+
+Matrix<double> diag_dominant(std::size_t n, Rng& rng) {
+  auto D = random_matrix<double>(n, n, rng, -0.2, 0.2);
+  for (std::size_t i = 0; i < n; ++i) D(i, i) = 1.0 + rng.uniform(0.0, 0.5);
+  return D;
+}
+
+double residual_norm(const Matrix<double>& D, const Matrix<double>& V) {
+  // max |I - D V| entry.
+  double worst = 0.0;
+  for (std::size_t i = 0; i < D.rows(); ++i)
+    for (std::size_t j = 0; j < D.cols(); ++j) {
+      double acc = (i == j) ? 1.0 : 0.0;
+      for (std::size_t k = 0; k < D.cols(); ++k) acc -= D(i, k) * V(k, j);
+      worst = std::max(worst, std::abs(acc));
+    }
+  return worst;
+}
+
+}  // namespace
+
+int main() {
+  const auto& dev = sim::gh200();
+  constexpr std::size_t kBlock = 32;
+  constexpr std::size_t kBatch = 8;
+
+  Rng rng(2024);
+  std::vector<Matrix<double>> D, V;
+  for (std::size_t b = 0; b < kBatch; ++b) {
+    D.push_back(diag_dominant(kBlock, rng));
+    // Newton-Schulz seed: V0 = D^T / (||D||_1 ||D||_inf) ~ use scaled identity.
+    Matrix<double> v0 = identity(kBlock);
+    for (std::size_t i = 0; i < kBlock; ++i) v0(i, i) = 0.5;
+    V.push_back(std::move(v0));
+  }
+
+  double before = 0.0;
+  for (std::size_t b = 0; b < kBatch; ++b)
+    before = std::max(before, residual_norm(D[b], V[b]));
+
+  double seconds = 0.0;
+  for (int sweep = 0; sweep < 4; ++sweep) {
+    // DV = D x V (batched)
+    auto dv = core::kami_batched_gemm<double>(dev, D, V);
+    seconds += dv.seconds;
+    // R = 2I - DV  (host-side AXPY; the GEMMs are the GPU work)
+    std::vector<Matrix<double>> R;
+    for (std::size_t b = 0; b < kBatch; ++b) {
+      Matrix<double> r(kBlock, kBlock);
+      for (std::size_t i = 0; i < kBlock; ++i)
+        for (std::size_t j = 0; j < kBlock; ++j)
+          r(i, j) = (i == j ? 2.0 : 0.0) - dv.C[b](i, j);
+      R.push_back(std::move(r));
+    }
+    // V = V x R (batched)
+    auto vr = core::kami_batched_gemm<double>(dev, V, R);
+    seconds += vr.seconds;
+    V = std::move(vr.C);
+  }
+
+  double after = 0.0;
+  for (std::size_t b = 0; b < kBatch; ++b)
+    after = std::max(after, residual_norm(D[b], V[b]));
+
+  kami::TablePrinter t({"metric", "value"});
+  t.add_row({"batch", std::to_string(kBatch) + " blocks of " + std::to_string(kBlock) +
+                          "x" + std::to_string(kBlock) + " FP64"});
+  t.add_row({"||I - D V|| before", kami::fmt_double(before, 4)});
+  t.add_row({"||I - D V|| after 4 sweeps", kami::fmt_double(after, 6)});
+  t.add_row({"simulated GPU time", kami::fmt_double(seconds * 1e6, 2) + " us"});
+  t.print(std::cout, "Block-Jacobi preconditioner via KAMI batched GEMM");
+
+  if (!(after < before * 0.1)) {
+    std::cerr << "Newton-Schulz did not converge as expected\n";
+    return 1;
+  }
+  std::cout << "\nPreconditioner blocks converged using only batched KAMI GEMMs.\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Block-sparse attention with KAMI's SpMM (§3.1 motivates small-scale GEMM
+// with "transformer models with block-sparse attention").
+//
+// A local-window attention mask keeps only score blocks near the diagonal.
+// The masked score matrix is stored block-sparse (16x16 tiles, the KAMI
+// default), and the attention output O = S_sparse x V is one SpMM per head.
+#include <cmath>
+#include <iostream>
+
+#include "baselines/reference.hpp"
+#include "sparse/spmm.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace kami;
+
+// Softmax-normalized scores inside the local window, zero outside.
+Matrix<fp16_t> windowed_scores(std::size_t seq, std::size_t window, Rng& rng) {
+  Matrix<double> logits(seq, seq);
+  for (std::size_t i = 0; i < seq; ++i)
+    for (std::size_t j = 0; j < seq; ++j) {
+      const bool keep = (i / 16 >= j / 16 ? i / 16 - j / 16 : j / 16 - i / 16) * 16 <
+                        window;  // block-granular window
+      logits(i, j) = keep ? rng.uniform(-2.0, 2.0) : -1e30;
+    }
+  Matrix<fp16_t> scores(seq, seq);
+  for (std::size_t i = 0; i < seq; ++i) {
+    double mx = -1e30;
+    for (std::size_t j = 0; j < seq; ++j) mx = std::max(mx, logits(i, j));
+    double denom = 0.0;
+    for (std::size_t j = 0; j < seq; ++j) denom += std::exp(logits(i, j) - mx);
+    for (std::size_t j = 0; j < seq; ++j)
+      scores(i, j) = fp16_t{static_cast<float>(std::exp(logits(i, j) - mx) / denom)};
+  }
+  return scores;
+}
+
+}  // namespace
+
+int main() {
+  const auto& dev = sim::gh200();
+  constexpr std::size_t kSeq = 128;     // sequence length
+  constexpr std::size_t kHead = 64;     // head dimension
+  constexpr std::size_t kWindow = 48;   // local attention window
+
+  Rng rng(7);
+  const auto S_dense = windowed_scores(kSeq, kWindow, rng);
+  const auto S = sparse::BlockSparseMatrix<fp16_t>::from_dense(S_dense, 16,
+                                                               sparse::BlockOrder::RowMajor);
+  const auto V = random_matrix<fp16_t>(kSeq, kHead, rng);
+
+  const auto out = sparse::spmm_1d(dev, S, V);
+
+  // Verify against the dense product.
+  const auto ref = baselines::reference_gemm(S_dense, V);
+  const double err = max_abs_diff(out.C, ref);
+
+  TablePrinter t({"metric", "value"});
+  t.add_row({"sequence x head", std::to_string(kSeq) + " x " + std::to_string(kHead)});
+  t.add_row({"mask block density",
+             fmt_double(100.0 * S.block_density(), 1) + "% of 16x16 tiles"});
+  t.add_row({"useful GFLOP", fmt_double(out.useful_flops / 1e9, 4)});
+  t.add_row({"block cycles", fmt_double(out.profile.latency, 0)});
+  t.add_row({"max |SpMM - dense|", fmt_double(err, 6)});
+  t.print(std::cout, "Block-sparse attention O = S x V via KAMI SpMM");
+
+  if (err != 0.0) {
+    std::cerr << "SpMM deviated from the dense reference\n";
+    return 1;
+  }
+  std::cout << "\nSpMM skipped " << fmt_double(100.0 * (1.0 - S.block_density()), 1)
+            << "% of score tiles while matching the dense result bit-for-bit.\n";
+  return 0;
+}

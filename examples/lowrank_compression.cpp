@@ -1,0 +1,124 @@
+// Low-rank GEMM (§5.3): approximate a smooth kernel matrix by rank-k
+// factors and multiply with KAMI's low-rank driver.
+//
+// The dense matrix G(i, j) = 1 / (1 + |i - j|/32) is numerically low-rank.
+// We build rank-k factors by ACA-style cross approximation (pick k pivot
+// columns/rows), then compare G x X computed densely against U x (V x X)
+// computed with two thin KAMI GEMMs — fewer flops and fewer cycles.
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "core/lowrank.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace kami;
+
+Matrix<fp16_t> kernel_matrix(std::size_t n) {
+  Matrix<fp16_t> g(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      const double d = i > j ? static_cast<double>(i - j) : static_cast<double>(j - i);
+      g(i, j) = fp16_t{static_cast<float>(1.0 / (1.0 + d / 32.0))};
+    }
+  return g;
+}
+
+// Cross (skeleton) approximation with k evenly spaced pivots:
+// G ~= U * V with U = G(:, P) and V = G(P, P)^-1 G(P, :). For this smooth
+// kernel, evenly spaced pivots and a Gauss-Jordan solve suffice.
+void cross_approx(const Matrix<fp16_t>& G, std::size_t k, Matrix<fp16_t>& U,
+                  Matrix<fp16_t>& V) {
+  const std::size_t n = G.rows();
+  std::vector<std::size_t> piv(k);
+  for (std::size_t t = 0; t < k; ++t) piv[t] = t * n / k + n / (2 * k);
+
+  // Core = G(P, P), solve Core * V = G(P, :) in double.
+  std::vector<double> core(k * k);
+  for (std::size_t a = 0; a < k; ++a)
+    for (std::size_t b = 0; b < k; ++b)
+      core[a * k + b] = static_cast<double>(static_cast<float>(G(piv[a], piv[b])));
+  Matrix<double> rhs(k, n);
+  for (std::size_t a = 0; a < k; ++a)
+    for (std::size_t j = 0; j < n; ++j)
+      rhs(a, j) = static_cast<double>(static_cast<float>(G(piv[a], j)));
+  // Gauss-Jordan with partial pivoting.
+  for (std::size_t col = 0; col < k; ++col) {
+    std::size_t best = col;
+    for (std::size_t r = col + 1; r < k; ++r)
+      if (std::abs(core[r * k + col]) > std::abs(core[best * k + col])) best = r;
+    for (std::size_t c = 0; c < k; ++c) std::swap(core[col * k + c], core[best * k + c]);
+    for (std::size_t j = 0; j < n; ++j) std::swap(rhs(col, j), rhs(best, j));
+    const double d = core[col * k + col];
+    for (std::size_t c = 0; c < k; ++c) core[col * k + c] /= d;
+    for (std::size_t j = 0; j < n; ++j) rhs(col, j) /= d;
+    for (std::size_t r = 0; r < k; ++r) {
+      if (r == col) continue;
+      const double f = core[r * k + col];
+      for (std::size_t c = 0; c < k; ++c) core[r * k + c] -= f * core[col * k + c];
+      for (std::size_t j = 0; j < n; ++j) rhs(r, j) -= f * rhs(col, j);
+    }
+  }
+
+  U = Matrix<fp16_t>(n, k);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t t = 0; t < k; ++t) U(i, t) = G(i, piv[t]);
+  V = Matrix<fp16_t>(k, n);
+  for (std::size_t t = 0; t < k; ++t)
+    for (std::size_t j = 0; j < n; ++j) V(t, j) = fp16_t{static_cast<float>(rhs(t, j))};
+}
+
+}  // namespace
+
+int main() {
+  const auto& dev = sim::gh200();
+  constexpr std::size_t kN = 128;
+  constexpr std::size_t kRank = 16;
+
+  const auto G = kernel_matrix(kN);
+  Matrix<fp16_t> U, V;
+  cross_approx(G, kRank, U, V);
+
+  Rng rng(5);
+  const auto X = random_matrix<fp16_t>(kN, kN, rng);
+
+  // Dense path: G x X with KAMI-1D.
+  const auto dense = gemm(Algo::OneD, dev, G, X);
+  // Low-rank path: W = V x X (a short-and-wide GEMM), then the thin-k
+  // product U x W through the low-rank driver.
+  const auto w = gemm(Algo::OneD, dev, V, X);
+  const auto lowrank = core::lowrank_gemm(dev, U, w.C);
+
+  // Approximation quality of the low-rank product.
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < kN; ++i)
+    for (std::size_t j = 0; j < kN; ++j) {
+      const double a = static_cast<double>(static_cast<float>(dense.C(i, j)));
+      const double b = static_cast<double>(static_cast<float>(lowrank.C(i, j)));
+      num += (a - b) * (a - b);
+      den += a * a;
+    }
+  const double rel_fro = std::sqrt(num / den);
+
+  const double dense_cycles = dense.profile.latency;
+  const double lr_cycles = w.profile.latency + lowrank.profile.latency;
+
+  TablePrinter t({"metric", "dense G*X", "rank-16 U*(V*X)"});
+  t.add_row({"flops", fmt_double(2.0 * kN * kN * kN / 1e6, 2) + " Mflop",
+             fmt_double(2.0 * 2 * kN * kN * kRank / 1e6, 2) + " Mflop"});
+  t.add_row({"block cycles", fmt_double(dense_cycles, 0), fmt_double(lr_cycles, 0)});
+  t.add_row({"speedup", "1.00x", fmt_double(dense_cycles / lr_cycles, 2) + "x"});
+  t.print(std::cout, "Low-rank kernel-matrix multiply via KAMI (FP16, GH200)");
+  std::cout << "  relative Frobenius error of the rank-" << kRank
+            << " product: " << fmt_double(rel_fro, 4) << "\n";
+
+  if (rel_fro > 0.05 || lr_cycles >= dense_cycles) {
+    std::cerr << "low-rank path should be accurate and faster\n";
+    return 1;
+  }
+  std::cout << "\nRank-16 factorization cut cycles by " << fmt_double(dense_cycles / lr_cycles, 2)
+            << "x at <5% error — the Fig 11 use case.\n";
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Common result type for the comparator kernels.
+#pragma once
+
+#include <string>
+
+#include "sim/throughput.hpp"
+#include "types/matrix.hpp"
+
+namespace kami::baselines {
+
+template <Scalar T>
+struct BaselineResult {
+  Matrix<T> C;
+  sim::KernelProfile profile;
+  bool feasible = true;   ///< false when the kernel cannot run (e.g. shared
+                          ///< memory exceeds the device limit)
+  std::string note;       ///< why it was infeasible / configuration used
+};
+
+}  // namespace kami::baselines

@@ -1,0 +1,46 @@
+// Host reference GEMM in the exact rounding model of the simulated tensor
+// cores: inputs widen to the accumulator type, the k-reduction runs
+// sequentially in accumulator precision, and the result narrows once at the
+// end. KAMI-1D/2D cover k in sequential stage order and therefore match this
+// reference bit-for-bit; KAMI-3D re-associates across layers and is compared
+// with a tolerance.
+#pragma once
+
+#include "types/matrix.hpp"
+
+namespace kami::baselines {
+
+/// C = A x B with accumulator-width arithmetic, narrowed to T.
+template <Scalar T>
+Matrix<T> reference_gemm(const Matrix<T>& A, const Matrix<T>& B) {
+  using Acc = typename num_traits<T>::acc_t;
+  KAMI_REQUIRE(A.cols() == B.rows(), "inner dimensions must agree");
+  Matrix<T> C(A.rows(), B.cols());
+  for (std::size_t i = 0; i < A.rows(); ++i) {
+    for (std::size_t j = 0; j < B.cols(); ++j) {
+      Acc acc{};
+      for (std::size_t k = 0; k < A.cols(); ++k)
+        acc += num_traits<T>::to_acc(A(i, k)) * num_traits<T>::to_acc(B(k, j));
+      C(i, j) = num_traits<T>::from_acc(acc);
+    }
+  }
+  return C;
+}
+
+/// Reference in full double precision (for error-bound property tests).
+template <Scalar T>
+Matrix<double> reference_gemm_fp64(const Matrix<T>& A, const Matrix<T>& B) {
+  KAMI_REQUIRE(A.cols() == B.rows());
+  Matrix<double> C(A.rows(), B.cols());
+  for (std::size_t i = 0; i < A.rows(); ++i)
+    for (std::size_t j = 0; j < B.cols(); ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < A.cols(); ++k)
+        acc += static_cast<double>(num_traits<T>::to_acc(A(i, k))) *
+               static_cast<double>(num_traits<T>::to_acc(B(k, j)));
+      C(i, j) = acc;
+    }
+  return C;
+}
+
+}  // namespace kami::baselines

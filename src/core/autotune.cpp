@@ -1,0 +1,15 @@
+#include "core/autotune.hpp"
+
+namespace kami::core {
+
+std::vector<TuneCandidate> default_candidates() {
+  std::vector<TuneCandidate> out;
+  for (int warps : {0, 2, 4, 8, 16}) out.push_back({Algo::OneD, warps, -1.0});
+  for (int warps : {0, 4, 16}) out.push_back({Algo::TwoD, warps, -1.0});
+  for (int warps : {0, 8, 27}) out.push_back({Algo::ThreeD, warps, -1.0});
+  // The Fig 10 spill presets on the default warp counts.
+  for (double ratio : {0.25, 0.5, 0.75}) out.push_back({Algo::OneD, 0, ratio});
+  return out;
+}
+
+}  // namespace kami::core

@@ -1,0 +1,78 @@
+// Auto-tuning (§4.7: "we preset ratios in our implementation and allow user
+// tuning to balance generality and specialization").
+//
+// The simulator makes exhaustive tuning cheap: autotune_gemm simulates every
+// candidate (algorithm, warp count, spill ratio) for a shape and returns the
+// configuration with the highest device throughput under the paper's
+// 16384-block launch. best_gemm runs the winner on real data.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/kami.hpp"
+
+namespace kami::core {
+
+struct TuneCandidate {
+  Algo algo = Algo::OneD;
+  int warps = 0;           ///< 0 = planner default
+  double smem_ratio = -1;  ///< <0 = planner default
+};
+
+struct TuneResult {
+  TuneCandidate config;
+  double tflops = 0.0;
+  sim::KernelProfile profile;
+  int evaluated = 0;  ///< candidates that ran (infeasible ones are skipped)
+};
+
+/// The default candidate grid: every algorithm at its natural warp counts,
+/// planner-chosen spill ratio plus the Fig 10 presets.
+std::vector<TuneCandidate> default_candidates();
+
+template <Scalar T>
+TuneResult autotune_gemm(const sim::DeviceSpec& dev, std::size_t m, std::size_t n,
+                         std::size_t k, std::size_t blocks = 16384,
+                         const std::vector<TuneCandidate>& candidates =
+                             default_candidates()) {
+  KAMI_REQUIRE(m > 0 && n > 0 && k > 0);
+  Rng rng(m * 131 + n * 17 + k);
+  const auto A = random_matrix<T>(m, k, rng);
+  const auto B = random_matrix<T>(k, n, rng);
+
+  TuneResult best;
+  for (const auto& cand : candidates) {
+    GemmOptions opt;
+    opt.warps = cand.warps;
+    opt.smem_ratio = cand.smem_ratio;
+    try {
+      const auto r = gemm(cand.algo, dev, A, B, opt);
+      const double t = sim::throughput_tflops(dev, r.profile, blocks);
+      ++best.evaluated;
+      if (t > best.tflops) {
+        best.tflops = t;
+        best.config = cand;
+        best.profile = r.profile;
+      }
+    } catch (const PreconditionError&) {
+      // Candidate infeasible for this shape (grid mismatch or registers).
+    }
+  }
+  KAMI_REQUIRE(best.evaluated > 0, "no feasible configuration for this shape");
+  return best;
+}
+
+/// Tune, then run the winning configuration on the given operands.
+template <Scalar T>
+GemmResult<T> best_gemm(const sim::DeviceSpec& dev, const Matrix<T>& A,
+                        const Matrix<T>& B, std::size_t blocks = 16384) {
+  const auto tuned =
+      autotune_gemm<T>(dev, A.rows(), B.cols(), A.cols(), blocks);
+  GemmOptions opt;
+  opt.warps = tuned.config.warps;
+  opt.smem_ratio = tuned.config.smem_ratio;
+  return gemm(tuned.config.algo, dev, A, B, opt);
+}
+
+}  // namespace kami::core

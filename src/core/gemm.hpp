@@ -1,0 +1,52 @@
+// Common options and result types for KAMI's block-level GEMM kernels.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "model/registers.hpp"
+#include "sim/throughput.hpp"
+#include "types/matrix.hpp"
+
+namespace kami::core {
+
+/// Algorithm selector; identical to the analytic model's tag.
+using Algo = model::Algo;
+
+struct GemmOptions {
+  /// Number of warps p. 0 = auto: the smallest legal warp count whose
+  /// register demand fits at some spill ratio (1D/2D try 4, 8/16; 3D tries
+  /// 8, then 27).
+  int warps = 0;
+
+  /// Fraction of A/B k-slices spilled to shared memory (§4.7, Fig 10).
+  /// Negative = auto: the smallest preset in {0, .25, .5, .75, .875} that
+  /// fits the register file.
+  double smem_ratio = -1.0;
+
+  /// Preferred k-slice width; 16 matches the MMA granularity (§4.7).
+  std::size_t slice_pref = 16;
+
+  /// Charge global-memory loads/stores. Block-level experiments keep data
+  /// on chip across kernel iterations (Fig 3 caption) and leave this off;
+  /// batched drivers turn it on.
+  bool charge_global_io = false;
+
+  /// Bank-conflict factors (Table 2); KAMI's layouts are conflict-free.
+  double theta_r = 1.0;
+  double theta_w = 1.0;
+
+  /// Record an op-level timeline (sim/trace.hpp) into GemmResult::trace.
+  bool record_trace = false;
+};
+
+template <Scalar T>
+struct GemmResult {
+  Matrix<T> C;
+  sim::KernelProfile profile;
+  int warps = 0;           ///< the p actually used
+  double smem_ratio = 0.0; ///< the spill ratio actually used
+  std::shared_ptr<sim::Trace> trace;  ///< set when GemmOptions::record_trace
+};
+
+}  // namespace kami::core

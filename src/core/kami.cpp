@@ -1,0 +1,14 @@
+#include "core/kami.hpp"
+
+namespace kami {
+
+const char* algo_name(Algo algo) noexcept {
+  switch (algo) {
+    case Algo::OneD: return "KAMI-1D";
+    case Algo::TwoD: return "KAMI-2D";
+    case Algo::ThreeD: return "KAMI-3D";
+  }
+  return "?";
+}
+
+}  // namespace kami

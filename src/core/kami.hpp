@@ -1,0 +1,40 @@
+// KAMI public API.
+//
+//   #include "core/kami.hpp"
+//
+//   auto& dev = kami::sim::gh200();
+//   kami::Matrix<kami::fp16_t> A = ..., B = ...;
+//   auto r = kami::gemm(kami::Algo::OneD, dev, A, B);
+//   // r.C is the product; r.profile carries cycles & resource occupancy.
+//
+// The three block-level algorithms (Section 4.3-4.5), runtime-dispatched.
+// Batched and low-rank drivers live in core/batched.hpp and core/lowrank.hpp;
+// sparse kernels in sparse/.
+#pragma once
+
+#include "core/gemm.hpp"
+#include "core/kami_1d.hpp"
+#include "core/kami_2d.hpp"
+#include "core/kami_3d.hpp"
+
+namespace kami {
+
+using core::Algo;
+using core::GemmOptions;
+using core::GemmResult;
+
+/// Block-level C = A x B with the selected CA algorithm.
+template <Scalar T>
+GemmResult<T> gemm(Algo algo, const sim::DeviceSpec& dev, const Matrix<T>& A,
+                   const Matrix<T>& B, const GemmOptions& opt = {}) {
+  switch (algo) {
+    case Algo::OneD: return core::kami_1d_gemm(dev, A, B, opt);
+    case Algo::TwoD: return core::kami_2d_gemm(dev, A, B, opt);
+    case Algo::ThreeD: return core::kami_3d_gemm(dev, A, B, opt);
+  }
+  throw PreconditionError("unknown algorithm");
+}
+
+const char* algo_name(Algo algo) noexcept;
+
+}  // namespace kami

@@ -1,0 +1,55 @@
+#include "core/sliced_operand.hpp"
+
+#include <cmath>
+
+namespace kami::core {
+
+std::size_t pick_slice_width(std::size_t chunk, std::size_t preferred) {
+  KAMI_REQUIRE(chunk >= 1);
+  if (chunk <= preferred) return chunk;
+  for (std::size_t w = preferred; w >= 1; --w)
+    if (chunk % w == 0) return w;
+  return 1;  // unreachable: w == 1 always divides
+}
+
+SliceLayout SliceLayout::make(std::size_t rows, std::size_t cols, SliceAxis axis,
+                              std::size_t slice_w, std::size_t chunk_slices,
+                              double smem_ratio) {
+  KAMI_REQUIRE(rows > 0 && cols > 0 && slice_w > 0);
+  KAMI_REQUIRE(smem_ratio >= 0.0 && smem_ratio < 1.0, "smem ratio must be in [0,1)");
+  const std::size_t extent = axis == SliceAxis::Cols ? cols : rows;
+  KAMI_REQUIRE(extent % slice_w == 0, "slice width must divide the sliced extent");
+
+  SliceLayout lay;
+  lay.rows = rows;
+  lay.cols = cols;
+  lay.axis = axis;
+  lay.slice_w = slice_w;
+  lay.n_slices = extent / slice_w;
+  lay.chunk_slices = chunk_slices == 0 ? lay.n_slices : chunk_slices;
+  KAMI_REQUIRE(lay.n_slices % lay.chunk_slices == 0,
+               "chunk size must divide the slice count");
+  // Spill the trailing ceil(ratio * chunk) slices of every chunk; at least
+  // one slice per chunk stays resident so compute can always stream.
+  const auto spilled = static_cast<std::size_t>(
+      std::ceil(smem_ratio * static_cast<double>(lay.chunk_slices)));
+  lay.resident_per_chunk =
+      lay.chunk_slices - (spilled >= lay.chunk_slices ? lay.chunk_slices - 1 : spilled);
+  return lay;
+}
+
+bool SliceLayout::is_resident(std::size_t s) const {
+  KAMI_ASSERT(s < n_slices);
+  return (s % chunk_slices) < resident_per_chunk;
+}
+
+std::size_t SliceLayout::resident_index(std::size_t s) const {
+  KAMI_ASSERT(is_resident(s));
+  return (s / chunk_slices) * resident_per_chunk + (s % chunk_slices);
+}
+
+std::size_t SliceLayout::resident_slices_total() const {
+  return (n_slices / chunk_slices) * resident_per_chunk;
+}
+
+}  // namespace kami::core

@@ -1,0 +1,126 @@
+#include "model/cost_model.hpp"
+
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace kami::model {
+
+namespace {
+
+int isqrt_exact(int p) {
+  const int r = static_cast<int>(std::lround(std::sqrt(static_cast<double>(p))));
+  KAMI_REQUIRE(r * r == p, "2D algorithm requires p to be a perfect square");
+  return r;
+}
+
+int icbrt_exact(int p) {
+  const int r = static_cast<int>(std::lround(std::cbrt(static_cast<double>(p))));
+  KAMI_REQUIRE(r * r * r == p, "3D algorithm requires p to be a perfect cube");
+  return r;
+}
+
+void validate(const Params& q) {
+  KAMI_REQUIRE(q.m > 0 && q.n > 0 && q.k > 0);
+  KAMI_REQUIRE(q.p >= 1);
+  KAMI_REQUIRE(q.se > 0.0 && q.B_sm > 0.0 && q.O_tc > 0.0 && q.n_tc >= 1);
+  KAMI_REQUIRE(q.theta_r > 0.0 && q.theta_r <= 1.0);
+  KAMI_REQUIRE(q.theta_w > 0.0 && q.theta_w <= 1.0);
+}
+
+}  // namespace
+
+Params Params::from_device(const sim::DeviceSpec& dev, Precision prec, std::size_t m,
+                           std::size_t n, std::size_t k, int p) {
+  Params q;
+  q.m = m;
+  q.n = n;
+  q.k = k;
+  q.p = p;
+  q.se = static_cast<double>(element_bytes(prec));
+  q.L_sm = dev.smem_latency_cycles;
+  q.B_sm = dev.smem_bytes_per_cycle();
+  q.O_tc = dev.ops_per_cycle_per_tc(prec);
+  q.n_tc = dev.tensor_cores_per_sm;
+  return q;
+}
+
+double gemm_flops(std::size_t m, std::size_t n, std::size_t k) {
+  return 2.0 * static_cast<double>(m) * static_cast<double>(n) * static_cast<double>(k);
+}
+
+Cost cost_1d(const Params& q) {
+  validate(q);
+  const double p = static_cast<double>(q.p);
+  const double m = static_cast<double>(q.m);
+  const double n = static_cast<double>(q.n);
+  const double k = static_cast<double>(q.k);
+
+  Cost c;
+  c.stages = q.p;
+  // Formula (1): one warp writes B_z (k/p x n), p-1 warps read it, p stages.
+  c.V_cm = k * n * q.se;
+  // Formula (2).
+  c.T_cm = q.L_sm + k * n * q.se / (q.theta_w * p * q.B_sm) +
+           (p - 1.0) * k * n * q.se / (q.theta_r * p * q.B_sm);
+  // Formula (3).
+  c.T_cp = 2.0 * m * n * k / (p * p * q.O_tc);
+  // Formula (4), expanded total.
+  c.comm_cycles = q.L_sm * p + k * n * q.se / (q.theta_w * q.B_sm) +
+                  (p - 1.0) * k * n * q.se / (q.theta_r * q.B_sm);
+  c.compute_cycles = 2.0 * m * n * k / (static_cast<double>(q.n_tc) * q.O_tc);
+  c.T_all = c.comm_cycles + c.compute_cycles;
+  return c;
+}
+
+Cost cost_2d(const Params& q) {
+  validate(q);
+  const double rp = static_cast<double>(isqrt_exact(q.p));
+  const double m = static_cast<double>(q.m);
+  const double n = static_cast<double>(q.n);
+  const double k = static_cast<double>(q.k);
+
+  Cost c;
+  c.stages = static_cast<int>(rp);
+  // Formula (5).
+  c.V_cm = (m * k + k * n) * q.se;
+  // Formula (6).
+  c.T_cm = q.L_sm + (m * k + n * k) * q.se / (q.theta_w * rp * q.B_sm) +
+           (rp - 1.0) * (m * k + n * k) * q.se / (q.theta_r * rp * q.B_sm);
+  // Per-stage compute: each warp multiplies (m/sqrt(p) x k/sqrt(p)) by
+  // (k/sqrt(p) x n/sqrt(p)) — the printed middle form of (7) has a typo;
+  // this is the expression consistent with (8) and the worked example.
+  c.T_cp = 2.0 * m * n * k / (rp * rp * rp * q.O_tc);
+  // Formula (8), expanded total.
+  c.comm_cycles = q.L_sm * rp + (m * k + n * k) * q.se / (q.theta_w * q.B_sm) +
+                  (rp - 1.0) * (m * k + n * k) * q.se / (q.theta_r * q.B_sm);
+  c.compute_cycles = 2.0 * m * n * k / (static_cast<double>(q.n_tc) * q.O_tc);
+  c.T_all = c.comm_cycles + c.compute_cycles;
+  return c;
+}
+
+Cost cost_3d(const Params& q) {
+  validate(q);
+  const double cp = static_cast<double>(icbrt_exact(q.p));
+  const double m = static_cast<double>(q.m);
+  const double n = static_cast<double>(q.n);
+  const double k = static_cast<double>(q.k);
+
+  Cost c;
+  c.stages = static_cast<int>(cp);
+  // Formula (9).
+  c.V_cm = (m * k + k * n) * q.se;
+  // Formula (10).
+  c.T_cm = q.L_sm + (m * k + n * k) * q.se / (q.theta_w * cp * q.B_sm) +
+           (cp - 1.0) * (m * k + n * k) * q.se / (q.theta_r * cp * q.B_sm);
+  // Formula (11).
+  c.T_cp = 2.0 * m * n * k / (static_cast<double>(q.p) * q.O_tc);
+  // Formula (12), expanded total (matches the worked example: 68 cycles).
+  c.comm_cycles = q.L_sm * cp + (m * k + n * k) * q.se / (q.theta_w * q.B_sm) +
+                  (cp - 1.0) * (m * k + n * k) * q.se / (q.theta_r * q.B_sm);
+  c.compute_cycles = 2.0 * m * n * k / (static_cast<double>(q.n_tc) * q.O_tc);
+  c.T_all = c.comm_cycles + c.compute_cycles;
+  return c;
+}
+
+}  // namespace kami::model

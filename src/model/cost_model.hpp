@@ -1,0 +1,56 @@
+// The paper's Section 4 analytic cost model, in GPU clock cycles.
+//
+// Implements formulas (1)-(12): communication volume V_cm, per-stage
+// communication cost T_cm, per-stage computation cost T_cp and the total
+// T_all for the 1D, 2D and 3D algorithms. We use the *expanded* totals
+// ((4), (8), (12)) as authoritative: they are self-consistent and match all
+// three worked examples in the paper, whereas the compact per-stage forms
+// contain two typos (see DESIGN.md, "Known internal inconsistencies").
+#pragma once
+
+#include <cstddef>
+
+#include "sim/device.hpp"
+#include "types/float_formats.hpp"
+
+namespace kami::model {
+
+/// Inputs of the cost model (Table 2's symbols).
+struct Params {
+  std::size_t m = 0;
+  std::size_t n = 0;
+  std::size_t k = 0;
+  int p = 1;               ///< number of warps
+  double se = 0.0;         ///< element size in bytes
+  double L_sm = 0.0;       ///< shared-memory latency (cycles)
+  double B_sm = 0.0;       ///< shared-memory bandwidth (bytes/cycle)
+  double theta_r = 1.0;    ///< read bank-conflict factor, (0,1]
+  double theta_w = 1.0;    ///< write bank-conflict factor, (0,1]
+  double O_tc = 0.0;       ///< tensor-core ops per cycle
+  int n_tc = 1;            ///< tensor cores per SM
+
+  /// Populate hardware constants from a device spec for a given precision.
+  static Params from_device(const sim::DeviceSpec& dev, Precision prec, std::size_t m,
+                            std::size_t n, std::size_t k, int p);
+};
+
+struct Cost {
+  double V_cm = 0.0;   ///< total communication volume, bytes
+  double T_cm = 0.0;   ///< per-stage communication cycles
+  double T_cp = 0.0;   ///< per-stage per-warp computation cycles
+  double T_all = 0.0;  ///< total cycles (expanded form)
+  int stages = 0;
+
+  /// Split of T_all used by the Fig 15 theoretical bars.
+  double comm_cycles = 0.0;     ///< L_sm*stages + write + read terms
+  double compute_cycles = 0.0;  ///< 2mnk / (n_tc * O_tc)
+};
+
+Cost cost_1d(const Params& q);  ///< formulas (1)-(4)
+Cost cost_2d(const Params& q);  ///< formulas (5)-(8)
+Cost cost_3d(const Params& q);  ///< formulas (9)-(12)
+
+/// Convenience: 2*m*n*k.
+double gemm_flops(std::size_t m, std::size_t n, std::size_t k);
+
+}  // namespace kami::model

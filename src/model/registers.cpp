@@ -1,0 +1,67 @@
+#include "model/registers.hpp"
+
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace kami::model {
+
+std::size_t accumulator_bytes(Precision p) noexcept {
+  return p == Precision::FP64 ? 8u : 4u;
+}
+
+RegisterUsage register_usage(Algo algo, Precision prec, std::size_t m, std::size_t n,
+                             std::size_t k, int p) {
+  KAMI_REQUIRE(p >= 1);
+  const double se = static_cast<double>(element_bytes(prec));
+  const double sa = static_cast<double>(accumulator_bytes(prec));
+  const double md = static_cast<double>(m);
+  const double nd = static_cast<double>(n);
+  const double kd = static_cast<double>(k);
+  const double pd = static_cast<double>(p);
+
+  RegisterUsage u;
+  switch (algo) {
+    case Algo::OneD: {
+      // A_i: (m/p x k); B: ceil(stripes/p) resident 16-wide stripes per
+      // warp (the broadcast granularity, §4.7); C_i: (m/p x n);
+      // BRecv: one stripe.
+      const double sw = static_cast<double>(k < 16 ? k : 16);
+      const double stripes = kd / sw;
+      const double q = std::ceil(stripes / pd);
+      u.bytes_a = md / pd * kd * se;
+      u.bytes_b = q * sw * nd * se;
+      u.bytes_c = md / pd * nd * sa;
+      u.bytes_recv = sw * nd * se;
+      break;
+    }
+    case Algo::TwoD: {
+      const double rp = std::sqrt(pd);
+      KAMI_REQUIRE(std::lround(rp) * std::lround(rp) == p,
+                   "2D algorithm requires a perfect-square warp count");
+      // A_i: (m/rp x k/rp); B_i: (k/rp x n/rp); C_i: (m/rp x n/rp);
+      // Recv: one A tile + one B tile.
+      u.bytes_a = md / rp * kd / rp * se;
+      u.bytes_b = kd / rp * nd / rp * se;
+      u.bytes_c = md / rp * nd / rp * sa;
+      u.bytes_recv = u.bytes_a + u.bytes_b;
+      break;
+    }
+    case Algo::ThreeD: {
+      const double cp = std::cbrt(pd);
+      const long c = std::lround(cp);
+      KAMI_REQUIRE(c * c * c == p, "3D algorithm requires a perfect-cube warp count");
+      u.bytes_a = md / cp * kd / cp * se;
+      u.bytes_b = kd / cp * nd / cp * se;
+      u.bytes_c = md / cp * nd / cp * sa;
+      u.bytes_recv = u.bytes_a + u.bytes_b;
+      // Inter-layer reduction scratch: one (m/c x <=16) accumulator chunk.
+      const double chunk = nd / cp < 16.0 ? nd / cp : 16.0;
+      u.bytes_recv += md / cp * chunk * sa;
+      break;
+    }
+  }
+  return u;
+}
+
+}  // namespace kami::model

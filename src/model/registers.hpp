@@ -1,0 +1,38 @@
+// Theoretical register-usage model (§4.7, Fig 14, §5.6.1).
+//
+// Counts the register bytes one warp must hold for each algorithm: its
+// resident A_i and B_i submatrices at storage width, the staging Recv
+// buffers, and its C_i accumulator at the MMA accumulate width (FP32 for
+// FP16/TF32/FP8, FP64 for FP64 — "two 32-bit registers per element", §4.7).
+// Reported as 32-bit registers per thread, the unit Fig 14 plots. Measured
+// usage (the simulator's high-water mark) is lower because implementations
+// reuse buffers across stages, mirroring the compiler-reuse gap the paper
+// observes (65-77 % of theory).
+#pragma once
+
+#include <cstddef>
+
+#include "types/float_formats.hpp"
+
+namespace kami::model {
+
+enum class Algo { OneD, TwoD, ThreeD };
+
+struct RegisterUsage {
+  double bytes_a = 0.0;
+  double bytes_b = 0.0;
+  double bytes_c = 0.0;     ///< accumulator width
+  double bytes_recv = 0.0;  ///< staging buffers for incoming broadcasts
+  double total_bytes() const noexcept { return bytes_a + bytes_b + bytes_c + bytes_recv; }
+
+  /// 32-bit registers per thread for a 32-thread warp.
+  double regs_per_thread() const noexcept { return total_bytes() / 4.0 / 32.0; }
+};
+
+/// Bytes of the accumulator element for a storage precision.
+std::size_t accumulator_bytes(Precision p) noexcept;
+
+RegisterUsage register_usage(Algo algo, Precision prec, std::size_t m, std::size_t n,
+                             std::size_t k, int p);
+
+}  // namespace kami::model

@@ -1,0 +1,31 @@
+#include "model/roofline.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace kami::model {
+
+double gemm_arithmetic_intensity(std::size_t m, std::size_t n, std::size_t k,
+                                 Precision prec) {
+  KAMI_REQUIRE(m > 0 && n > 0 && k > 0);
+  const double md = static_cast<double>(m), nd = static_cast<double>(n),
+               kd = static_cast<double>(k);
+  const double bytes = (md * kd + kd * nd + md * nd) *
+                       static_cast<double>(element_bytes(prec));
+  return 2.0 * md * nd * kd / bytes;
+}
+
+double device_gmem_bytes_per_second(const sim::DeviceSpec& dev) {
+  return dev.gmem_bytes_per_cycle_per_sm * static_cast<double>(dev.num_sms) *
+         dev.boost_clock_ghz * 1e9;
+}
+
+double roofline_tflops(const sim::DeviceSpec& dev, Precision prec,
+                       double arithmetic_intensity) {
+  KAMI_REQUIRE(arithmetic_intensity > 0.0);
+  const double mem_bound = arithmetic_intensity * device_gmem_bytes_per_second(dev) / 1e12;
+  return std::min(dev.peak_tflops(prec), mem_bound);
+}
+
+}  // namespace kami::model

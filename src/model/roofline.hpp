@@ -1,0 +1,24 @@
+// Roofline model (Fig 3): attainable TFLOPS as a function of arithmetic
+// intensity against the device's peak compute and memory-bandwidth ceilings.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/device.hpp"
+#include "types/float_formats.hpp"
+
+namespace kami::model {
+
+/// Arithmetic intensity of an m x n x k GEMM reading A, B and writing C
+/// once from global memory: 2mnk / ((mk + kn + mn) * s_e) flops/byte.
+double gemm_arithmetic_intensity(std::size_t m, std::size_t n, std::size_t k,
+                                 Precision prec);
+
+/// Device global-memory bandwidth in bytes/s (aggregated over SMs).
+double device_gmem_bytes_per_second(const sim::DeviceSpec& dev);
+
+/// min(peak, AI * BW): the classic roofline ceiling in TFLOPS.
+double roofline_tflops(const sim::DeviceSpec& dev, Precision prec,
+                       double arithmetic_intensity);
+
+}  // namespace kami::model

@@ -1,0 +1,48 @@
+#include "sim/bank_conflicts.hpp"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace kami::sim {
+
+double strided_access_theta(const DeviceSpec& dev, std::size_t element_bytes,
+                            std::size_t element_stride) {
+  KAMI_REQUIRE(element_bytes > 0);
+  const auto banks = static_cast<std::size_t>(dev.smem_banks);
+  const auto width = static_cast<std::size_t>(dev.bank_width_bytes);
+  KAMI_REQUIRE(banks > 0 && width > 0);
+
+  // Enumerate the distinct bank words the warp touches: accesses to the
+  // same word by several lanes broadcast (one transaction); an element
+  // wider than a bank word touches several words.
+  std::set<std::size_t> words;
+  for (std::size_t lane = 0; lane < 32; ++lane) {
+    const std::size_t first = lane * element_stride * element_bytes;
+    for (std::size_t b = first / width; b <= (first + element_bytes - 1) / width; ++b)
+      words.insert(b);
+  }
+  std::vector<std::size_t> per_bank(banks, 0);
+  for (std::size_t wordi : words) per_bank[wordi % banks] += 1;
+
+  const std::size_t actual_cycles = *std::max_element(per_bank.begin(), per_bank.end());
+  const std::size_t ideal_cycles = (words.size() + banks - 1) / banks;
+  return static_cast<double>(ideal_cycles) / static_cast<double>(actual_cycles);
+}
+
+double column_access_theta(const DeviceSpec& dev, std::size_t element_bytes,
+                           std::size_t cols) {
+  return strided_access_theta(dev, element_bytes, cols);
+}
+
+std::size_t conflict_free_padding(const DeviceSpec& dev, std::size_t element_bytes,
+                                  std::size_t cols) {
+  for (std::size_t pad = 0; pad < static_cast<std::size_t>(dev.smem_banks); ++pad) {
+    if (strided_access_theta(dev, element_bytes, cols + pad) == 1.0) return pad;
+  }
+  return 0;  // no padding within one bank cycle helps (should not happen)
+}
+
+}  // namespace kami::sim

@@ -1,0 +1,34 @@
+// Bank-conflict analysis (Table 2's theta_r / theta_w, derived instead of
+// assumed).
+//
+// A warp's 32 lanes issue one shared-memory access each; the banked memory
+// serves one word per bank per cycle, so lanes hitting the same bank
+// serialize. theta = 1 / (worst per-bank multiplicity), the fraction of
+// peak bandwidth the pattern attains. KAMI's contiguous tile copies are
+// conflict-free (theta = 1); column-strided accesses of power-of-two pitch
+// are the classic pathological case (theta = 1/banks).
+#pragma once
+
+#include <cstddef>
+
+#include "sim/device.hpp"
+
+namespace kami::sim {
+
+/// theta for 32 lanes accessing element_bytes-sized words with a fixed
+/// element stride (in elements) from a common base.
+double strided_access_theta(const DeviceSpec& dev, std::size_t element_bytes,
+                            std::size_t element_stride);
+
+/// theta for a row-major (rows x cols) tile accessed column-by-column —
+/// the access pattern of an untransposed operand read. Equivalent to a
+/// stride of `cols` elements.
+double column_access_theta(const DeviceSpec& dev, std::size_t element_bytes,
+                           std::size_t cols);
+
+/// Smallest pad (in elements) to add per row so column accesses of the
+/// padded tile are conflict-free — the classic "+1 padding" trick.
+std::size_t conflict_free_padding(const DeviceSpec& dev, std::size_t element_bytes,
+                                  std::size_t cols);
+
+}  // namespace kami::sim

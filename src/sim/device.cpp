@@ -1,0 +1,203 @@
+#include "sim/device.hpp"
+
+#include "util/require.hpp"
+
+namespace kami::sim {
+
+bool DeviceSpec::supports(Precision p) const noexcept {
+  switch (p) {
+    case Precision::FP64: return peak_fp64_tflops > 0.0;
+    case Precision::FP32:
+    case Precision::TF32: return peak_fp32_tflops > 0.0;
+    case Precision::FP16:
+    case Precision::BF16: return peak_fp16_tflops > 0.0;
+    case Precision::FP8E4M3: return peak_fp8_tflops > 0.0;
+  }
+  return false;
+}
+
+double DeviceSpec::peak_tflops(Precision p) const {
+  switch (p) {
+    case Precision::FP64: return peak_fp64_tflops;
+    case Precision::FP32:
+    case Precision::TF32: return peak_fp32_tflops;
+    case Precision::FP16:
+    case Precision::BF16: return peak_fp16_tflops;
+    case Precision::FP8E4M3: return peak_fp8_tflops;
+  }
+  return 0.0;
+}
+
+double DeviceSpec::ops_per_cycle_per_tc(Precision p) const {
+  const double peak = peak_tflops(p);
+  KAMI_REQUIRE(peak > 0.0, std::string("precision not supported on ") + name);
+  return peak * 1e12 /
+         (static_cast<double>(num_sms) * static_cast<double>(tensor_cores_per_sm) *
+          boost_clock_ghz * 1e9);
+}
+
+double DeviceSpec::vector_flops_per_cycle(Precision p) const {
+  switch (p) {
+    case Precision::FP64: return vector_fp64_flops_per_cycle;
+    case Precision::FP32:
+    case Precision::TF32: return vector_fp32_flops_per_cycle;
+    case Precision::FP16:
+    case Precision::BF16:
+    case Precision::FP8E4M3: return vector_fp16_flops_per_cycle;
+  }
+  return 0.0;
+}
+
+MmaShape DeviceSpec::mma_shape(Precision p) const {
+  if (vendor == "NVIDIA") {
+    switch (p) {
+      case Precision::FP64: return {16, 8, 8};    // mma m16n8k8 (Table 4)
+      case Precision::FP32:
+      case Precision::TF32: return {16, 8, 8};    // mma.tf32 m16n8k8
+      case Precision::FP16:
+      case Precision::BF16: return {16, 8, 16};   // mma m16n8k16 (Table 4)
+      case Precision::FP8E4M3: return {16, 8, 32};
+    }
+  }
+  // AMD mma_sync and Intel joint_matrix_mad both expose m16n16k16 (Table 4).
+  return {16, 16, 16};
+}
+
+namespace {
+
+DeviceSpec make_gh200() {
+  DeviceSpec d;
+  d.name = "GH200";
+  d.vendor = "NVIDIA";
+  d.api = "CUDA";
+  d.boost_clock_ghz = 1.980;  // Table 3
+  d.num_sms = 132;            // Table 3: 132 x 4
+  d.tensor_cores_per_sm = 4;
+  d.smem_banks = 32;          // Table 3: 32 x 4 B
+  d.bank_width_bytes = 4;
+  d.smem_latency_cycles = 22.0;  // worked examples, §4.3; Fig 4(b) shows ~20
+  d.smem_transaction_overhead_cycles = 12.0;
+  d.sync_latency_cycles = 15.0;
+  d.gmem_latency_cycles = 478.0;         // Hopper measured LD latency [Luo et al.]
+  d.gmem_bytes_per_cycle_per_sm = 15.3;  // 4 TB/s HBM3 / 132 SM / 1.98 GHz
+  d.reg_bytes_per_cycle = 512.0;         // Fig 4(b): ~1013.6 GB/s per warp
+  d.smem_bytes_per_block = 227 * 1024;   // Hopper max dynamic smem per block
+  d.peak_fp64_tflops = 67.0;   // Table 3
+  d.peak_fp32_tflops = 494.0;  // TF32 = FP16/2 on Hopper
+  d.peak_fp16_tflops = 990.0;  // Table 3
+  d.peak_fp8_tflops = 1979.0;  // 2x FP16 on Hopper
+  d.mma_efficiency = 0.62;     // §5.6.2: measured max MMA issue efficiency
+  d.vector_fp64_flops_per_cycle = 128.0;   // 64 FP64 FMA/cycle/SM
+  d.vector_fp32_flops_per_cycle = 256.0;   // 128 CUDA cores x FMA
+  d.vector_fp16_flops_per_cycle = 256.0;
+  return d;
+}
+
+DeviceSpec make_rtx5090() {
+  DeviceSpec d;
+  d.name = "RTX 5090";
+  d.vendor = "NVIDIA";
+  d.api = "CUDA";
+  d.boost_clock_ghz = 2.655;  // Table 3
+  d.num_sms = 170;            // Table 3: 170 x 4
+  d.tensor_cores_per_sm = 4;
+  d.smem_banks = 32;
+  d.bank_width_bytes = 4;
+  d.smem_latency_cycles = 22.0;
+  d.smem_transaction_overhead_cycles = 12.0;
+  d.sync_latency_cycles = 15.0;
+  d.gmem_latency_cycles = 430.0;
+  d.gmem_bytes_per_cycle_per_sm = 4.0;  // 1.79 TB/s GDDR7 / 170 SM / 2.655 GHz
+  d.reg_bytes_per_cycle = 512.0;
+  d.smem_bytes_per_block = 99 * 1024;
+  d.peak_fp64_tflops = 0.0;    // Table 3: N/A (no FP64 tensor path)
+  d.peak_fp32_tflops = 231.0;  // TF32 = FP16/2
+  d.peak_fp16_tflops = 462.0;  // Table 3
+  d.peak_fp8_tflops = 924.0;   // 2x FP16
+  d.mma_efficiency = 0.80;     // consumer Blackwell sustains a higher fraction
+  d.vector_fp64_flops_per_cycle = 4.0;     // 1/64-rate FP64 on consumer parts
+  d.vector_fp32_flops_per_cycle = 256.0;
+  d.vector_fp16_flops_per_cycle = 256.0;
+  return d;
+}
+
+DeviceSpec make_amd7900xtx() {
+  DeviceSpec d;
+  d.name = "7900 XTX";
+  d.vendor = "AMD";
+  d.api = "HIP";
+  d.boost_clock_ghz = 2.498;  // Table 3
+  d.num_sms = 96;             // Table 3: 96 x 2 (WMMA units per CU)
+  d.tensor_cores_per_sm = 2;
+  d.smem_banks = 32;
+  d.bank_width_bytes = 4;
+  d.smem_latency_cycles = 25.0;  // RDNA3 LDS
+  d.smem_transaction_overhead_cycles = 14.0;
+  d.sync_latency_cycles = 18.0;
+  d.gmem_latency_cycles = 500.0;
+  d.gmem_bytes_per_cycle_per_sm = 4.0;  // 960 GB/s / 96 CU / 2.498 GHz
+  d.reg_bytes_per_cycle = 512.0;
+  d.smem_bytes_per_block = 64 * 1024;  // LDS size
+  d.sm_register_bytes = 192 * 1024;     // RDNA3 VGPR budget per CU
+  d.peak_fp16_tflops = 123.0;          // Table 3
+  d.mma_efficiency = 0.75;
+  d.vector_fp64_flops_per_cycle = 16.0;
+  d.vector_fp32_flops_per_cycle = 256.0;   // 2x SIMD32 VALUs, dual-issue FMA
+  d.vector_fp16_flops_per_cycle = 512.0;   // packed v_pk_fma_f16
+  return d;
+}
+
+DeviceSpec make_intel_max1100() {
+  DeviceSpec d;
+  d.name = "Max 1100";
+  d.vendor = "Intel";
+  d.api = "SYCL";
+  d.boost_clock_ghz = 1.550;  // Table 3
+  d.num_sms = 448;            // Table 3: 448 x 1 (XVEs with one XMX each)
+  d.tensor_cores_per_sm = 1;
+  d.smem_banks = 16;  // Table 3: 16 x 4 B
+  d.bank_width_bytes = 4;
+  d.smem_latency_cycles = 30.0;  // Xe SLM
+  d.smem_transaction_overhead_cycles = 20.0;
+  d.sync_latency_cycles = 25.0;
+  d.gmem_latency_cycles = 520.0;
+  d.gmem_bytes_per_cycle_per_sm = 1.8;  // 1.23 TB/s / 448 / 1.55 GHz
+  d.reg_bytes_per_cycle = 512.0;
+  d.smem_bytes_per_block = 128 * 1024;
+  d.sm_register_bytes = 512 * 1024;  // 8 XVE threads x 64 KiB GRF
+  d.peak_fp16_tflops = 22.0;  // Table 3
+  d.mma_efficiency = 0.85;
+  d.vector_fp64_flops_per_cycle = 16.0;
+  d.vector_fp32_flops_per_cycle = 16.0;    // XVE SIMD8 FMA
+  d.vector_fp16_flops_per_cycle = 8.0;     // scalar-path half on XVE
+  return d;
+}
+
+}  // namespace
+
+const DeviceSpec& gh200() {
+  static const DeviceSpec d = make_gh200();
+  return d;
+}
+const DeviceSpec& rtx5090() {
+  static const DeviceSpec d = make_rtx5090();
+  return d;
+}
+const DeviceSpec& amd7900xtx() {
+  static const DeviceSpec d = make_amd7900xtx();
+  return d;
+}
+const DeviceSpec& intel_max1100() {
+  static const DeviceSpec d = make_intel_max1100();
+  return d;
+}
+
+const DeviceSpec& device_by_name(const std::string& name) {
+  if (name == "GH200") return gh200();
+  if (name == "RTX 5090") return rtx5090();
+  if (name == "7900 XTX") return amd7900xtx();
+  if (name == "Max 1100") return intel_max1100();
+  throw PreconditionError("unknown device: " + name);
+}
+
+}  // namespace kami::sim

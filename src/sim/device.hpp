@@ -1,0 +1,115 @@
+// Device model database.
+//
+// One DeviceSpec per GPU in the paper's Table 3 (NVIDIA GH200 and RTX 5090,
+// AMD 7900 XTX, Intel Data Center GPU Max 1100), carrying every constant the
+// cycle model needs: clock, shared-memory banks/latency/bandwidth (Fig 4(b)),
+// tensor-core counts and per-precision throughput (Table 3), MMA instruction
+// shapes (Table 4), register-file and shared-memory capacities, and global
+// memory characteristics used by the batched and roofline experiments.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "types/float_formats.hpp"
+
+namespace kami::sim {
+
+/// Shape of one MMA instruction (Table 4: m16n8k8 FP64, m16n8k16 FP16 on
+/// NVIDIA; m16n16k16 on AMD matrix cores and Intel XMX).
+struct MmaShape {
+  int m = 0;
+  int n = 0;
+  int k = 0;
+};
+
+struct DeviceSpec {
+  std::string name;
+  std::string vendor;
+  std::string api;  ///< CUDA / HIP / SYCL (Table 4)
+
+  double boost_clock_ghz = 0.0;
+  int num_sms = 0;               ///< SMs / CUs / Xe-cores
+  int tensor_cores_per_sm = 0;   ///< the paper's n_tc
+  int smem_banks = 0;            ///< Table 3 "#Banks"
+  int bank_width_bytes = 0;      ///< Table 3 "bank width"
+  double smem_latency_cycles = 0.0;  ///< the paper's L_sm (GH200: 22, §4.3)
+
+  /// Fixed port occupancy per shared-memory transfer *instructionally*:
+  /// address setup, predication and issue of the ld/st.shared loop around a
+  /// tile copy. This is the physical mechanism behind §5.2.1's observation
+  /// that KAMI-2D/3D execute 45%/152% more nop instructions than KAMI-1D —
+  /// the same bytes moved in more, smaller transfers cost more issue slots.
+  /// Zero in idealized test devices.
+  double smem_transaction_overhead_cycles = 0.0;
+
+  /// Latency of __syncthreads with all warps already aligned.
+  double sync_latency_cycles = 0.0;
+  double gmem_latency_cycles = 0.0;
+  double gmem_bytes_per_cycle_per_sm = 0.0;
+  double reg_bytes_per_cycle = 0.0;  ///< intra-warp register move bandwidth
+
+  int threads_per_warp = 32;
+  int max_registers_per_thread = 255;  ///< 32-bit registers (§4.7)
+  /// Whole-SM register file capacity, which caps how many blocks can be
+  /// resident at once (occupancy). RDNA3's smaller per-CU VGPR budget is
+  /// what makes KAMI-1D's performance drop past order 48 on the 7900 XTX
+  /// (§5.2.2) — fewer resident blocks, less latency hiding.
+  std::size_t sm_register_bytes = 256 * 1024;
+  std::size_t smem_bytes_per_block = 0;
+
+  /// Non-tensor (CUDA-core / SIMD / XVE) flops per cycle per SM, used by the
+  /// scalar-pipeline baseline (SYCL-Bench-like) and element-wise reductions.
+  double vector_fp64_flops_per_cycle = 0.0;
+  double vector_fp32_flops_per_cycle = 0.0;
+  double vector_fp16_flops_per_cycle = 0.0;
+
+  double vector_flops_per_cycle(Precision p) const;
+
+  /// Peak tensor TFLOPS for the precisions the device supports; 0 = N/A
+  /// (Table 3 quotes FP16 everywhere and FP64 only on GH200; TF32/FP8
+  /// follow the vendor's 1/2x and 2x FP16 ratios).
+  double peak_fp64_tflops = 0.0;
+  double peak_fp32_tflops = 0.0;  ///< TF32 path on NVIDIA
+  double peak_fp16_tflops = 0.0;
+  double peak_fp8_tflops = 0.0;
+
+  /// Fraction of theoretical MMA issue rate a warp can sustain; the paper
+  /// cites a measured 62 % maximum on Hopper (§5.6.2) which is why measured
+  /// compute cycles exceed the model's. 1.0 = ideal.
+  double mma_efficiency = 1.0;
+
+  /// Shared-memory data-port bandwidth in bytes/cycle (the paper's B_sm);
+  /// equals banks x bank width: 128 B on NVIDIA/AMD, 64 B on Intel.
+  double smem_bytes_per_cycle() const noexcept {
+    return static_cast<double>(smem_banks) * static_cast<double>(bank_width_bytes);
+  }
+
+  /// Register bytes available to one warp.
+  std::size_t reg_bytes_per_warp() const noexcept {
+    return static_cast<std::size_t>(max_registers_per_thread) * 4u *
+           static_cast<std::size_t>(threads_per_warp);
+  }
+
+  bool supports(Precision p) const noexcept;
+
+  /// The paper's O_tc: arithmetic operations per cycle per tensor core,
+  /// derived from the quoted peak so Table 3 reproduces exactly:
+  /// peak = num_sms * n_tc * O_tc * clock.
+  double ops_per_cycle_per_tc(Precision p) const;
+
+  double peak_tflops(Precision p) const;
+
+  MmaShape mma_shape(Precision p) const;
+};
+
+/// The four evaluation devices (Table 3).
+const DeviceSpec& gh200();
+const DeviceSpec& rtx5090();
+const DeviceSpec& amd7900xtx();
+const DeviceSpec& intel_max1100();
+
+/// Lookup by name ("GH200", "RTX 5090", "7900 XTX", "Max 1100").
+const DeviceSpec& device_by_name(const std::string& name);
+
+}  // namespace kami::sim

@@ -1,0 +1,54 @@
+// Per-warp register file with the hardware capacity limit (§4.7: 255
+// 32-bit registers per thread). Fragments allocate from here; exceeding the
+// limit throws RegisterOverflow, which the algorithm layer converts into the
+// paper's k-slice register/shared-memory cooperation.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "util/require.hpp"
+
+namespace kami::sim {
+
+class RegisterOverflow : public kami::PreconditionError {
+ public:
+  using PreconditionError::PreconditionError;
+};
+
+class RegisterFile {
+ public:
+  explicit RegisterFile(std::size_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+  void allocate(std::size_t bytes) {
+    if (used_ + bytes > capacity_) {
+      throw RegisterOverflow("register file exhausted: need " + std::to_string(bytes) +
+                             " B, used " + std::to_string(used_) + " of " +
+                             std::to_string(capacity_) + " B");
+    }
+    used_ += bytes;
+    if (used_ > high_water_) high_water_ = used_;
+  }
+
+  void release(std::size_t bytes) noexcept {
+    used_ = bytes > used_ ? 0 : used_ - bytes;
+  }
+
+  std::size_t used() const noexcept { return used_; }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Peak bytes ever resident — drives the Fig 14 register-usage comparison.
+  std::size_t high_water() const noexcept { return high_water_; }
+
+  /// Peak usage expressed as 32-bit registers per thread.
+  double high_water_regs_per_thread(int threads_per_warp) const noexcept {
+    return static_cast<double>(high_water_) / 4.0 / static_cast<double>(threads_per_warp);
+  }
+
+ private:
+  std::size_t capacity_;
+  std::size_t used_ = 0;
+  std::size_t high_water_ = 0;
+};
+
+}  // namespace kami::sim

@@ -1,0 +1,104 @@
+// Contended-resource timelines.
+//
+// The simulator's concurrency model: every warp carries its own clock; every
+// shared hardware resource (the shared-memory data port, each tensor-core
+// unit) is a timeline that serializes occupancy. A warp's operation begins at
+// max(warp clock, resource availability) — which is exactly how the paper
+// reasons about serialized inter-warp broadcasts ("broadcasts between warps
+// are performed serially due to the limited number of shared memory banks").
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace kami::sim {
+
+/// Cycle timestamps are doubles so fractional-byte/B_sm occupancies keep
+/// full precision; results are compared against analytic formulas.
+using Cycles = double;
+
+/// A single serially-shared resource (e.g. the shared-memory port).
+class PortTimeline {
+ public:
+  /// Reserve the port for `occupancy` cycles at the earliest point >= t.
+  /// Returns the start time of the reservation.
+  Cycles acquire(Cycles t, Cycles occupancy) {
+    KAMI_ASSERT(occupancy >= 0.0);
+    const Cycles start = free_at_ > t ? free_at_ : t;
+    free_at_ = start + occupancy;
+    busy_ += occupancy;
+    return start;
+  }
+
+  Cycles free_at() const noexcept { return free_at_; }
+
+  /// Total cycles the port has been occupied — the steady-state throughput
+  /// model uses this as the communication resource demand per block.
+  Cycles busy_cycles() const noexcept { return busy_; }
+
+  void reset() noexcept {
+    free_at_ = 0.0;
+    busy_ = 0.0;
+  }
+
+ private:
+  Cycles free_at_ = 0.0;
+  Cycles busy_ = 0.0;
+};
+
+/// n_tc identical units; an MMA grabs the earliest-available one.
+class UnitPool {
+ public:
+  explicit UnitPool(std::size_t units) : free_at_(units, 0.0) {
+    KAMI_REQUIRE(units >= 1);
+  }
+
+  /// Reserve the earliest-available unit at >= t for `occupancy` cycles;
+  /// ties break to the lowest unit index (deterministic).
+  Cycles acquire(Cycles t, Cycles occupancy) {
+    KAMI_ASSERT(occupancy >= 0.0);
+    std::size_t best = 0;
+    for (std::size_t u = 1; u < free_at_.size(); ++u)
+      if (free_at_[u] < free_at_[best]) best = u;
+    const Cycles start = free_at_[best] > t ? free_at_[best] : t;
+    free_at_[best] = start + occupancy;
+    busy_ += occupancy;
+    return start;
+  }
+
+  std::size_t units() const noexcept { return free_at_.size(); }
+  Cycles busy_cycles() const noexcept { return busy_; }
+
+  void reset() noexcept {
+    for (auto& f : free_at_) f = 0.0;
+    busy_ = 0.0;
+  }
+
+ private:
+  std::vector<Cycles> free_at_;
+  Cycles busy_ = 0.0;
+};
+
+/// Where a warp spent its cycles; drives the Fig 15 breakdown.
+struct CycleBreakdown {
+  Cycles smem_comm = 0.0;   ///< Reg2SMem + SMem2Reg (latency + occupancy + stall)
+  Cycles gmem = 0.0;        ///< global loads/stores
+  Cycles reg_copy = 0.0;    ///< intra-warp Reg2Reg
+  Cycles compute = 0.0;     ///< tensor-core MMA (incl. unit contention stall)
+  Cycles sync_wait = 0.0;   ///< waiting at __syncthreads
+
+  Cycles total() const noexcept { return smem_comm + gmem + reg_copy + compute + sync_wait; }
+
+  CycleBreakdown& operator+=(const CycleBreakdown& o) noexcept {
+    smem_comm += o.smem_comm;
+    gmem += o.gmem;
+    reg_copy += o.reg_copy;
+    compute += o.compute;
+    sync_wait += o.sync_wait;
+    return *this;
+  }
+};
+
+}  // namespace kami::sim

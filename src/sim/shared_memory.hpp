@@ -1,0 +1,98 @@
+// On-chip shared memory: a capacity-limited byte arena with a bump allocator
+// and a single data port whose occupancy models banked bandwidth B_sm with
+// bank-conflict factors theta_r / theta_w (Table 2).
+//
+// Data written here is real bytes — a kernel that reads a tile before any
+// warp wrote it gets zeros and fails the numerical checks, so communication
+// bugs are caught by correctness tests, not just by cycle counts.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <vector>
+
+#include "sim/resources.hpp"
+#include "util/require.hpp"
+
+namespace kami::sim {
+
+/// Thrown when a kernel's shared-memory footprint exceeds the device limit.
+class SharedMemoryOverflow : public kami::PreconditionError {
+ public:
+  using PreconditionError::PreconditionError;
+};
+
+/// A typed rectangular region inside shared memory, in elements of T.
+template <typename T>
+struct SmemTile {
+  std::size_t byte_offset = 0;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+
+  std::size_t bytes() const noexcept { return rows * cols * sizeof(T); }
+};
+
+class SharedMemory {
+ public:
+  SharedMemory(std::size_t capacity_bytes, double bytes_per_cycle, Cycles latency)
+      : bytes_(capacity_bytes, std::byte{0}),
+        bytes_per_cycle_(bytes_per_cycle),
+        latency_(latency) {
+    KAMI_REQUIRE(bytes_per_cycle > 0.0);
+  }
+
+  /// Allocate a rows x cols tile of T (16-byte aligned).
+  template <typename T>
+  SmemTile<T> alloc(std::size_t rows, std::size_t cols) {
+    const std::size_t want = rows * cols * sizeof(T);
+    top_ = (top_ + 15u) & ~std::size_t{15};
+    if (top_ + want > bytes_.size()) {
+      throw SharedMemoryOverflow("shared memory exhausted: need " + std::to_string(want) +
+                                 " B at offset " + std::to_string(top_) + ", capacity " +
+                                 std::to_string(bytes_.size()) + " B");
+    }
+    SmemTile<T> tile{top_, rows, cols};
+    top_ += want;
+    if (top_ > high_water_) high_water_ = top_;
+    return tile;
+  }
+
+  /// Free everything (kernels allocate per launch).
+  void reset_allocations() noexcept { top_ = 0; }
+
+  std::size_t bytes_allocated() const noexcept { return top_; }
+  std::size_t high_water_bytes() const noexcept { return high_water_; }
+  std::size_t capacity() const noexcept { return bytes_.size(); }
+
+  /// Port occupancy for moving `n` bytes with conflict factor theta.
+  Cycles transfer_occupancy(std::size_t n, double theta) const {
+    KAMI_REQUIRE(theta > 0.0 && theta <= 1.0, "bank conflict factor must be in (0,1]");
+    return static_cast<double>(n) / (theta * bytes_per_cycle_);
+  }
+
+  Cycles latency() const noexcept { return latency_; }
+  PortTimeline& port() noexcept { return port_; }
+  const PortTimeline& port() const noexcept { return port_; }
+
+  // Raw data plumbing used by Warp's typed copy helpers.
+  template <typename T>
+  void write(const SmemTile<T>& tile, const T* src, std::size_t count) {
+    KAMI_ASSERT(count <= tile.rows * tile.cols);
+    std::memcpy(bytes_.data() + tile.byte_offset, src, count * sizeof(T));
+  }
+  template <typename T>
+  void read(const SmemTile<T>& tile, T* dst, std::size_t count) const {
+    KAMI_ASSERT(count <= tile.rows * tile.cols);
+    std::memcpy(dst, bytes_.data() + tile.byte_offset, count * sizeof(T));
+  }
+
+ private:
+  std::vector<std::byte> bytes_;
+  std::size_t top_ = 0;
+  std::size_t high_water_ = 0;
+  double bytes_per_cycle_;
+  Cycles latency_;
+  PortTimeline port_;
+};
+
+}  // namespace kami::sim

@@ -1,0 +1,65 @@
+#include "sim/throughput.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace kami::sim {
+
+KernelProfile profile_block(const ThreadBlock& blk, double useful_flops) {
+  KernelProfile p;
+  p.latency = blk.cycles();
+  p.tc_busy = blk.tc_busy_cycles();
+  p.smem_busy = blk.smem_busy_cycles();
+  p.gmem_busy = blk.gmem_busy_cycles();
+  p.vector_busy = blk.vector_busy_cycles();
+  p.useful_flops = useful_flops;
+  p.reg_bytes_per_warp = blk.max_reg_high_water();
+  p.smem_bytes = blk.smem_high_water();
+  p.num_warps = blk.num_warps();
+  p.mean_breakdown = blk.mean_breakdown();
+  return p;
+}
+
+int resident_blocks_per_sm(const DeviceSpec& dev, const KernelProfile& prof) {
+  KAMI_REQUIRE(prof.num_warps > 0);
+  const std::size_t block_regs =
+      prof.reg_bytes_per_warp * static_cast<std::size_t>(prof.num_warps);
+  std::size_t by_regs = block_regs == 0 ? 16 : dev.sm_register_bytes / block_regs;
+  std::size_t by_smem =
+      prof.smem_bytes == 0 ? 16 : dev.smem_bytes_per_block / prof.smem_bytes;
+  // Warp-slot limit: 64 warps per SM on NVIDIA-class hardware.
+  const std::size_t by_warps = 64u / static_cast<std::size_t>(prof.num_warps);
+  const std::size_t resident = std::min({by_regs, by_smem, by_warps, std::size_t{16}});
+  return static_cast<int>(std::max<std::size_t>(resident, 1));
+}
+
+Cycles steady_interval_cycles(const DeviceSpec& dev, const KernelProfile& prof) {
+  const double resident = static_cast<double>(resident_blocks_per_sm(dev, prof));
+  const Cycles by_tc = prof.tc_busy / static_cast<double>(dev.tensor_cores_per_sm);
+  const Cycles by_latency = prof.latency / resident;
+  return std::max({by_tc, prof.smem_busy, prof.gmem_busy, prof.vector_busy, by_latency});
+}
+
+double throughput_tflops(const DeviceSpec& dev, const KernelProfile& prof,
+                         std::size_t blocks) {
+  KAMI_REQUIRE(blocks >= 1);
+  const Cycles interval = steady_interval_cycles(dev, prof);
+  KAMI_REQUIRE(interval > 0.0);
+  // Blocks are distributed round-robin over SMs; the device finishes when the
+  // most-loaded SM drains its queue.
+  const double per_sm = std::ceil(static_cast<double>(blocks) /
+                                  static_cast<double>(dev.num_sms));
+  const double cycles_total = per_sm * interval;
+  const double seconds = cycles_total / (dev.boost_clock_ghz * 1e9);
+  return prof.useful_flops * static_cast<double>(blocks) / seconds / 1e12;
+}
+
+double latency_tflops(const DeviceSpec& dev, const KernelProfile& prof) {
+  KAMI_REQUIRE(prof.latency > 0.0);
+  const double seconds = prof.latency / (dev.boost_clock_ghz * 1e9);
+  return prof.useful_flops / seconds / 1e12;
+}
+
+}  // namespace kami::sim

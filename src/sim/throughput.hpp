@@ -1,0 +1,58 @@
+// Converting per-block cycle counts into device-level throughput.
+//
+// The paper evaluates block-level kernels by launching 16 384 concurrent
+// blocks, each looping 1000 times (Fig 3 caption, §5.1): enough independent
+// work that every SM pipelines blocks back-to-back and latency hides behind
+// occupancy. Steady-state throughput is therefore bounded by whichever
+// *resource* a block saturates, not by a single block's latency:
+//
+//   interval = max(tc_busy / n_tc, smem_busy, gmem_busy, vector_busy,
+//                  latency / resident_blocks)
+//
+// where `busy` values are one block's total demand on each resource and
+// `resident_blocks` is how many blocks fit concurrently on one SM (limited
+// by registers and shared memory). A single resident block (batched
+// workloads with no occupancy) degenerates to interval = latency.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/block.hpp"
+#include "sim/device.hpp"
+
+namespace kami::sim {
+
+/// Everything the throughput model needs from one simulated kernel launch.
+struct KernelProfile {
+  Cycles latency = 0.0;       ///< wall cycles of one block, start to finish
+  Cycles tc_busy = 0.0;       ///< summed tensor-core unit occupancy
+  Cycles smem_busy = 0.0;     ///< shared-memory port occupancy
+  Cycles gmem_busy = 0.0;     ///< global-memory port occupancy
+  Cycles vector_busy = 0.0;   ///< vector-pipe occupancy
+  double useful_flops = 0.0;  ///< 2*m*n*k (not counting padding waste)
+  std::size_t reg_bytes_per_warp = 0;
+  std::size_t smem_bytes = 0;
+  int num_warps = 0;
+
+  CycleBreakdown mean_breakdown;  ///< per-warp averaged categories (Fig 15)
+};
+
+/// Snapshot a finished block into a profile.
+KernelProfile profile_block(const ThreadBlock& blk, double useful_flops);
+
+/// How many copies of this block fit on one SM at once.
+int resident_blocks_per_sm(const DeviceSpec& dev, const KernelProfile& prof);
+
+/// Steady-state cycles between block completions on one SM.
+Cycles steady_interval_cycles(const DeviceSpec& dev, const KernelProfile& prof);
+
+/// Device-wide TFLOPS when `blocks` independent blocks are launched
+/// (16 384 in the paper's setup). Small launches that underfill the device
+/// are penalized by partial-wave occupancy.
+double throughput_tflops(const DeviceSpec& dev, const KernelProfile& prof,
+                         std::size_t blocks);
+
+/// TFLOPS of a single block executed once: useful_flops / latency.
+double latency_tflops(const DeviceSpec& dev, const KernelProfile& prof);
+
+}  // namespace kami::sim

@@ -1,0 +1,67 @@
+// Execution tracing: an optional per-block event recorder.
+//
+// When enabled on a ThreadBlock, every cycle-charged operation appends a
+// TraceEvent (warp, kind, start/end cycle, bytes or flops). Uses:
+//   * invariant checking — tests assert that no two occupancy intervals on
+//     a serial resource overlap and that every warp's events are ordered;
+//   * debugging and teaching — `dump_chrome_trace` emits the Chrome
+//     about://tracing JSON format so a kernel's phase structure can be
+//     inspected visually;
+//   * profiling — per-kind aggregation independent of the CycleBreakdown.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/resources.hpp"
+
+namespace kami::sim {
+
+enum class OpKind : std::uint8_t {
+  SmemStore,
+  SmemLoad,
+  RegCopy,
+  Mma,
+  VectorOp,
+  GmemLoad,
+  GmemStore,
+  SyncWait,
+  Overhead,
+};
+
+const char* op_kind_name(OpKind k) noexcept;
+
+struct TraceEvent {
+  int warp = 0;
+  OpKind kind = OpKind::SmemStore;
+  Cycles issue = 0.0;   ///< warp clock when the op was issued
+  Cycles start = 0.0;   ///< when the resource began serving it
+  Cycles end = 0.0;     ///< when the warp's clock advanced to
+  double amount = 0.0;  ///< bytes moved or flops executed
+};
+
+class Trace {
+ public:
+  void record(TraceEvent ev) { events_.push_back(ev); }
+
+  const std::vector<TraceEvent>& events() const noexcept { return events_; }
+  std::size_t size() const noexcept { return events_.size(); }
+  void clear() noexcept { events_.clear(); }
+
+  /// Total `amount` across events of one kind.
+  double total_amount(OpKind kind) const;
+
+  /// Events of one warp, in issue order.
+  std::vector<TraceEvent> warp_events(int warp) const;
+
+  /// Chrome trace-event JSON ("traceEvents" array, microsecond timestamps
+  /// with 1 cycle = 1 us so the viewer's zoom is usable).
+  void dump_chrome_trace(std::ostream& os) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace kami::sim

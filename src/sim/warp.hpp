@@ -1,0 +1,351 @@
+// The warp execution context: a clock plus typed, cycle-charged operations
+// over the block's memory spaces and compute units.
+//
+// Operation cost model (matches Section 4's formulas):
+//   Reg2SMem   — port occupancy bytes/(theta_w * B_sm); the writing warp does
+//                not stall on L_sm (stores retire through the store path and
+//                visibility is established by the following __syncthreads).
+//   SMem2Reg   — L_sm latency + port occupancy bytes/(theta_r * B_sm); reads
+//                from concurrent warps serialize on the port, giving the
+//                (p-1)/p read terms of formulas (2), (6), (10).
+//   Reg2Reg    — 1 cycle + bytes / register-move bandwidth (the paper treats
+//                intra-warp transfer as negligible; it is, but it is modelled).
+//   MMA        — ceil-padded to the device's instruction shape; occupies the
+//                earliest-free of n_tc units for flops/O_tc cycles. The warp
+//                itself experiences flops/O_tc/mma_efficiency (the §5.6.2
+//                issue-efficiency gap), while the unit is booked at the ideal
+//                rate so multi-block steady state can still reach peak.
+//   Global     — gmem latency + bytes/bandwidth on the per-SM gmem port.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/device.hpp"
+#include "sim/fragment.hpp"
+#include "sim/register_file.hpp"
+#include "sim/resources.hpp"
+#include "sim/shared_memory.hpp"
+#include "sim/trace.hpp"
+#include "types/matrix.hpp"
+
+namespace kami::sim {
+
+class Warp {
+ public:
+  Warp(int id, const DeviceSpec& dev, SharedMemory& smem, UnitPool& tensor_cores,
+       PortTimeline& gmem_port, PortTimeline& vector_pipe)
+      : id_(id),
+        dev_(&dev),
+        smem_(&smem),
+        tc_(&tensor_cores),
+        gmem_port_(&gmem_port),
+        vector_pipe_(&vector_pipe),
+        regs_(dev.reg_bytes_per_warp()) {}
+
+  int id() const noexcept { return id_; }
+  Cycles clock() const noexcept { return clock_; }
+  RegisterFile& regs() noexcept { return regs_; }
+  const RegisterFile& regs() const noexcept { return regs_; }
+  const CycleBreakdown& breakdown() const noexcept { return bd_; }
+  const DeviceSpec& device() const noexcept { return *dev_; }
+
+  /// Allocate a fragment in this warp's register file.
+  template <Scalar T>
+  Fragment<T> alloc_fragment(std::size_t rows, std::size_t cols) {
+    return Fragment<T>(regs_, rows, cols);
+  }
+
+  // -- shared memory ---------------------------------------------------------
+
+  /// Reg2SMem: write a register tile into shared memory.
+  template <Scalar T>
+  void store_smem(const SmemTile<T>& dst, const FragView<T>& src, double theta_w = 1.0) {
+    KAMI_REQUIRE(src.rows() == dst.rows && src.cols() == dst.cols,
+                 "smem tile shape mismatch");
+    copy_view_to_smem(dst, src);
+    const Cycles occ = smem_->transfer_occupancy(src.bytes(), theta_w) +
+                       dev_->smem_transaction_overhead_cycles;
+    const Cycles issue = clock_;
+    const Cycles start = smem_->port().acquire(clock_, occ);
+    advance(start + occ, bd_.smem_comm);
+    record(OpKind::SmemStore, issue, start, static_cast<double>(src.bytes()));
+  }
+
+  /// SMem2Reg: read a shared-memory tile into registers.
+  template <Scalar T>
+  void load_smem(Fragment<T>& dst, const SmemTile<T>& src, double theta_r = 1.0) {
+    KAMI_REQUIRE(dst.rows() == src.rows && dst.cols() == src.cols,
+                 "smem tile shape mismatch");
+    smem_->read(src, dst.data(), dst.rows() * dst.cols());
+    const Cycles occ = smem_->transfer_occupancy(dst.bytes(), theta_r) +
+                       dev_->smem_transaction_overhead_cycles;
+    const Cycles issue = clock_;
+    const Cycles start = smem_->port().acquire(clock_, occ);
+    advance(start + occ + smem_->latency(), bd_.smem_comm);
+    record(OpKind::SmemLoad, issue, start, static_cast<double>(dst.bytes()));
+  }
+
+  // -- registers --------------------------------------------------------------
+
+  /// Reg2Reg: intra-warp copy (the owner warp's BSend -> BRecv, §4.3).
+  template <Scalar T>
+  void copy_reg(Fragment<T>& dst, const FragView<T>& src) {
+    KAMI_REQUIRE(dst.rows() == src.rows() && dst.cols() == src.cols());
+    for (std::size_t r = 0; r < src.rows(); ++r)
+      for (std::size_t c = 0; c < src.cols(); ++c) dst(r, c) = src(r, c);
+    const Cycles issue = clock_;
+    advance(clock_ + 1.0 + static_cast<double>(src.bytes()) / dev_->reg_bytes_per_cycle,
+            bd_.reg_copy);
+    record(OpKind::RegCopy, issue, issue, static_cast<double>(src.bytes()));
+  }
+
+  // -- compute ----------------------------------------------------------------
+
+  /// Tensor-core MMA: C[cr0.., cc0..] += A x B, accumulated in AccT.
+  template <Scalar T>
+  void mma(Fragment<typename num_traits<T>::acc_t>& C, std::size_t cr0, std::size_t cc0,
+           const FragView<T>& A, const FragView<T>& B) {
+    using Acc = typename num_traits<T>::acc_t;
+    KAMI_REQUIRE(A.cols() == B.rows(), "mma inner dimensions must agree");
+    KAMI_REQUIRE(cr0 + A.rows() <= C.rows() && cc0 + B.cols() <= C.cols());
+    for (std::size_t i = 0; i < A.rows(); ++i) {
+      for (std::size_t j = 0; j < B.cols(); ++j) {
+        Acc acc = C(cr0 + i, cc0 + j);
+        for (std::size_t k = 0; k < A.cols(); ++k)
+          acc += num_traits<T>::to_acc(A(i, k)) * num_traits<T>::to_acc(B(k, j));
+        C(cr0 + i, cc0 + j) = acc;
+      }
+    }
+    charge_mma(num_traits<T>::precision, A.rows(), B.cols(), A.cols());
+  }
+
+  template <Scalar T>
+  void mma(Fragment<typename num_traits<T>::acc_t>& C, const FragView<T>& A,
+           const FragView<T>& B) {
+    mma(C, 0, 0, A, B);
+  }
+
+  /// Element-wise accumulate C += P (used by the 3D inter-layer reduction);
+  /// runs on the vector pipe, not the tensor cores.
+  template <Scalar T>
+  void add_inplace(Fragment<T>& C, const FragView<T>& P) {
+    KAMI_REQUIRE(C.rows() == P.rows() && C.cols() == P.cols());
+    for (std::size_t r = 0; r < C.rows(); ++r)
+      for (std::size_t c = 0; c < C.cols(); ++c)
+        C(r, c) = num_traits<T>::from_acc(num_traits<T>::to_acc(C(r, c)) +
+                                          num_traits<T>::to_acc(P(r, c)));
+    charge_vector_flops(static_cast<double>(C.rows() * C.cols()), num_traits<T>::precision);
+  }
+
+  /// Element-wise accumulate into a window of C: C[r0.., c0..] += P.
+  /// Used by the 3D algorithm's chunked inter-layer reduction.
+  template <Scalar T>
+  void add_inplace_at(Fragment<T>& C, std::size_t r0, std::size_t c0,
+                      const FragView<T>& P) {
+    KAMI_REQUIRE(r0 + P.rows() <= C.rows() && c0 + P.cols() <= C.cols());
+    for (std::size_t r = 0; r < P.rows(); ++r)
+      for (std::size_t c = 0; c < P.cols(); ++c)
+        C(r0 + r, c0 + c) = num_traits<T>::from_acc(
+            num_traits<T>::to_acc(C(r0 + r, c0 + c)) + num_traits<T>::to_acc(P(r, c)));
+    charge_vector_flops(static_cast<double>(P.rows() * P.cols()), num_traits<T>::precision);
+  }
+
+  /// Scalar (non-tensor-core) FMA GEMM: C += A x B on the CUDA-core/XVE
+  /// vector pipeline. Used by the SYCL-Bench-like baseline.
+  template <Scalar T>
+  void fma_scalar(Fragment<typename num_traits<T>::acc_t>& C, const FragView<T>& A,
+                  const FragView<T>& B) {
+    using Acc = typename num_traits<T>::acc_t;
+    KAMI_REQUIRE(A.cols() == B.rows());
+    KAMI_REQUIRE(A.rows() <= C.rows() && B.cols() <= C.cols());
+    for (std::size_t i = 0; i < A.rows(); ++i)
+      for (std::size_t j = 0; j < B.cols(); ++j) {
+        Acc acc = C(i, j);
+        for (std::size_t k = 0; k < A.cols(); ++k)
+          acc += num_traits<T>::to_acc(A(i, k)) * num_traits<T>::to_acc(B(k, j));
+        C(i, j) = acc;
+      }
+    charge_vector_flops(2.0 * static_cast<double>(A.rows() * B.cols() * A.cols()),
+                        num_traits<T>::precision);
+  }
+
+  // -- global memory ----------------------------------------------------------
+
+  /// GMem2Reg: load a rows x cols window of `src` at (r0, c0).
+  template <Scalar T>
+  void load_global(Fragment<T>& dst, const Matrix<T>& src, std::size_t r0, std::size_t c0) {
+    KAMI_REQUIRE(r0 + dst.rows() <= src.rows() && c0 + dst.cols() <= src.cols());
+    for (std::size_t r = 0; r < dst.rows(); ++r)
+      for (std::size_t c = 0; c < dst.cols(); ++c) dst(r, c) = src(r0 + r, c0 + c);
+    charge_gmem(dst.bytes());
+  }
+
+  /// Reg2GMem: store a fragment into a window of `dst`.
+  template <Scalar T>
+  void store_global(Matrix<T>& dst, const FragView<T>& src, std::size_t r0, std::size_t c0) {
+    KAMI_REQUIRE(r0 + src.rows() <= dst.rows() && c0 + src.cols() <= dst.cols());
+    for (std::size_t r = 0; r < src.rows(); ++r)
+      for (std::size_t c = 0; c < src.cols(); ++c) dst(r0 + r, c0 + c) = src(r, c);
+    charge_gmem(src.bytes());
+  }
+
+  /// Store an accumulator fragment narrowed back to the storage precision.
+  template <Scalar T>
+  void store_global_narrowed(Matrix<T>& dst,
+                             const Fragment<typename num_traits<T>::acc_t>& src,
+                             std::size_t r0, std::size_t c0) {
+    store_global_narrowed(dst, src, r0, c0, 0, 0, src.rows(), src.cols());
+  }
+
+  /// Sub-window variant: write src[sr0.., sc0..] (rows x cols) to dst at
+  /// (r0, c0) — lets padded kernels store only the valid region without a
+  /// second full-size staging fragment.
+  template <Scalar T>
+  void store_global_narrowed(Matrix<T>& dst,
+                             const Fragment<typename num_traits<T>::acc_t>& src,
+                             std::size_t r0, std::size_t c0, std::size_t sr0,
+                             std::size_t sc0, std::size_t rows, std::size_t cols) {
+    KAMI_REQUIRE(sr0 + rows <= src.rows() && sc0 + cols <= src.cols());
+    KAMI_REQUIRE(r0 + rows <= dst.rows() && c0 + cols <= dst.cols());
+    for (std::size_t r = 0; r < rows; ++r)
+      for (std::size_t c = 0; c < cols; ++c)
+        dst(r0 + r, c0 + c) = num_traits<T>::from_acc(src(sr0 + r, sc0 + c));
+    charge_gmem(rows * cols * sizeof(T));
+  }
+
+  /// Fixed ALU/control overhead on this warp (index matching, accumulator
+  /// addressing in sparse kernels); accounted under compute.
+  void charge_overhead(Cycles cycles) {
+    KAMI_ASSERT(cycles >= 0.0);
+    const Cycles issue = clock_;
+    advance(clock_ + cycles, bd_.compute);
+    record(OpKind::Overhead, issue, issue, cycles);
+  }
+
+  // -- explicit cost charging ---------------------------------------------------
+  //
+  // Block-level workloads in the paper keep data resident across in-kernel
+  // iterations ("each looping 1000 times inside the CUDA kernel to ignore
+  // global I/O costs", Fig 3); kernels model that by disabling gmem charging.
+
+  void set_gmem_charging(bool on) noexcept { gmem_charging_ = on; }
+  bool gmem_charging() const noexcept { return gmem_charging_; }
+
+  /// Account global traffic without a data-moving op (used by setup paths
+  /// that place data directly). Honors the gmem-charging flag.
+  void charge_global_traffic(std::size_t bytes) { charge_gmem(bytes); }
+
+  /// Pipelined (cp.async-style) global traffic: occupies the memory port
+  /// but hides the access latency behind the software pipeline, as
+  /// multi-stage mainloops do. Honors the gmem-charging flag.
+  void charge_global_traffic_async(std::size_t bytes) {
+    if (!gmem_charging_) return;
+    const Cycles occ = static_cast<double>(bytes) / dev_->gmem_bytes_per_cycle_per_sm;
+    const Cycles start = gmem_port_->acquire(clock_, occ);
+    advance(start + occ, bd_.gmem);
+  }
+
+  /// Account a shared-memory write without a fragment source.
+  void charge_smem_write_traffic(std::size_t bytes, double theta_w = 1.0) {
+    const Cycles occ = smem_->transfer_occupancy(bytes, theta_w) +
+                       dev_->smem_transaction_overhead_cycles;
+    const Cycles start = smem_->port().acquire(clock_, occ);
+    advance(start + occ, bd_.smem_comm);
+  }
+
+  /// Account a shared-memory read (latency + occupancy) without a typed
+  /// tile — used by baseline kernels whose strided smem views the tile
+  /// abstraction does not model.
+  void charge_smem_read_traffic(std::size_t bytes, double theta_r = 1.0) {
+    const Cycles occ = smem_->transfer_occupancy(bytes, theta_r) +
+                       dev_->smem_transaction_overhead_cycles;
+    const Cycles start = smem_->port().acquire(clock_, occ);
+    advance(start + occ + smem_->latency(), bd_.smem_comm);
+  }
+
+  // -- used by ThreadBlock ------------------------------------------------------
+
+  void wait_until(Cycles t) {
+    if (t > clock_) {
+      const Cycles issue = clock_;
+      bd_.sync_wait += t - clock_;
+      clock_ = t;
+      record(OpKind::SyncWait, issue, issue, t - issue);
+    }
+  }
+  void reset_clock() noexcept {
+    clock_ = 0.0;
+    bd_ = CycleBreakdown{};
+  }
+
+  /// Attach an event recorder (nullptr disables tracing).
+  void set_trace(Trace* trace) noexcept { trace_ = trace; }
+
+ private:
+  void advance(Cycles end, Cycles& bucket) {
+    KAMI_ASSERT(end >= clock_);
+    bucket += end - clock_;
+    clock_ = end;
+  }
+
+  void record(OpKind kind, Cycles issue, Cycles start, double amount) {
+    if (trace_ == nullptr) return;
+    trace_->record(TraceEvent{id_, kind, issue, start, clock_, amount});
+  }
+
+  void charge_mma(Precision p, std::size_t fm, std::size_t fn, std::size_t fk) {
+    const MmaShape s = dev_->mma_shape(p);
+    const auto ceil_div = [](std::size_t a, std::size_t b) { return (a + b - 1) / b; };
+    const double instrs = static_cast<double>(ceil_div(fm, static_cast<std::size_t>(s.m)) *
+                                              ceil_div(fn, static_cast<std::size_t>(s.n)) *
+                                              ceil_div(fk, static_cast<std::size_t>(s.k)));
+    const double issued_flops = instrs * 2.0 * s.m * s.n * s.k;
+    const double ideal = issued_flops / dev_->ops_per_cycle_per_tc(p);
+    const Cycles issue = clock_;
+    const Cycles start = tc_->acquire(clock_, ideal);
+    advance(start + ideal / dev_->mma_efficiency, bd_.compute);
+    record(OpKind::Mma, issue, start, issued_flops);
+  }
+
+  void charge_vector_flops(double flops, Precision p = Precision::FP32) {
+    // The vector pipe is one shared timeline at the per-SM aggregate rate.
+    const double rate = dev_->vector_flops_per_cycle(p);
+    KAMI_REQUIRE(rate > 0.0, "device has no vector pipe for this precision");
+    const Cycles occ = flops / rate;
+    const Cycles issue = clock_;
+    const Cycles start = vector_pipe_->acquire(clock_, occ);
+    advance(start + occ, bd_.compute);
+    record(OpKind::VectorOp, issue, start, flops);
+  }
+
+  void charge_gmem(std::size_t bytes) {
+    if (!gmem_charging_) return;
+    const Cycles occ = static_cast<double>(bytes) / dev_->gmem_bytes_per_cycle_per_sm;
+    const Cycles issue = clock_;
+    const Cycles start = gmem_port_->acquire(clock_, occ);
+    advance(start + occ + dev_->gmem_latency_cycles, bd_.gmem);
+    record(OpKind::GmemLoad, issue, start, static_cast<double>(bytes));
+  }
+
+  template <Scalar T>
+  void copy_view_to_smem(const SmemTile<T>& dst, const FragView<T>& src) {
+    std::vector<T> linear(src.rows() * src.cols());
+    for (std::size_t r = 0; r < src.rows(); ++r)
+      for (std::size_t c = 0; c < src.cols(); ++c) linear[r * src.cols() + c] = src(r, c);
+    smem_->write(dst, linear.data(), linear.size());
+  }
+
+  int id_;
+  const DeviceSpec* dev_;
+  SharedMemory* smem_;
+  UnitPool* tc_;
+  PortTimeline* gmem_port_;
+  PortTimeline* vector_pipe_;
+  RegisterFile regs_;
+  Cycles clock_ = 0.0;
+  CycleBreakdown bd_;
+  bool gmem_charging_ = true;
+  Trace* trace_ = nullptr;
+};
+
+}  // namespace kami::sim

@@ -1,0 +1,206 @@
+// Block-sparse storage (Fig 7).
+//
+// Sparse matrices are stored as dense tiles of user-configurable size
+// (default 16x16, "selected to align with various tensor core shapes",
+// §4.6) with CSR-style index arrays over block coordinates — the paper's
+// RowPtr / ColBlkIdx / Val naming. Two physical orderings of the Val array:
+//   RowMajor — blocks laid out row by row (the 1D algorithm, Fig 7(a));
+//   ZMorton  — blocks sorted by the Morton code of their coordinates so
+//              every quadrant is contiguous (the 2D/3D algorithms, Fig 7(b)).
+#pragma once
+
+#include <algorithm>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "sparse/morton.hpp"
+#include "types/matrix.hpp"
+
+namespace kami::sparse {
+
+enum class BlockOrder : std::uint8_t { RowMajor, ZMorton };
+
+/// One stored block: coordinates plus the offset of its tile in Val.
+struct BlockRef {
+  std::size_t block_row = 0;
+  std::size_t block_col = 0;
+  std::size_t val_offset = 0;  ///< element offset into the Val array
+};
+
+template <Scalar T>
+class BlockSparseMatrix {
+ public:
+  static constexpr std::size_t kDefaultTile = 16;  // §4.6 default
+
+  BlockSparseMatrix() = default;
+
+  /// Build from dense, dropping all-zero tiles.
+  static BlockSparseMatrix from_dense(const Matrix<T>& dense,
+                                      std::size_t tile = kDefaultTile,
+                                      BlockOrder order = BlockOrder::RowMajor) {
+    KAMI_REQUIRE(tile >= 1);
+    KAMI_REQUIRE(dense.rows() % tile == 0 && dense.cols() % tile == 0,
+                 "matrix dimensions must be multiples of the tile size");
+    std::vector<std::pair<std::size_t, std::size_t>> coords;
+    const std::size_t brs = dense.rows() / tile, bcs = dense.cols() / tile;
+    for (std::size_t br = 0; br < brs; ++br)
+      for (std::size_t bc = 0; bc < bcs; ++bc) {
+        bool nonzero = false;
+        for (std::size_t r = 0; r < tile && !nonzero; ++r)
+          for (std::size_t c = 0; c < tile && !nonzero; ++c)
+            nonzero = num_traits<T>::to_acc(dense(br * tile + r, bc * tile + c)) !=
+                      typename num_traits<T>::acc_t{};
+        if (nonzero) coords.emplace_back(br, bc);
+      }
+    return build(dense, tile, order, coords);
+  }
+
+  /// Random block sparsity: each tile present with probability `density`,
+  /// filled with uniform values (the paper's "50% random sparsity" setup).
+  static BlockSparseMatrix random(std::size_t rows, std::size_t cols, double density,
+                                  Rng& rng, std::size_t tile = kDefaultTile,
+                                  BlockOrder order = BlockOrder::RowMajor) {
+    KAMI_REQUIRE(density >= 0.0 && density <= 1.0);
+    Matrix<T> dense(rows, cols);
+    KAMI_REQUIRE(rows % tile == 0 && cols % tile == 0);
+    std::vector<std::pair<std::size_t, std::size_t>> coords;
+    for (std::size_t br = 0; br < rows / tile; ++br)
+      for (std::size_t bc = 0; bc < cols / tile; ++bc) {
+        if (!rng.bernoulli(density)) continue;
+        coords.emplace_back(br, bc);
+        for (std::size_t r = 0; r < tile; ++r)
+          for (std::size_t c = 0; c < tile; ++c)
+            dense(br * tile + r, bc * tile + c) = num_traits<T>::from_acc(
+                static_cast<typename num_traits<T>::acc_t>(rng.uniform(-1.0, 1.0)));
+      }
+    return build(dense, tile, order, coords);
+  }
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  std::size_t tile() const noexcept { return tile_; }
+  std::size_t block_rows() const noexcept { return rows_ / tile_; }
+  std::size_t block_cols() const noexcept { return cols_ / tile_; }
+  std::size_t nnz_blocks() const noexcept { return blocks_.size(); }
+  BlockOrder order() const noexcept { return order_; }
+
+  double block_density() const noexcept {
+    const double total = static_cast<double>(block_rows() * block_cols());
+    return total == 0.0 ? 0.0 : static_cast<double>(blocks_.size()) / total;
+  }
+
+  /// CSR over blocks: RowPtr has block_rows()+1 entries indexing into the
+  /// row-sorted block list.
+  std::span<const std::size_t> row_ptr() const noexcept { return row_ptr_; }
+  /// Blocks of block-row br, sorted by column.
+  std::span<const BlockRef> row_blocks(std::size_t br) const {
+    KAMI_REQUIRE(br < block_rows());
+    return std::span<const BlockRef>(blocks_).subspan(row_ptr_[br],
+                                                      row_ptr_[br + 1] - row_ptr_[br]);
+  }
+  std::span<const BlockRef> all_blocks() const noexcept { return blocks_; }
+
+  /// Tile values (tile x tile, row-major) of a stored block.
+  std::span<const T> block_values(const BlockRef& ref) const {
+    return std::span<const T>(val_).subspan(ref.val_offset, tile_ * tile_);
+  }
+
+  /// Look up block (br, bc); nullopt when structurally zero.
+  std::optional<BlockRef> find(std::size_t br, std::size_t bc) const {
+    const auto row = row_blocks(br);
+    const auto it = std::lower_bound(
+        row.begin(), row.end(), bc,
+        [](const BlockRef& b, std::size_t col) { return b.block_col < col; });
+    if (it == row.end() || it->block_col != bc) return std::nullopt;
+    return *it;
+  }
+
+  Matrix<T> to_dense() const {
+    Matrix<T> out(rows_, cols_);
+    for (const auto& ref : blocks_) {
+      const auto vals = block_values(ref);
+      for (std::size_t r = 0; r < tile_; ++r)
+        for (std::size_t c = 0; c < tile_; ++c)
+          out(ref.block_row * tile_ + r, ref.block_col * tile_ + c) =
+              vals[r * tile_ + c];
+    }
+    return out;
+  }
+
+  /// Index-array bytes (RowPtr + ColBlkIdx) — the extra communication the
+  /// sparse kernels must transfer alongside Val (§4.6). 4-byte indices.
+  std::size_t index_bytes() const noexcept {
+    return (row_ptr_.size() + blocks_.size()) * 4;
+  }
+
+  /// All stored blocks inside the block-coordinate window
+  /// [br0, br0+nbr) x [bc0, bc0+nbc), in (row, col) order. With ZMorton
+  /// physical ordering and power-of-two aligned windows the returned blocks'
+  /// val_offsets are contiguous (Fig 7(b)'s sub-matrix extraction property,
+  /// verified in tests).
+  std::vector<BlockRef> blocks_in_window(std::size_t br0, std::size_t bc0,
+                                         std::size_t nbr, std::size_t nbc) const {
+    KAMI_REQUIRE(br0 + nbr <= block_rows() && bc0 + nbc <= block_cols());
+    std::vector<BlockRef> out;
+    for (std::size_t br = br0; br < br0 + nbr; ++br)
+      for (const auto& ref : row_blocks(br))
+        if (ref.block_col >= bc0 && ref.block_col < bc0 + nbc) out.push_back(ref);
+    return out;
+  }
+
+ private:
+  static BlockSparseMatrix build(
+      const Matrix<T>& dense, std::size_t tile, BlockOrder order,
+      std::vector<std::pair<std::size_t, std::size_t>>& coords) {
+    BlockSparseMatrix m;
+    m.rows_ = dense.rows();
+    m.cols_ = dense.cols();
+    m.tile_ = tile;
+    m.order_ = order;
+
+    // Physical Val layout: row-major or Morton-sorted.
+    auto physical = coords;
+    if (order == BlockOrder::ZMorton) {
+      std::sort(physical.begin(), physical.end(), [](const auto& a, const auto& b) {
+        return morton_encode(static_cast<std::uint32_t>(a.first),
+                             static_cast<std::uint32_t>(a.second)) <
+               morton_encode(static_cast<std::uint32_t>(b.first),
+                             static_cast<std::uint32_t>(b.second));
+      });
+    } else {
+      std::sort(physical.begin(), physical.end());
+    }
+    m.val_.resize(physical.size() * tile * tile);
+    std::vector<std::vector<BlockRef>> per_row(dense.rows() / tile);
+    for (std::size_t i = 0; i < physical.size(); ++i) {
+      const auto [br, bc] = physical[i];
+      const std::size_t off = i * tile * tile;
+      for (std::size_t r = 0; r < tile; ++r)
+        for (std::size_t c = 0; c < tile; ++c)
+          m.val_[off + r * tile + c] = dense(br * tile + r, bc * tile + c);
+      per_row[br].push_back(BlockRef{br, bc, off});
+    }
+    // Logical CSR index (row-sorted, column-sorted within a row) over the
+    // physical layout.
+    m.row_ptr_.assign(per_row.size() + 1, 0);
+    for (std::size_t br = 0; br < per_row.size(); ++br) {
+      auto& row = per_row[br];
+      std::sort(row.begin(), row.end(),
+                [](const BlockRef& a, const BlockRef& b) { return a.block_col < b.block_col; });
+      m.row_ptr_[br + 1] = m.row_ptr_[br] + row.size();
+      m.blocks_.insert(m.blocks_.end(), row.begin(), row.end());
+    }
+    return m;
+  }
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t tile_ = kDefaultTile;
+  BlockOrder order_ = BlockOrder::RowMajor;
+  std::vector<BlockRef> blocks_;       ///< row-sorted logical index
+  std::vector<std::size_t> row_ptr_;   ///< RowPtr
+  std::vector<T> val_;                 ///< tile data in physical order
+};
+
+}  // namespace kami::sparse

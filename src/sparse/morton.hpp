@@ -1,0 +1,46 @@
+// Z-Morton order utilities (Fig 7(b)).
+//
+// The 2D/3D sparse kernels index sub-grids of blocks; storing blocks in
+// Morton order keeps every quadrant (and recursively every sub-quadrant)
+// contiguous, which is what makes the "multi-level Z-Morton order ...
+// similar to the sparse formats proposed by Buluc et al. and Yzelman et al."
+// efficient for submatrix extraction.
+#pragma once
+
+#include <cstdint>
+
+namespace kami::sparse {
+
+/// Interleave the low 16 bits of x into even bit positions.
+constexpr std::uint32_t part1by1(std::uint32_t x) noexcept {
+  x &= 0x0000FFFFu;
+  x = (x | (x << 8)) & 0x00FF00FFu;
+  x = (x | (x << 4)) & 0x0F0F0F0Fu;
+  x = (x | (x << 2)) & 0x33333333u;
+  x = (x | (x << 1)) & 0x55555555u;
+  return x;
+}
+
+constexpr std::uint32_t compact1by1(std::uint32_t x) noexcept {
+  x &= 0x55555555u;
+  x = (x | (x >> 1)) & 0x33333333u;
+  x = (x | (x >> 2)) & 0x0F0F0F0Fu;
+  x = (x | (x >> 4)) & 0x00FF00FFu;
+  x = (x | (x >> 8)) & 0x0000FFFFu;
+  return x;
+}
+
+/// Morton code of block coordinate (row, col): row bits odd, col bits even.
+constexpr std::uint32_t morton_encode(std::uint32_t row, std::uint32_t col) noexcept {
+  return (part1by1(row) << 1) | part1by1(col);
+}
+
+constexpr std::uint32_t morton_row(std::uint32_t code) noexcept {
+  return compact1by1(code >> 1);
+}
+
+constexpr std::uint32_t morton_col(std::uint32_t code) noexcept {
+  return compact1by1(code);
+}
+
+}  // namespace kami::sparse

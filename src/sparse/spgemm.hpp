@@ -1,0 +1,205 @@
+// SpGEMM: C (block-sparse) = A (block-sparse) x B (block-sparse), §4.6.
+//
+// Two phases, as in the paper:
+//   * a symbolic kernel — a classic Gilbert sparse accumulator over block
+//     coordinates that sizes C's structure before any numerics run; its
+//     cost is modeled per SPA operation and reported separately;
+//   * the CA numeric kernel — the 1D compute-communication pattern: warp i
+//     holds a block-row stripe of A and of C, stages broadcast the z-th
+//     block-row stripe of B (Val + RowPtr/ColBlkIdx index arrays, both
+//     charged on the shared-memory port), and received tiles are matched
+//     against A's ColBlkIdx and accumulated into register-resident C tiles
+//     (the Hong-Buluc-style indexed accumulation).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "core/gemm.hpp"
+#include "sim/block.hpp"
+#include "sparse/block_sparse.hpp"
+
+namespace kami::sparse {
+
+/// Per-(A-tile, B-tile) indexing overhead in the numeric kernel: the
+/// Hong-Buluc-style accumulation must match ColBlkIdx against the received
+/// stripe's RowPtr and resolve the output tile's accumulator address —
+/// irregular, data-dependent work that §5.5 identifies as the reason
+/// SpGEMM's throughput sits below SpMM's.
+inline constexpr double kSpgemmIndexingCycles = 24.0;
+
+/// Symbolic-phase output: C's block structure plus the modeled cost.
+struct SymbolicResult {
+  std::vector<std::set<std::size_t>> c_cols_per_row;  ///< block cols per block row
+  std::size_t nnz_blocks = 0;
+  std::size_t spa_ops = 0;       ///< accumulator insertions examined
+  double cycles = 0.0;           ///< modeled symbolic-kernel cycles
+};
+
+/// Gilbert-style sparse accumulator over block coordinates.
+template <Scalar T>
+SymbolicResult spgemm_symbolic(const sim::DeviceSpec& dev, const BlockSparseMatrix<T>& A,
+                               const BlockSparseMatrix<T>& B, int warps = 4) {
+  KAMI_REQUIRE(A.cols() == B.rows() && A.tile() == B.tile());
+  SymbolicResult sym;
+  sym.c_cols_per_row.resize(A.block_rows());
+  for (std::size_t br = 0; br < A.block_rows(); ++br) {
+    auto& spa = sym.c_cols_per_row[br];
+    for (const auto& aref : A.row_blocks(br)) {
+      for (const auto& bref : B.row_blocks(aref.block_col)) {
+        spa.insert(bref.block_col);
+        ++sym.spa_ops;
+      }
+    }
+    sym.nnz_blocks += spa.size();
+  }
+  // Cost model: each SPA op is a flag test+set (~3 cycles) and each output
+  // block a gather/write (~2 cycles), spread over the launched warps.
+  const double serial =
+      3.0 * static_cast<double>(sym.spa_ops) + 2.0 * static_cast<double>(sym.nnz_blocks);
+  sym.cycles = serial / static_cast<double>(warps) + dev.gmem_latency_cycles;
+  return sym;
+}
+
+template <Scalar T>
+struct SpgemmResult {
+  BlockSparseMatrix<T> C;
+  sim::KernelProfile profile;     ///< numeric CA kernel
+  SymbolicResult symbolic;
+  double useful_flops = 0.0;      ///< 2 * tile^3 per matched tile pair
+};
+
+template <Scalar T>
+SpgemmResult<T> spgemm_1d(const sim::DeviceSpec& dev, const BlockSparseMatrix<T>& A,
+                          const BlockSparseMatrix<T>& B,
+                          const core::GemmOptions& opt = {}) {
+  using Acc = typename num_traits<T>::acc_t;
+  KAMI_REQUIRE(A.cols() == B.rows(), "inner dimensions must agree");
+  KAMI_REQUIRE(A.tile() == B.tile(), "operand tile sizes must match");
+  const std::size_t tile = A.tile();
+
+  // Auto warp count: the largest p <= 4 dividing both block-row counts.
+  std::size_t p = static_cast<std::size_t>(opt.warps > 0 ? opt.warps : 4);
+  if (opt.warps <= 0) {
+    while (p > 1 && (A.block_rows() % p != 0 || B.block_rows() % p != 0)) --p;
+  }
+  KAMI_REQUIRE(A.block_rows() % p == 0, "warps must divide A's block-row count");
+  KAMI_REQUIRE(B.block_rows() % p == 0, "warps must divide B's block-row count");
+  const std::size_t a_stripe = A.block_rows() / p;
+  const std::size_t b_stripe = B.block_rows() / p;
+
+  SpgemmResult<T> out;
+  out.symbolic = spgemm_symbolic(dev, A, B, static_cast<int>(p));
+
+  sim::ThreadBlock blk(dev, static_cast<int>(p));
+
+  struct WarpState {
+    std::vector<sim::Fragment<T>> a_tiles;
+    std::vector<BlockRef> a_refs;
+    // C accumulators keyed by (local block row, block col).
+    std::map<std::pair<std::size_t, std::size_t>, sim::Fragment<Acc>> c_tiles;
+  };
+  std::vector<WarpState> st(p);
+
+  blk.phase([&](sim::Warp& w) {
+    w.set_gmem_charging(opt.charge_global_io);
+    const auto i = static_cast<std::size_t>(w.id());
+    auto& s = st[i];
+    for (std::size_t br = i * a_stripe; br < (i + 1) * a_stripe; ++br) {
+      for (const auto& ref : A.row_blocks(br)) {
+        auto frag = w.alloc_fragment<T>(tile, tile);
+        const auto vals = A.block_values(ref);
+        for (std::size_t r = 0; r < tile; ++r)
+          for (std::size_t c = 0; c < tile; ++c) frag(r, c) = vals[r * tile + c];
+        w.charge_global_traffic(frag.bytes());
+        s.a_tiles.push_back(std::move(frag));
+        s.a_refs.push_back(ref);
+      }
+      // C accumulators from the symbolic structure.
+      for (std::size_t bj : out.symbolic.c_cols_per_row[br]) {
+        s.c_tiles.emplace(std::pair{br - i * a_stripe, bj},
+                          sim::Fragment<Acc>(w.regs(), tile, tile));
+      }
+    }
+    w.charge_global_traffic(A.index_bytes() / p);
+  });
+  blk.sync();
+
+  // One receive scratch per warp for incoming B tiles.
+  std::vector<std::optional<sim::Fragment<T>>> brecv(p);
+  blk.phase([&](sim::Warp& w) {
+    brecv[static_cast<std::size_t>(w.id())].emplace(w.regs(), tile, tile);
+  });
+
+  double useful_flops = 0.0;
+  for (std::size_t z = 0; z < p; ++z) {
+    // Gather the broadcast stripe's blocks (block rows [z*b_stripe, ...)).
+    std::vector<BlockRef> stripe;
+    std::size_t stripe_bytes = 0;
+    for (std::size_t br = z * b_stripe; br < (z + 1) * b_stripe; ++br)
+      for (const auto& ref : B.row_blocks(br)) {
+        stripe.push_back(ref);
+        stripe_bytes += tile * tile * sizeof(T);
+      }
+    const std::size_t stripe_index_bytes = 4 * (stripe.size() + b_stripe + 1);
+
+    // Owner publishes Val + index arrays for its stripe.
+    blk.phase([&](sim::Warp& w) {
+      if (static_cast<std::size_t>(w.id()) != z) return;
+      w.charge_global_traffic(stripe_bytes + stripe_index_bytes);
+      w.charge_smem_write_traffic(stripe_bytes + stripe_index_bytes, opt.theta_w);
+    });
+    blk.sync();
+
+    // Readers pull the stripe (everyone needs all of it: any of their A
+    // columns may hit any of its rows).
+    blk.phase([&](sim::Warp& w) {
+      if (static_cast<std::size_t>(w.id()) == z) return;
+      w.charge_smem_read_traffic(stripe_bytes + stripe_index_bytes, opt.theta_r);
+    });
+    blk.sync();
+
+    // Numeric accumulation: match A tiles against the received stripe.
+    blk.phase([&](sim::Warp& w) {
+      const auto i = static_cast<std::size_t>(w.id());
+      auto& s = st[i];
+      auto& recv = *brecv[i];
+      for (std::size_t t = 0; t < s.a_refs.size(); ++t) {
+        const std::size_t bc = s.a_refs[t].block_col;
+        if (bc < z * b_stripe || bc >= (z + 1) * b_stripe) continue;
+        for (const auto& bref : B.row_blocks(bc)) {
+          // Materialize the received tile into the scratch fragment.
+          const auto vals = B.block_values(bref);
+          for (std::size_t r = 0; r < tile; ++r)
+            for (std::size_t c = 0; c < tile; ++c) recv(r, c) = vals[r * tile + c];
+          auto& ctile = s.c_tiles.at(
+              {s.a_refs[t].block_row - i * a_stripe, bref.block_col});
+          w.charge_overhead(kSpgemmIndexingCycles);
+          w.mma(ctile, s.a_tiles[t].view(), recv.view());
+          useful_flops += 2.0 * static_cast<double>(tile * tile * tile);
+        }
+      }
+    });
+    blk.sync();
+  }
+  out.useful_flops = useful_flops;
+
+  // Assemble C: narrowed accumulators into the symbolic structure.
+  Matrix<T> dense(A.rows(), B.cols());
+  blk.phase([&](sim::Warp& w) {
+    const auto i = static_cast<std::size_t>(w.id());
+    for (const auto& [key, frag] : st[i].c_tiles) {
+      const auto [lbr, bj] = key;
+      w.store_global_narrowed(dense, frag, (i * a_stripe + lbr) * tile, bj * tile);
+    }
+  });
+  blk.sync();
+
+  out.profile = sim::profile_block(blk, useful_flops);
+  out.C = BlockSparseMatrix<T>::from_dense(dense, tile, A.order());
+  return out;
+}
+
+}  // namespace kami::sparse

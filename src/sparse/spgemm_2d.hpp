@@ -1,0 +1,147 @@
+// SpGEMM on KAMI's 2D CA pattern (§4.6: in the 2D algorithm "both A and B
+// are copied in the sparse warp grid").
+//
+// sqrt(p) x sqrt(p) warp grid over block coordinates. Warp (r, c) owns the
+// A and B sub-grids (r, c) — contiguous Val ranges under Z-Morton physical
+// order — and accumulates the sparse C tile-set (r, c) whose structure the
+// shared symbolic phase provides. SUMMA stages: at stage z, column-z warps
+// broadcast sparse A(r, z) sub-grids along rows and row-z warps broadcast
+// sparse B(z, c) sub-grids along columns (Val + RowPtr/ColBlkIdx for both);
+// each warp then joins the received index sets and MMA-accumulates matched
+// tile pairs into register-resident C tiles.
+#pragma once
+
+#include <cmath>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "sparse/spgemm.hpp"
+
+namespace kami::sparse {
+
+template <Scalar T>
+SpgemmResult<T> spgemm_2d(const sim::DeviceSpec& dev, const BlockSparseMatrix<T>& A,
+                          const BlockSparseMatrix<T>& B,
+                          const core::GemmOptions& opt = {}) {
+  using Acc = typename num_traits<T>::acc_t;
+  KAMI_REQUIRE(A.cols() == B.rows(), "inner dimensions must agree");
+  KAMI_REQUIRE(A.tile() == B.tile(), "operand tile sizes must match");
+  const std::size_t tile = A.tile();
+
+  const auto p = static_cast<std::size_t>(opt.warps > 0 ? opt.warps : 4);
+  const auto q = static_cast<std::size_t>(std::lround(std::sqrt(static_cast<double>(p))));
+  KAMI_REQUIRE(q * q == p, "2D SpGEMM requires a perfect-square warp count");
+  KAMI_REQUIRE(A.block_rows() % q == 0 && A.block_cols() % q == 0 &&
+                   B.block_cols() % q == 0,
+               "warp grid must divide both block grids");
+  const std::size_t abr = A.block_rows() / q;  // A block rows per grid cell
+  const std::size_t abc = A.block_cols() / q;  // A block cols (= B block rows) per cell
+  const std::size_t bbc = B.block_cols() / q;  // B block cols per cell
+
+  SpgemmResult<T> out;
+  out.symbolic = spgemm_symbolic(dev, A, B, static_cast<int>(p));
+
+  sim::ThreadBlock blk(dev, static_cast<int>(p));
+  const auto row_of = [&](std::size_t id) { return id / q; };
+  const auto col_of = [&](std::size_t id) { return id % q; };
+
+  struct WarpState {
+    std::optional<sim::Fragment<T>> a_scratch, b_scratch;
+    // C accumulators keyed by (global block row, global block col), limited
+    // to this warp's (r, c) output window.
+    std::map<std::pair<std::size_t, std::size_t>, sim::Fragment<Acc>> c_tiles;
+  };
+  std::vector<WarpState> st(p);
+
+  blk.phase([&](sim::Warp& w) {
+    w.set_gmem_charging(opt.charge_global_io);
+    const auto id = static_cast<std::size_t>(w.id());
+    const std::size_t r = row_of(id), c = col_of(id);
+    auto& s = st[id];
+    s.a_scratch.emplace(w.regs(), tile, tile);
+    s.b_scratch.emplace(w.regs(), tile, tile);
+    // Resident loads for the owned sub-grids (Val + indices).
+    const auto a_mine = A.blocks_in_window(r * abr, c * abc, abr, abc);
+    const auto b_mine = B.blocks_in_window(r * abc, c * bbc, abc, bbc);
+    w.charge_global_traffic((a_mine.size() + b_mine.size()) * tile * tile * sizeof(T) +
+                            A.index_bytes() / p + B.index_bytes() / p);
+    // C accumulators for this warp's output window, from the symbolic set.
+    for (std::size_t br = r * abr; br < (r + 1) * abr; ++br)
+      for (std::size_t bj : out.symbolic.c_cols_per_row[br])
+        if (bj >= c * bbc && bj < (c + 1) * bbc)
+          s.c_tiles.emplace(std::pair{br, bj}, sim::Fragment<Acc>(w.regs(), tile, tile));
+  });
+  blk.sync();
+
+  double useful_flops = 0.0;
+  for (std::size_t z = 0; z < q; ++z) {
+    // Stage-z windows: A(r, z) per grid row, B(z, c) per grid column.
+    std::vector<std::vector<BlockRef>> a_win(q), b_win(q);
+    for (std::size_t r = 0; r < q; ++r)
+      a_win[r] = A.blocks_in_window(r * abr, z * abc, abr, abc);
+    for (std::size_t c = 0; c < q; ++c)
+      b_win[c] = B.blocks_in_window(z * abc, c * bbc, abc, bbc);
+    const auto win_bytes = [&](const std::vector<BlockRef>& win, std::size_t rows) {
+      return win.size() * tile * tile * sizeof(T) + 4 * (win.size() + rows + 1);
+    };
+
+    blk.phase([&](sim::Warp& w) {
+      const auto id = static_cast<std::size_t>(w.id());
+      const std::size_t r = row_of(id), c = col_of(id);
+      if (c == z) w.charge_smem_write_traffic(win_bytes(a_win[r], abr), opt.theta_w);
+      if (r == z) w.charge_smem_write_traffic(win_bytes(b_win[c], abc), opt.theta_w);
+    });
+    blk.sync();
+
+    blk.phase([&](sim::Warp& w) {
+      const auto id = static_cast<std::size_t>(w.id());
+      const std::size_t r = row_of(id), c = col_of(id);
+      if (c != z) w.charge_smem_read_traffic(win_bytes(a_win[r], abr), opt.theta_r);
+      if (r != z) w.charge_smem_read_traffic(win_bytes(b_win[c], abc), opt.theta_r);
+    });
+    blk.sync();
+
+    // Join: for each received A tile (br, bk), match B tiles (bk, bj).
+    blk.phase([&](sim::Warp& w) {
+      const auto id = static_cast<std::size_t>(w.id());
+      const std::size_t r = row_of(id), c = col_of(id);
+      auto& s = st[id];
+      for (const auto& aref : a_win[r]) {
+        for (const auto& bref : b_win[c]) {
+          if (bref.block_row != aref.block_col) continue;
+          w.charge_overhead(kSpgemmIndexingCycles);
+          const auto avals = A.block_values(aref);
+          const auto bvals = B.block_values(bref);
+          for (std::size_t rr = 0; rr < tile; ++rr)
+            for (std::size_t cc = 0; cc < tile; ++cc) {
+              (*s.a_scratch)(rr, cc) = avals[rr * tile + cc];
+              (*s.b_scratch)(rr, cc) = bvals[rr * tile + cc];
+            }
+          auto& ctile = s.c_tiles.at({aref.block_row, bref.block_col});
+          w.mma(ctile, s.a_scratch->view(), s.b_scratch->view());
+          useful_flops += 2.0 * static_cast<double>(tile * tile * tile);
+        }
+      }
+    });
+    blk.sync();
+  }
+  out.useful_flops = useful_flops;
+
+  // Assemble C from the accumulators.
+  Matrix<T> dense(A.rows(), B.cols());
+  blk.phase([&](sim::Warp& w) {
+    const auto id = static_cast<std::size_t>(w.id());
+    for (const auto& [key, frag] : st[id].c_tiles) {
+      const auto [br, bj] = key;
+      w.store_global_narrowed(dense, frag, br * tile, bj * tile);
+    }
+  });
+  blk.sync();
+
+  out.profile = sim::profile_block(blk, useful_flops);
+  out.C = BlockSparseMatrix<T>::from_dense(dense, tile, A.order());
+  return out;
+}
+
+}  // namespace kami::sparse

@@ -1,0 +1,179 @@
+// SpGEMM on KAMI's 3D CA pattern — the last of §4.6's scheme x operation
+// grid (SpMM and SpGEMM each on the 1D/2D/3D compute-communication
+// patterns).
+//
+// cbrt(p)^3 warp cube; layer l covers the l-th k-segment of the contraction.
+// Warp (i, j, l) joins A's sparse sub-grid (i, l) against B's sparse
+// sub-grid (l, j) — both broadcast as Val + RowPtr/ColBlkIdx through shared
+// memory from their diagonal owners — accumulating *sparse partial* C tiles
+// whose structure is the layer-restricted symbolic set. The inter-layer
+// reduction then merges the layers' sparse partials tile by tile (layers
+// may contribute different structures; the union is the symbolic result).
+#pragma once
+
+#include <cmath>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "sparse/spgemm.hpp"
+
+namespace kami::sparse {
+
+template <Scalar T>
+SpgemmResult<T> spgemm_3d(const sim::DeviceSpec& dev, const BlockSparseMatrix<T>& A,
+                          const BlockSparseMatrix<T>& B,
+                          const core::GemmOptions& opt = {}) {
+  using Acc = typename num_traits<T>::acc_t;
+  KAMI_REQUIRE(A.cols() == B.rows(), "inner dimensions must agree");
+  KAMI_REQUIRE(A.tile() == B.tile(), "operand tile sizes must match");
+  const std::size_t tile = A.tile();
+
+  const auto p = static_cast<std::size_t>(opt.warps > 0 ? opt.warps : 8);
+  const auto c = static_cast<std::size_t>(std::lround(std::cbrt(static_cast<double>(p))));
+  KAMI_REQUIRE(c * c * c == p, "3D SpGEMM requires a perfect-cube warp count");
+  KAMI_REQUIRE(A.block_rows() % c == 0 && A.block_cols() % c == 0 &&
+                   B.block_cols() % c == 0,
+               "warp cube must divide both block grids");
+  const std::size_t abr = A.block_rows() / c;
+  const std::size_t abc = A.block_cols() / c;  // = B block rows per cell
+  const std::size_t bbc = B.block_cols() / c;
+
+  SpgemmResult<T> out;
+  out.symbolic = spgemm_symbolic(dev, A, B, static_cast<int>(p));
+
+  sim::ThreadBlock blk(dev, static_cast<int>(p));
+  const auto layer_of = [&](std::size_t id) { return id / (c * c); };
+  const auto row_of = [&](std::size_t id) { return (id % (c * c)) / c; };
+  const auto col_of = [&](std::size_t id) { return id % c; };
+
+  struct WarpState {
+    std::optional<sim::Fragment<T>> a_scratch, b_scratch;
+    // Partial C tiles for this warp's (i, j) window, layer-local structure.
+    std::map<std::pair<std::size_t, std::size_t>, sim::Fragment<Acc>> c_tiles;
+  };
+  std::vector<WarpState> st(p);
+
+  // Ownership windows: A(i, l) from warp (i, l, l); B(l, j) from (l, j, l).
+  std::vector<std::vector<BlockRef>> a_win(c * c), b_win(c * c);  // [i*c+l], [l*c+j]
+  for (std::size_t i = 0; i < c; ++i)
+    for (std::size_t l = 0; l < c; ++l)
+      a_win[i * c + l] = A.blocks_in_window(i * abr, l * abc, abr, abc);
+  for (std::size_t l = 0; l < c; ++l)
+    for (std::size_t j = 0; j < c; ++j)
+      b_win[l * c + j] = B.blocks_in_window(l * abc, j * bbc, abc, bbc);
+  const auto win_bytes = [&](const std::vector<BlockRef>& win, std::size_t rows) {
+    return win.size() * tile * tile * sizeof(T) + 4 * (win.size() + rows + 1);
+  };
+
+  blk.phase([&](sim::Warp& w) {
+    w.set_gmem_charging(opt.charge_global_io);
+    const auto id = static_cast<std::size_t>(w.id());
+    const std::size_t i = row_of(id), j = col_of(id), l = layer_of(id);
+    auto& s = st[id];
+    s.a_scratch.emplace(w.regs(), tile, tile);
+    s.b_scratch.emplace(w.regs(), tile, tile);
+    if (j == l) w.charge_global_traffic(win_bytes(a_win[i * c + l], abr));
+    if (i == l) w.charge_global_traffic(win_bytes(b_win[l * c + j], abc));
+    // Layer-local partial structure: pairs whose bridge column is in
+    // segment l — allocate those accumulators.
+    for (const auto& aref : a_win[i * c + l])
+      for (const auto& bref : b_win[l * c + j])
+        if (bref.block_row == aref.block_col)
+          s.c_tiles.try_emplace({aref.block_row, bref.block_col},
+                                sim::Fragment<Acc>(w.regs(), tile, tile));
+  });
+  blk.sync();
+
+  // Single broadcast round (ownership covers every window once).
+  blk.phase([&](sim::Warp& w) {
+    const auto id = static_cast<std::size_t>(w.id());
+    const std::size_t i = row_of(id), j = col_of(id), l = layer_of(id);
+    if (j == l) w.charge_smem_write_traffic(win_bytes(a_win[i * c + l], abr), opt.theta_w);
+    if (i == l) w.charge_smem_write_traffic(win_bytes(b_win[l * c + j], abc), opt.theta_w);
+  });
+  blk.sync();
+  blk.phase([&](sim::Warp& w) {
+    const auto id = static_cast<std::size_t>(w.id());
+    const std::size_t i = row_of(id), j = col_of(id), l = layer_of(id);
+    if (j != l) w.charge_smem_read_traffic(win_bytes(a_win[i * c + l], abr), opt.theta_r);
+    if (i != l) w.charge_smem_read_traffic(win_bytes(b_win[l * c + j], abc), opt.theta_r);
+  });
+  blk.sync();
+
+  // Join within the layer.
+  double useful_flops = 0.0;
+  blk.phase([&](sim::Warp& w) {
+    const auto id = static_cast<std::size_t>(w.id());
+    const std::size_t i = row_of(id), j = col_of(id), l = layer_of(id);
+    auto& s = st[id];
+    for (const auto& aref : a_win[i * c + l]) {
+      for (const auto& bref : b_win[l * c + j]) {
+        if (bref.block_row != aref.block_col) continue;
+        w.charge_overhead(kSpgemmIndexingCycles);
+        const auto avals = A.block_values(aref);
+        const auto bvals = B.block_values(bref);
+        for (std::size_t rr = 0; rr < tile; ++rr)
+          for (std::size_t cc = 0; cc < tile; ++cc) {
+            (*s.a_scratch)(rr, cc) = avals[rr * tile + cc];
+            (*s.b_scratch)(rr, cc) = bvals[rr * tile + cc];
+          }
+        auto& ctile = s.c_tiles.at({aref.block_row, bref.block_col});
+        w.mma(ctile, s.a_scratch->view(), s.b_scratch->view());
+        useful_flops += 2.0 * static_cast<double>(tile * tile * tile);
+      }
+    }
+  });
+  blk.sync();
+  out.useful_flops = useful_flops;
+
+  // Inter-layer reduction: layers 1..c-1 stream their sparse partial tiles
+  // (Val + coordinates) through shared memory; layer 0 merges — a sparse
+  // accumulation, so the union structure is built tile by tile.
+  Matrix<Acc> dense_acc(A.rows(), B.cols());
+  blk.phase([&](sim::Warp& w) {
+    const auto id = static_cast<std::size_t>(w.id());
+    if (layer_of(id) == 0) return;
+    const std::size_t bytes =
+        st[id].c_tiles.size() * (tile * tile * sizeof(Acc) + 8);
+    if (bytes > 0) w.charge_smem_write_traffic(bytes, opt.theta_w);
+  });
+  blk.sync();
+  blk.phase([&](sim::Warp& w) {
+    const auto id = static_cast<std::size_t>(w.id());
+    const std::size_t i = row_of(id), j = col_of(id), l = layer_of(id);
+    if (l != 0) return;
+    // Pull every upper layer's partials for this (i, j) window and merge.
+    std::size_t incoming = 0;
+    for (std::size_t l2 = 1; l2 < c; ++l2)
+      incoming += st[l2 * c * c + i * c + j].c_tiles.size();
+    if (incoming > 0)
+      w.charge_smem_read_traffic(incoming * (tile * tile * sizeof(Acc) + 8), opt.theta_r);
+    w.charge_overhead(static_cast<double>(incoming) * 4.0);  // merge bookkeeping
+  });
+  blk.sync();
+
+  // Assemble C (data path: all layers' accumulators summed per coordinate).
+  blk.phase([&](sim::Warp& w) {
+    const auto id = static_cast<std::size_t>(w.id());
+    for (const auto& [key, frag] : st[id].c_tiles) {
+      const auto [br, bj] = key;
+      for (std::size_t rr = 0; rr < tile; ++rr)
+        for (std::size_t cc = 0; cc < tile; ++cc)
+          dense_acc(br * tile + rr, bj * tile + cc) += frag(rr, cc);
+      if (layer_of(id) == 0) w.charge_global_traffic(tile * tile * sizeof(T));
+    }
+  });
+  blk.sync();
+
+  Matrix<T> dense(A.rows(), B.cols());
+  for (std::size_t r = 0; r < dense.rows(); ++r)
+    for (std::size_t cc = 0; cc < dense.cols(); ++cc)
+      dense(r, cc) = num_traits<T>::from_acc(dense_acc(r, cc));
+
+  out.profile = sim::profile_block(blk, useful_flops);
+  out.C = BlockSparseMatrix<T>::from_dense(dense, tile, A.order());
+  return out;
+}
+
+}  // namespace kami::sparse

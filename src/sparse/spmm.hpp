@@ -1,0 +1,131 @@
+// SpMM: C (dense) = A (block-sparse) x B (dense), on KAMI's 1D CA pattern
+// (§4.6). Warp i holds a block-row stripe of A's nonzero tiles in registers
+// and accumulates the matching dense stripe of C; the dense B is broadcast
+// through shared memory stage by stage exactly as in the dense 1D
+// algorithm. After each broadcast slice arrives, every warp scans its
+// RowPtr/ColBlkIdx arrays for tiles in the slice's k-range and multiplies
+// only those (the Koanantakool-style block-matching compute pattern).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/gemm.hpp"
+#include "model/cost_model.hpp"
+#include "sim/block.hpp"
+#include "sparse/block_sparse.hpp"
+
+namespace kami::sparse {
+
+template <Scalar T>
+struct SpmmResult {
+  Matrix<T> C;
+  sim::KernelProfile profile;
+  double useful_flops = 0.0;  ///< 2 * tile^2 * n per stored A tile
+};
+
+template <Scalar T>
+SpmmResult<T> spmm_1d(const sim::DeviceSpec& dev, const BlockSparseMatrix<T>& A,
+                      const Matrix<T>& B, const core::GemmOptions& opt = {}) {
+  using Acc = typename num_traits<T>::acc_t;
+  const std::size_t m = A.rows(), k = A.cols(), n = B.cols();
+  KAMI_REQUIRE(B.rows() == k, "inner dimensions must agree");
+  const std::size_t tile = A.tile();
+
+  // Auto warp count: the largest p <= 4 dividing the block-row count.
+  std::size_t p = static_cast<std::size_t>(opt.warps > 0 ? opt.warps : 4);
+  if (opt.warps <= 0) {
+    while (p > 1 && A.block_rows() % p != 0) --p;
+  }
+  KAMI_REQUIRE(A.block_rows() % p == 0, "warps must divide the block-row count");
+  KAMI_REQUIRE((k / p) % tile == 0, "stage k-chunk must be a whole number of tiles");
+  const std::size_t stripe_brs = A.block_rows() / p;  // block rows per warp
+  const std::size_t k_chunk = k / p;
+  const std::size_t cols_per_stage = k_chunk / tile;  // B slices per stage
+
+  sim::ThreadBlock blk(dev, static_cast<int>(p));
+
+  // Per-warp register state: the stripe's nonzero A tiles plus the dense C
+  // stripe accumulator and one B-slice receive buffer.
+  struct WarpState {
+    std::vector<sim::Fragment<T>> a_tiles;   // one fragment per stored tile
+    std::vector<BlockRef> a_refs;            // matching refs (logical index)
+    std::optional<sim::Fragment<Acc>> c;
+    std::optional<sim::Fragment<T>> brecv;
+  };
+  std::vector<WarpState> st(p);
+
+  blk.phase([&](sim::Warp& w) {
+    w.set_gmem_charging(opt.charge_global_io);
+    const auto i = static_cast<std::size_t>(w.id());
+    auto& s = st[i];
+    for (std::size_t br = i * stripe_brs; br < (i + 1) * stripe_brs; ++br) {
+      for (const auto& ref : A.row_blocks(br)) {
+        auto frag = w.alloc_fragment<T>(tile, tile);
+        const auto vals = A.block_values(ref);
+        for (std::size_t r = 0; r < tile; ++r)
+          for (std::size_t c = 0; c < tile; ++c) frag(r, c) = vals[r * tile + c];
+        w.charge_global_traffic(frag.bytes());
+        s.a_tiles.push_back(std::move(frag));
+        s.a_refs.push_back(ref);
+      }
+    }
+    // The index arrays ride along with the values (§4.6).
+    w.charge_global_traffic(A.index_bytes() / p);
+    s.c.emplace(w.regs(), stripe_brs * tile, n);
+    s.brecv.emplace(w.regs(), tile, n);
+  });
+  blk.sync();
+
+  auto SmB = blk.smem().alloc<T>(tile, n);
+
+  double useful_flops = 0.0;
+  for (std::size_t z = 0; z < p; ++z) {
+    for (std::size_t s_idx = 0; s_idx < cols_per_stage; ++s_idx) {
+      const std::size_t bc = z * cols_per_stage + s_idx;  // global block-col
+
+      // Owner broadcasts this B row-slice (dense rows [bc*tile, ...)).
+      blk.phase([&](sim::Warp& w) {
+        if (static_cast<std::size_t>(w.id()) != z) return;
+        auto& s = st[z];
+        for (std::size_t r = 0; r < tile; ++r)
+          for (std::size_t c = 0; c < n; ++c) (*s.brecv)(r, c) = B(bc * tile + r, c);
+        w.charge_global_traffic(s.brecv->bytes());  // owner's resident load
+        w.store_smem(SmB, s.brecv->view(), opt.theta_w);
+      });
+      blk.sync();
+
+      blk.phase([&](sim::Warp& w) {
+        const auto i = static_cast<std::size_t>(w.id());
+        if (i == z) return;
+        w.load_smem(*st[i].brecv, SmB, opt.theta_r);
+      });
+      blk.sync();
+
+      // Compute: every warp multiplies its tiles whose ColBlkIdx == bc.
+      blk.phase([&](sim::Warp& w) {
+        const auto i = static_cast<std::size_t>(w.id());
+        auto& s = st[i];
+        for (std::size_t t = 0; t < s.a_refs.size(); ++t) {
+          if (s.a_refs[t].block_col != bc) continue;
+          const std::size_t local_br = s.a_refs[t].block_row - i * stripe_brs;
+          w.mma(*s.c, local_br * tile, 0, s.a_tiles[t].view(), s.brecv->view());
+          useful_flops += 2.0 * static_cast<double>(tile * tile * n);
+        }
+      });
+      blk.sync();
+    }
+  }
+
+  SpmmResult<T> out{Matrix<T>(m, n), {}, useful_flops};
+  blk.phase([&](sim::Warp& w) {
+    const auto i = static_cast<std::size_t>(w.id());
+    w.store_global_narrowed(out.C, *st[i].c, i * stripe_brs * tile, 0);
+  });
+  blk.sync();
+
+  out.profile = sim::profile_block(blk, useful_flops);
+  return out;
+}
+
+}  // namespace kami::sparse

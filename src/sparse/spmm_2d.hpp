@@ -1,0 +1,144 @@
+// SpMM on KAMI's 2D CA pattern (§4.6: "In the 2D and 3D algorithms, both A
+// and B are copied in the sparse warp grid or cube").
+//
+// sqrt(p) x sqrt(p) warp grid. Warp (r, c) owns the A sub-grid (block rows
+// r, block cols c) — with Z-Morton physical storage each sub-grid is a
+// contiguous Val range (Fig 7(b)) — plus the dense B tile (r, c) and
+// accumulates the dense C tile (r, c). SUMMA-style stages: at stage z,
+// column-z warps broadcast their sparse A sub-grids (Val *and* the
+// RowPtr/ColBlkIdx index arrays, both charged) along their row, and row-z
+// warps broadcast dense B tiles along their column; each warp then
+// multiplies the received nonzero A tiles against the matching B tile rows.
+#pragma once
+
+#include <cmath>
+#include <optional>
+#include <vector>
+
+#include "core/gemm.hpp"
+#include "sim/block.hpp"
+#include "sparse/block_sparse.hpp"
+#include "sparse/spmm.hpp"
+
+namespace kami::sparse {
+
+template <Scalar T>
+SpmmResult<T> spmm_2d(const sim::DeviceSpec& dev, const BlockSparseMatrix<T>& A,
+                      const Matrix<T>& B, const core::GemmOptions& opt = {}) {
+  using Acc = typename num_traits<T>::acc_t;
+  const std::size_t m = A.rows(), k = A.cols(), n = B.cols();
+  KAMI_REQUIRE(B.rows() == k, "inner dimensions must agree");
+  const std::size_t tile = A.tile();
+
+  const auto p = static_cast<std::size_t>(opt.warps > 0 ? opt.warps : 4);
+  const auto q = static_cast<std::size_t>(std::lround(std::sqrt(static_cast<double>(p))));
+  KAMI_REQUIRE(q * q == p, "2D SpMM requires a perfect-square warp count");
+  KAMI_REQUIRE(A.block_rows() % q == 0 && A.block_cols() % q == 0,
+               "warp grid must divide the block grid");
+  KAMI_REQUIRE(n % q == 0, "warp grid must divide n");
+  const std::size_t gbr = A.block_rows() / q;  // block rows per grid cell
+  const std::size_t gbc = A.block_cols() / q;  // block cols per grid cell
+  const std::size_t nb = n / q;                // dense columns per warp
+  const std::size_t kb = k / q;                // k extent per grid cell
+
+  sim::ThreadBlock blk(dev, static_cast<int>(p));
+  const auto row_of = [&](std::size_t id) { return id / q; };
+  const auto col_of = [&](std::size_t id) { return id % q; };
+
+  struct WarpState {
+    std::optional<sim::Fragment<Acc>> c;      // dense C tile (mb x nb)
+    std::optional<sim::Fragment<T>> brecv;    // dense B tile (kb x nb)
+    std::optional<sim::Fragment<T>> ablock;   // one received A tile scratch
+  };
+  std::vector<WarpState> st(p);
+
+  blk.phase([&](sim::Warp& w) {
+    w.set_gmem_charging(opt.charge_global_io);
+    const auto id = static_cast<std::size_t>(w.id());
+    auto& s = st[id];
+    s.c.emplace(w.regs(), gbr * tile, nb);
+    s.brecv.emplace(w.regs(), kb, nb);
+    s.ablock.emplace(w.regs(), tile, tile);
+    // Owned operands: the A sub-grid's tiles and the dense B tile are
+    // charged as resident loads (Val + index arrays for A).
+    const auto mine =
+        A.blocks_in_window(row_of(id) * gbr, col_of(id) * gbc, gbr, gbc);
+    w.charge_global_traffic(mine.size() * tile * tile * sizeof(T) +
+                            A.index_bytes() / p);
+    w.charge_global_traffic(kb * nb * sizeof(T));
+  });
+  blk.sync();
+
+  double useful_flops = 0.0;
+  for (std::size_t z = 0; z < q; ++z) {
+    // Stage-z windows per grid row: A(r, z), owned by warp (r, z).
+    std::vector<std::vector<BlockRef>> windows(q);
+    for (std::size_t r = 0; r < q; ++r)
+      windows[r] = A.blocks_in_window(r * gbr, z * gbc, gbr, gbc);
+
+    // Write phase: column-z warps publish their sparse sub-grid (Val +
+    // indices); row-z warps publish their dense B tile.
+    blk.phase([&](sim::Warp& w) {
+      const auto id = static_cast<std::size_t>(w.id());
+      const std::size_t r = row_of(id), c = col_of(id);
+      if (c == z) {
+        const std::size_t bytes =
+            windows[r].size() * tile * tile * sizeof(T) + 4 * (windows[r].size() + gbr + 1);
+        w.charge_smem_write_traffic(bytes, opt.theta_w);
+      }
+      if (r == z) w.charge_smem_write_traffic(kb * nb * sizeof(T), opt.theta_w);
+    });
+    blk.sync();
+
+    // Read phase: A sub-grids travel along rows, B tiles along columns.
+    blk.phase([&](sim::Warp& w) {
+      const auto id = static_cast<std::size_t>(w.id());
+      const std::size_t r = row_of(id), c = col_of(id);
+      if (c != z) {
+        const std::size_t bytes =
+            windows[r].size() * tile * tile * sizeof(T) + 4 * (windows[r].size() + gbr + 1);
+        w.charge_smem_read_traffic(bytes, opt.theta_r);
+      }
+      if (r != z) w.charge_smem_read_traffic(kb * nb * sizeof(T), opt.theta_r);
+      // Materialize the received dense tile (values from the host matrix;
+      // the traffic above carries the cost).
+      auto& s = st[id];
+      for (std::size_t rr = 0; rr < kb; ++rr)
+        for (std::size_t cc = 0; cc < nb; ++cc)
+          (*s.brecv)(rr, cc) = B(z * kb + rr, c * nb + cc);
+    });
+    blk.sync();
+
+    // Compute: received A tiles matched against the B tile's rows.
+    blk.phase([&](sim::Warp& w) {
+      const auto id = static_cast<std::size_t>(w.id());
+      const std::size_t r = row_of(id);
+      auto& s = st[id];
+      for (const auto& ref : windows[r]) {
+        const auto vals = A.block_values(ref);
+        for (std::size_t rr = 0; rr < tile; ++rr)
+          for (std::size_t cc = 0; cc < tile; ++cc)
+            (*s.ablock)(rr, cc) = vals[rr * tile + cc];
+        const std::size_t local_br = ref.block_row - r * gbr;
+        const std::size_t b_row0 = ref.block_col * tile - z * kb;
+        w.mma(*s.c, local_br * tile, 0, s.ablock->view(),
+              s.brecv->view(b_row0, 0, tile, nb));
+        useful_flops += 2.0 * static_cast<double>(tile * tile * nb);
+      }
+    });
+    blk.sync();
+  }
+
+  SpmmResult<T> out{Matrix<T>(m, n), {}, useful_flops};
+  blk.phase([&](sim::Warp& w) {
+    const auto id = static_cast<std::size_t>(w.id());
+    w.store_global_narrowed(out.C, *st[id].c, row_of(id) * gbr * tile,
+                            col_of(id) * nb);
+  });
+  blk.sync();
+
+  out.profile = sim::profile_block(blk, useful_flops);
+  return out;
+}
+
+}  // namespace kami::sparse

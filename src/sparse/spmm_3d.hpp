@@ -1,0 +1,172 @@
+// SpMM on KAMI's 3D CA pattern (§4.6: "In the 2D and 3D algorithms, both A
+// and B are copied in the sparse warp grid or cube").
+//
+// cbrt(p)^3 warp cube. Layer l covers the l-th k-segment: warp (i, j, l)
+// computes the partial dense C tile (i, j) from A's sparse sub-grid (row
+// stripe i, column stripe l) and B's dense tile (k-segment l, column stripe
+// j). Ownership and broadcasts mirror the dense 3D kernel — A sub-grids
+// (Val + index arrays) travel along the j dimension from warp (i, l, l),
+// dense B tiles along the i dimension from warp (l, j, l) — followed by the
+// inter-layer reduction of the dense partials through shared memory.
+#pragma once
+
+#include <cmath>
+#include <optional>
+#include <vector>
+
+#include "core/gemm.hpp"
+#include "sim/block.hpp"
+#include "sparse/block_sparse.hpp"
+#include "sparse/spmm.hpp"
+
+namespace kami::sparse {
+
+template <Scalar T>
+SpmmResult<T> spmm_3d(const sim::DeviceSpec& dev, const BlockSparseMatrix<T>& A,
+                      const Matrix<T>& B, const core::GemmOptions& opt = {}) {
+  using Acc = typename num_traits<T>::acc_t;
+  const std::size_t m = A.rows(), k = A.cols(), n = B.cols();
+  KAMI_REQUIRE(B.rows() == k, "inner dimensions must agree");
+  const std::size_t tile = A.tile();
+
+  const auto p = static_cast<std::size_t>(opt.warps > 0 ? opt.warps : 8);
+  const auto c = static_cast<std::size_t>(std::lround(std::cbrt(static_cast<double>(p))));
+  KAMI_REQUIRE(c * c * c == p, "3D SpMM requires a perfect-cube warp count");
+  KAMI_REQUIRE(A.block_rows() % c == 0 && A.block_cols() % c == 0 && n % c == 0,
+               "warp cube must divide the block grid and n");
+  const std::size_t gbr = A.block_rows() / c;  // A block rows per cube cell
+  const std::size_t gbc = A.block_cols() / c;  // A block cols per cube cell
+  const std::size_t nb = n / c;                // dense columns per warp
+  const std::size_t kb = k / c;                // k extent per layer
+
+  sim::ThreadBlock blk(dev, static_cast<int>(p));
+  const auto layer_of = [&](std::size_t id) { return id / (c * c); };
+  const auto row_of = [&](std::size_t id) { return (id % (c * c)) / c; };
+  const auto col_of = [&](std::size_t id) { return id % c; };
+
+  struct WarpState {
+    std::optional<sim::Fragment<Acc>> cpart;  // partial dense C tile (mb x nb)
+    std::optional<sim::Fragment<T>> brecv;    // dense B tile (kb x nb)
+    std::optional<sim::Fragment<T>> ablock;   // received A tile scratch
+  };
+  std::vector<WarpState> st(p);
+
+  // Stage windows: A(i, l) owned by warp (i, l, l).
+  std::vector<std::vector<BlockRef>> windows(c * c);  // [i * c + l]
+  for (std::size_t i = 0; i < c; ++i)
+    for (std::size_t l = 0; l < c; ++l)
+      windows[i * c + l] = A.blocks_in_window(i * gbr, l * gbc, gbr, gbc);
+  const auto win_bytes = [&](const std::vector<BlockRef>& win) {
+    return win.size() * tile * tile * sizeof(T) + 4 * (win.size() + gbr + 1);
+  };
+
+  blk.phase([&](sim::Warp& w) {
+    w.set_gmem_charging(opt.charge_global_io);
+    const auto id = static_cast<std::size_t>(w.id());
+    auto& s = st[id];
+    s.cpart.emplace(w.regs(), gbr * tile, nb);
+    s.brecv.emplace(w.regs(), kb, nb);
+    s.ablock.emplace(w.regs(), tile, tile);
+    const std::size_t i = row_of(id), j = col_of(id), l = layer_of(id);
+    if (j == l) w.charge_global_traffic(win_bytes(windows[i * c + l]));
+    if (i == l) w.charge_global_traffic(kb * nb * sizeof(T));
+  });
+  blk.sync();
+
+  // Broadcast round: owners publish; readers pull (one round — the cube
+  // assigns each warp exactly one A window and one B tile).
+  blk.phase([&](sim::Warp& w) {
+    const auto id = static_cast<std::size_t>(w.id());
+    const std::size_t i = row_of(id), j = col_of(id), l = layer_of(id);
+    if (j == l) w.charge_smem_write_traffic(win_bytes(windows[i * c + l]), opt.theta_w);
+    if (i == l) w.charge_smem_write_traffic(kb * nb * sizeof(T), opt.theta_w);
+  });
+  blk.sync();
+
+  blk.phase([&](sim::Warp& w) {
+    const auto id = static_cast<std::size_t>(w.id());
+    const std::size_t i = row_of(id), j = col_of(id), l = layer_of(id);
+    if (j != l) w.charge_smem_read_traffic(win_bytes(windows[i * c + l]), opt.theta_r);
+    if (i != l) w.charge_smem_read_traffic(kb * nb * sizeof(T), opt.theta_r);
+    // Materialize the dense B tile for this (l, j) cell.
+    auto& s = st[id];
+    for (std::size_t rr = 0; rr < kb; ++rr)
+      for (std::size_t cc = 0; cc < nb; ++cc)
+        (*s.brecv)(rr, cc) = B(l * kb + rr, j * nb + cc);
+  });
+  blk.sync();
+
+  // Compute: each warp's single sparse-dense partial product.
+  double useful_flops = 0.0;
+  blk.phase([&](sim::Warp& w) {
+    const auto id = static_cast<std::size_t>(w.id());
+    const std::size_t i = row_of(id), l = layer_of(id);
+    auto& s = st[id];
+    for (const auto& ref : windows[i * c + l]) {
+      const auto vals = A.block_values(ref);
+      for (std::size_t rr = 0; rr < tile; ++rr)
+        for (std::size_t cc = 0; cc < tile; ++cc)
+          (*s.ablock)(rr, cc) = vals[rr * tile + cc];
+      const std::size_t local_br = ref.block_row - i * gbr;
+      const std::size_t b_row0 = ref.block_col * tile - l * kb;
+      w.mma(*s.cpart, local_br * tile, 0, s.ablock->view(),
+            s.brecv->view(b_row0, 0, tile, nb));
+      useful_flops += 2.0 * static_cast<double>(tile * tile * nb);
+    }
+  });
+  blk.sync();
+
+  // Inter-layer reduction: layer 0 accumulates the dense partials, streamed
+  // in <=16-column chunks (as in the dense 3D kernel).
+  const std::size_t red_cols = nb < 16 ? nb : 16;
+  std::vector<sim::SmemTile<Acc>> SmP;
+  for (std::size_t g = 0; g < c * c; ++g)
+    SmP.push_back(blk.smem().alloc<Acc>(gbr * tile, red_cols));
+  std::vector<std::optional<sim::Fragment<Acc>>> scratch(p);
+  blk.phase([&](sim::Warp& w) {
+    scratch[static_cast<std::size_t>(w.id())].emplace(w.regs(), gbr * tile, red_cols);
+  });
+
+  for (std::size_t l = 1; l < c; ++l) {
+    for (std::size_t c0 = 0; c0 < nb; c0 += red_cols) {
+      const std::size_t cw = (c0 + red_cols <= nb) ? red_cols : nb - c0;
+      blk.phase([&](sim::Warp& w) {
+        const auto id = static_cast<std::size_t>(w.id());
+        if (layer_of(id) != l) return;
+        auto tile2 = SmP[row_of(id) * c + col_of(id)];
+        tile2.cols = cw;
+        w.store_smem(tile2, st[id].cpart->view(0, c0, gbr * tile, cw), opt.theta_w);
+      });
+      blk.sync();
+      blk.phase([&](sim::Warp& w) {
+        const auto id = static_cast<std::size_t>(w.id());
+        if (layer_of(id) != 0) return;
+        auto tile2 = SmP[row_of(id) * c + col_of(id)];
+        tile2.cols = cw;
+        if (cw == scratch[id]->cols()) {
+          w.load_smem(*scratch[id], tile2, opt.theta_r);
+          w.add_inplace_at(*st[id].cpart, 0, c0, scratch[id]->view());
+        } else {
+          auto tail = w.alloc_fragment<Acc>(gbr * tile, cw);
+          w.load_smem(tail, tile2, opt.theta_r);
+          w.add_inplace_at(*st[id].cpart, 0, c0, tail.view());
+        }
+      });
+      blk.sync();
+    }
+  }
+
+  SpmmResult<T> out{Matrix<T>(m, n), {}, useful_flops};
+  blk.phase([&](sim::Warp& w) {
+    const auto id = static_cast<std::size_t>(w.id());
+    if (layer_of(id) != 0) return;
+    w.store_global_narrowed(out.C, *st[id].cpart, row_of(id) * gbr * tile,
+                            col_of(id) * nb);
+  });
+  blk.sync();
+
+  out.profile = sim::profile_block(blk, useful_flops);
+  return out;
+}
+
+}  // namespace kami::sparse

@@ -1,0 +1,139 @@
+#include "types/float_formats.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace kami {
+
+namespace detail {
+
+double quantize_magnitude(double x, int mant_bits, int min_exp, double max_norm,
+                          bool has_inf) noexcept {
+  if (x == 0.0) return 0.0;
+  int e = std::ilogb(x);
+  if (e < min_exp) e = min_exp;  // subnormal range: fixed quantum 2^(min_exp - mant_bits)
+  const double quantum = std::ldexp(1.0, e - mant_bits);
+  double q = std::nearbyint(x / quantum) * quantum;  // RNE under default rounding mode
+  // Rounding can push into the next binade (e.g. 1.111..1 -> 10.0); that is a
+  // representable value in the wider binade, so no fixup is needed — only the
+  // overflow check below matters.
+  if (q > max_norm) {
+    return has_inf ? std::numeric_limits<double>::infinity() : max_norm;
+  }
+  return q;
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// fp16
+// ---------------------------------------------------------------------------
+
+std::uint16_t fp16_t::encode(float v) noexcept {
+  const std::uint32_t fbits = std::bit_cast<std::uint32_t>(v);
+  const std::uint16_t sign = static_cast<std::uint16_t>((fbits >> 16) & 0x8000u);
+  if (std::isnan(v)) return static_cast<std::uint16_t>(sign | 0x7E00u);
+  const double mag = std::fabs(static_cast<double>(v));
+  const double q = detail::quantize_magnitude(mag, 10, -14, 65504.0, /*has_inf=*/true);
+  if (std::isinf(q)) return static_cast<std::uint16_t>(sign | 0x7C00u);
+  if (q == 0.0) return sign;
+  int e = std::ilogb(q);
+  if (e < -14) {
+    // Subnormal: value = m * 2^-24, 0 < m < 1024.
+    const auto m = static_cast<std::uint16_t>(std::ldexp(q, 24));
+    return static_cast<std::uint16_t>(sign | m);
+  }
+  const auto mant =
+      static_cast<std::uint16_t>(std::ldexp(q, 10 - e) - 1024.0);  // strip implicit 1
+  const auto biased = static_cast<std::uint16_t>(e + 15);
+  return static_cast<std::uint16_t>(sign | static_cast<std::uint16_t>(biased << 10) | mant);
+}
+
+float fp16_t::decode(std::uint16_t b) noexcept {
+  const float sign = (b & 0x8000u) ? -1.0f : 1.0f;
+  const int biased = (b >> 10) & 0x1F;
+  const int mant = b & 0x3FF;
+  if (biased == 0x1F) {
+    if (mant != 0) return std::numeric_limits<float>::quiet_NaN();
+    return sign * std::numeric_limits<float>::infinity();
+  }
+  if (biased == 0) return sign * std::ldexp(static_cast<float>(mant), -24);
+  return sign * std::ldexp(static_cast<float>(1024 + mant), biased - 15 - 10);
+}
+
+// ---------------------------------------------------------------------------
+// bf16
+// ---------------------------------------------------------------------------
+
+std::uint16_t bf16_t::encode(float v) noexcept {
+  std::uint32_t bits = std::bit_cast<std::uint32_t>(v);
+  if (std::isnan(v)) return static_cast<std::uint16_t>((bits >> 16) | 0x0040u);
+  // Round-to-nearest-even on the 16 discarded bits.
+  const std::uint32_t lsb = (bits >> 16) & 1u;
+  bits += 0x7FFFu + lsb;
+  return static_cast<std::uint16_t>(bits >> 16);
+}
+
+float bf16_t::decode(std::uint16_t b) noexcept {
+  return std::bit_cast<float>(static_cast<std::uint32_t>(b) << 16);
+}
+
+// ---------------------------------------------------------------------------
+// fp8 e4m3
+// ---------------------------------------------------------------------------
+
+std::uint8_t fp8_e4m3_t::encode(float v) noexcept {
+  const std::uint32_t fbits = std::bit_cast<std::uint32_t>(v);
+  const std::uint8_t sign = static_cast<std::uint8_t>((fbits >> 24) & 0x80u);
+  if (std::isnan(v)) return static_cast<std::uint8_t>(sign | 0x7Fu);
+  const double mag = std::fabs(static_cast<double>(v));
+  // E4M3 has no infinity: conversions saturate to the max finite value.
+  const double q = detail::quantize_magnitude(mag, 3, -6, 448.0, /*has_inf=*/false);
+  if (q == 0.0) return sign;
+  int e = std::ilogb(q);
+  if (e < -6) {
+    // Subnormal: value = m * 2^-9, 0 < m < 8.
+    const auto m = static_cast<std::uint8_t>(std::ldexp(q, 9));
+    return static_cast<std::uint8_t>(sign | m);
+  }
+  const auto mant = static_cast<std::uint8_t>(std::ldexp(q, 3 - e) - 8.0);
+  const auto biased = static_cast<std::uint8_t>(e + 7);
+  return static_cast<std::uint8_t>(sign | static_cast<std::uint8_t>(biased << 3) | mant);
+}
+
+float fp8_e4m3_t::decode(std::uint8_t b) noexcept {
+  const float sign = (b & 0x80u) ? -1.0f : 1.0f;
+  const int biased = (b >> 3) & 0xF;
+  const int mant = b & 0x7;
+  if (biased == 0xF && mant == 0x7) return std::numeric_limits<float>::quiet_NaN();
+  if (biased == 0) return sign * std::ldexp(static_cast<float>(mant), -9);
+  return sign * std::ldexp(static_cast<float>(8 + mant), biased - 7 - 3);
+}
+
+// ---------------------------------------------------------------------------
+// tf32
+// ---------------------------------------------------------------------------
+
+float round_to_tf32(float v) noexcept {
+  if (!std::isfinite(v)) return v;
+  std::uint32_t bits = std::bit_cast<std::uint32_t>(v);
+  // Keep 10 mantissa bits: RNE on the 13 discarded bits.
+  const std::uint32_t lsb = (bits >> 13) & 1u;
+  bits += 0x0FFFu + lsb;
+  bits &= ~0x1FFFu;
+  return std::bit_cast<float>(bits);
+}
+
+const char* precision_name(Precision p) noexcept {
+  switch (p) {
+    case Precision::FP64: return "FP64";
+    case Precision::FP32: return "FP32";
+    case Precision::TF32: return "TF32";
+    case Precision::FP16: return "FP16";
+    case Precision::BF16: return "BF16";
+    case Precision::FP8E4M3: return "FP8";
+  }
+  return "?";
+}
+
+}  // namespace kami

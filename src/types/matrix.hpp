@@ -1,0 +1,89 @@
+// Row-major host matrix container used for kernel inputs/outputs and for
+// reference results. This is deliberately simple: the interesting data
+// structures (register fragments, shared-memory layouts, block-sparse tiles)
+// live in src/sim and src/sparse.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "types/numeric_traits.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace kami {
+
+template <Scalar T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, T{}) {}
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  std::size_t size() const noexcept { return data_.size(); }
+
+  T& operator()(std::size_t r, std::size_t c) {
+    KAMI_ASSERT(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  const T& operator()(std::size_t r, std::size_t c) const {
+    KAMI_ASSERT(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  T* data() noexcept { return data_.data(); }
+  const T* data() const noexcept { return data_.data(); }
+
+  void fill(T v) {
+    for (auto& x : data_) x = v;
+  }
+
+  /// Widen every element to double (for error measurement).
+  Matrix<double> to_double() const {
+    Matrix<double> out(rows_, cols_);
+    for (std::size_t r = 0; r < rows_; ++r)
+      for (std::size_t c = 0; c < cols_; ++c)
+        out(r, c) = static_cast<double>(num_traits<T>::to_acc((*this)(r, c)));
+    return out;
+  }
+
+  bool same_shape(const Matrix& other) const noexcept {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+/// Uniform random matrix in [lo, hi), rounded into T's precision.
+template <Scalar T>
+Matrix<T> random_matrix(std::size_t rows, std::size_t cols, Rng& rng, double lo = -1.0,
+                        double hi = 1.0) {
+  Matrix<T> m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c)
+      m(r, c) = num_traits<T>::from_acc(
+          static_cast<typename num_traits<T>::acc_t>(rng.uniform(lo, hi)));
+  return m;
+}
+
+/// Largest absolute element-wise difference, computed in double.
+template <Scalar T, Scalar U>
+double max_abs_diff(const Matrix<T>& a, const Matrix<U>& b) {
+  KAMI_REQUIRE(a.rows() == b.rows() && a.cols() == b.cols());
+  double worst = 0.0;
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      const double da = static_cast<double>(num_traits<T>::to_acc(a(r, c)));
+      const double db = static_cast<double>(num_traits<U>::to_acc(b(r, c)));
+      const double diff = da > db ? da - db : db - da;
+      if (diff > worst) worst = diff;
+    }
+  return worst;
+}
+
+}  // namespace kami

@@ -1,0 +1,83 @@
+// Uniform compile-time interface over the storage scalar types used by the
+// simulated tensor cores. Each trait exposes:
+//   acc_t       — the accumulator type the MMA instruction uses (Table 4),
+//   precision   — the runtime Precision tag,
+//   to_acc/from_acc — lossless widening / correctly-rounded narrowing.
+#pragma once
+
+#include "types/float_formats.hpp"
+
+namespace kami {
+
+/// TF32 storage: a float that has already been rounded to 10 mantissa bits.
+/// Modelled as a distinct type so GEMM code paths can be generic over the
+/// storage format while TF32's input rounding stays explicit.
+class tf32_t {
+ public:
+  tf32_t() = default;
+  explicit tf32_t(float v) noexcept : value_(round_to_tf32(v)) {}
+  explicit operator float() const noexcept { return value_; }
+
+ private:
+  float value_ = 0.0f;
+};
+
+template <typename T>
+struct num_traits;
+
+template <>
+struct num_traits<double> {
+  using acc_t = double;
+  static constexpr Precision precision = Precision::FP64;
+  static double to_acc(double v) noexcept { return v; }
+  static double from_acc(double v) noexcept { return v; }
+};
+
+template <>
+struct num_traits<float> {
+  using acc_t = float;
+  static constexpr Precision precision = Precision::FP32;
+  static float to_acc(float v) noexcept { return v; }
+  static float from_acc(float v) noexcept { return v; }
+};
+
+template <>
+struct num_traits<tf32_t> {
+  using acc_t = float;
+  static constexpr Precision precision = Precision::TF32;
+  static float to_acc(tf32_t v) noexcept { return static_cast<float>(v); }
+  static tf32_t from_acc(float v) noexcept { return tf32_t{v}; }
+};
+
+template <>
+struct num_traits<fp16_t> {
+  using acc_t = float;
+  static constexpr Precision precision = Precision::FP16;
+  static float to_acc(fp16_t v) noexcept { return static_cast<float>(v); }
+  static fp16_t from_acc(float v) noexcept { return fp16_t{v}; }
+};
+
+template <>
+struct num_traits<bf16_t> {
+  using acc_t = float;
+  static constexpr Precision precision = Precision::BF16;
+  static float to_acc(bf16_t v) noexcept { return static_cast<float>(v); }
+  static bf16_t from_acc(float v) noexcept { return bf16_t{v}; }
+};
+
+template <>
+struct num_traits<fp8_e4m3_t> {
+  using acc_t = float;
+  static constexpr Precision precision = Precision::FP8E4M3;
+  static float to_acc(fp8_e4m3_t v) noexcept { return static_cast<float>(v); }
+  static fp8_e4m3_t from_acc(float v) noexcept { return fp8_e4m3_t{v}; }
+};
+
+/// Concept: any scalar with a num_traits specialization.
+template <typename T>
+concept Scalar = requires(T v, typename num_traits<T>::acc_t a) {
+  { num_traits<T>::to_acc(v) } -> std::same_as<typename num_traits<T>::acc_t>;
+  { num_traits<T>::from_acc(a) } -> std::same_as<T>;
+};
+
+}  // namespace kami

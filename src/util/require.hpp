@@ -1,0 +1,48 @@
+// Precondition checking used throughout the library.
+//
+// KAMI_REQUIRE throws kami::PreconditionError on failure regardless of build
+// type: the library is a research artifact and silent precondition violations
+// (e.g. a warp count that is not a perfect square for the 2D algorithm) would
+// invalidate experiments. Hot inner loops use KAMI_ASSERT, which compiles out
+// in release builds.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace kami {
+
+/// Thrown when a public-API precondition is violated.
+class PreconditionError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void require_failed(const char* expr, const std::string& msg,
+                                        const std::source_location loc) {
+  std::string what = std::string(loc.file_name()) + ":" + std::to_string(loc.line()) +
+                     ": requirement failed: " + expr;
+  if (!msg.empty()) what += " (" + msg + ")";
+  throw PreconditionError(what);
+}
+
+}  // namespace detail
+
+}  // namespace kami
+
+#define KAMI_REQUIRE(expr, ...)                                                       \
+  do {                                                                                \
+    if (!(expr)) [[unlikely]] {                                                       \
+      ::kami::detail::require_failed(#expr, ::std::string{__VA_ARGS__},               \
+                                     ::std::source_location::current());              \
+    }                                                                                 \
+  } while (false)
+
+#ifdef NDEBUG
+#define KAMI_ASSERT(expr) ((void)0)
+#else
+#define KAMI_ASSERT(expr) KAMI_REQUIRE(expr)
+#endif

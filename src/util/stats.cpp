@@ -1,0 +1,59 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace kami {
+
+double mean(std::span<const double> xs) {
+  KAMI_REQUIRE(!xs.empty());
+  double acc = 0.0;
+  for (double x : xs) acc += x;
+  return acc / static_cast<double>(xs.size());
+}
+
+double geomean(std::span<const double> xs) {
+  KAMI_REQUIRE(!xs.empty());
+  double acc = 0.0;
+  for (double x : xs) {
+    KAMI_REQUIRE(x > 0.0, "geomean requires positive inputs");
+    acc += std::log(x);
+  }
+  return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+double stddev(std::span<const double> xs) {
+  KAMI_REQUIRE(xs.size() >= 2);
+  const double mu = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - mu) * (x - mu);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double min_of(std::span<const double> xs) {
+  KAMI_REQUIRE(!xs.empty());
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(std::span<const double> xs) {
+  KAMI_REQUIRE(!xs.empty());
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double median(std::span<const double> xs) {
+  KAMI_REQUIRE(!xs.empty());
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t n = sorted.size();
+  return (n % 2 == 1) ? sorted[n / 2] : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+}
+
+double relative_error(double a, double b) {
+  const double denom = std::max(std::abs(b), 1e-300);
+  return std::abs(a - b) / denom;
+}
+
+}  // namespace kami

@@ -1,0 +1,19 @@
+// Summary statistics used by the benchmark harness when reporting the
+// average / peak speedups the paper quotes in Section 5.
+#pragma once
+
+#include <span>
+
+namespace kami {
+
+double mean(std::span<const double> xs);
+double geomean(std::span<const double> xs);  ///< All inputs must be > 0.
+double stddev(std::span<const double> xs);   ///< Sample standard deviation.
+double min_of(std::span<const double> xs);
+double max_of(std::span<const double> xs);
+double median(std::span<const double> xs);
+
+/// Relative error |a - b| / max(|b|, eps); used by model-vs-measured checks.
+double relative_error(double a, double b);
+
+}  // namespace kami

@@ -1,0 +1,40 @@
+// Console table and CSV emission for the benchmark harness.
+//
+// Every bench binary prints the rows/series of one paper figure or table;
+// TablePrinter keeps that output aligned and also mirrors it to CSV so the
+// series can be re-plotted.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace kami {
+
+class TablePrinter {
+ public:
+  /// Column headers define the table width; every row must match.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with aligned columns, header rule, and a title line.
+  void print(std::ostream& os, const std::string& title) const;
+
+  /// Comma-separated form of the same data (headers first).
+  std::string to_csv() const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision float formatting ("12.34"); avoids locale surprises.
+std::string fmt_double(double v, int precision = 2);
+
+/// Human-oriented count like "16384".
+std::string fmt_count(std::uint64_t v);
+
+}  // namespace kami

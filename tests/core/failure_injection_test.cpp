@@ -1,0 +1,144 @@
+// Failure injection: kernels on deliberately hostile device configurations.
+// Every failure mode must surface as a typed exception (or a planner
+// rejection), never as a wrong answer or a crash.
+#include <gtest/gtest.h>
+
+#include "../testing/test_device.hpp"
+#include "baselines/reference.hpp"
+#include "core/kami.hpp"
+#include "core/planner.hpp"
+
+namespace kami::core {
+namespace {
+
+sim::DeviceSpec hostile_base() {
+  auto dev = kami::testing::tiny_device();
+  // Give it a tensor path for every precision and realistic overheads.
+  dev.smem_transaction_overhead_cycles = 12.0;
+  dev.sync_latency_cycles = 15.0;
+  return dev;
+}
+
+TEST(FailureInjection, TinySharedMemoryRejectsSpillPlans) {
+  auto dev = hostile_base();
+  dev.smem_bytes_per_block = 512;  // barely a broadcast buffer
+  Rng rng(1);
+  const auto A = random_matrix<fp16_t>(128, 128, rng);
+  const auto B = random_matrix<fp16_t>(128, 128, rng);
+  GemmOptions opt;
+  opt.warps = 4;
+  opt.smem_ratio = 0.5;  // spilling needs smem the device lacks
+  EXPECT_THROW((void)gemm(Algo::OneD, dev, A, B, opt), PreconditionError);
+}
+
+TEST(FailureInjection, TinySharedMemoryStillRunsResidentPlans) {
+  auto dev = hostile_base();
+  dev.smem_bytes_per_block = 8 * 1024;
+  Rng rng(2);
+  const auto A = random_matrix<fp16_t>(32, 32, rng);
+  const auto B = random_matrix<fp16_t>(32, 32, rng);
+  const auto r = gemm(Algo::OneD, dev, A, B);
+  EXPECT_DOUBLE_EQ(max_abs_diff(r.C, baselines::reference_gemm(A, B)), 0.0);
+}
+
+TEST(FailureInjection, BankConflictFactorsSlowButDontCorrupt) {
+  const auto dev = hostile_base();
+  Rng rng(3);
+  const auto A = random_matrix<fp16_t>(64, 64, rng);
+  const auto B = random_matrix<fp16_t>(64, 64, rng);
+  GemmOptions clean;
+  clean.warps = 4;
+  clean.smem_ratio = 0.0;
+  GemmOptions conflicted = clean;
+  conflicted.theta_r = 0.25;  // 4-way read conflicts
+  conflicted.theta_w = 0.5;
+  const auto rc = gemm(Algo::OneD, dev, A, B, clean);
+  const auto rx = gemm(Algo::OneD, dev, A, B, conflicted);
+  EXPECT_DOUBLE_EQ(max_abs_diff(rc.C, rx.C), 0.0);
+  EXPECT_GT(rx.profile.smem_busy, rc.profile.smem_busy);
+  EXPECT_GT(rx.profile.latency, rc.profile.latency);
+}
+
+TEST(FailureInjection, InvalidThetaRejected) {
+  const auto dev = hostile_base();
+  Rng rng(4);
+  const auto A = random_matrix<fp16_t>(32, 32, rng);
+  const auto B = random_matrix<fp16_t>(32, 32, rng);
+  GemmOptions opt;
+  opt.theta_r = 0.0;
+  EXPECT_THROW((void)gemm(Algo::OneD, dev, A, B, opt), PreconditionError);
+  opt.theta_r = 1.5;
+  EXPECT_THROW((void)gemm(Algo::OneD, dev, A, B, opt), PreconditionError);
+}
+
+TEST(FailureInjection, SingleTensorCoreSerializesWarps) {
+  auto one_tc = hostile_base();
+  one_tc.tensor_cores_per_sm = 1;
+  // Re-derive O_tc: halve the peak so per-unit throughput stays 32.
+  one_tc.peak_fp16_tflops /= 2.0;
+  auto two_tc = hostile_base();
+  Rng rng(5);
+  const auto A = random_matrix<fp16_t>(64, 64, rng);
+  const auto B = random_matrix<fp16_t>(64, 64, rng);
+  GemmOptions opt;
+  opt.warps = 4;
+  opt.smem_ratio = 0.0;
+  const auto r1 = gemm(Algo::OneD, one_tc, A, B, opt);
+  const auto r2 = gemm(Algo::OneD, two_tc, A, B, opt);
+  EXPECT_GT(r1.profile.latency, r2.profile.latency);
+  EXPECT_DOUBLE_EQ(max_abs_diff(r1.C, r2.C), 0.0);
+}
+
+TEST(FailureInjection, ZeroDimensionRejected) {
+  const auto dev = hostile_base();
+  Matrix<fp16_t> a0(0, 0), b0(0, 0);
+  EXPECT_THROW((void)gemm(Algo::OneD, dev, a0, b0), PreconditionError);
+}
+
+TEST(FailureInjection, PlannerReportsSmemShortfallDistinctly) {
+  auto dev = hostile_base();
+  dev.smem_bytes_per_block = 256;
+  GemmOptions opt;
+  opt.warps = 4;
+  opt.smem_ratio = 0.75;
+  try {
+    (void)plan_gemm(Algo::OneD, dev, Precision::FP16, 64, 64, 64, opt);
+    FAIL() << "expected a planner rejection";
+  } catch (const sim::RegisterOverflow& e) {
+    EXPECT_NE(std::string(e.what()).find("shared memory"), std::string::npos);
+  }
+}
+
+TEST(FailureInjection, ExtremeAspectRatios) {
+  // 1-row and 1-column-block products exercise planner fallbacks.
+  const auto& dev = sim::gh200();
+  Rng rng(6);
+  {
+    const auto A = random_matrix<fp16_t>(16, 256, rng);  // short and fat k
+    const auto B = random_matrix<fp16_t>(256, 16, rng);
+    const auto r = gemm(Algo::OneD, dev, A, B);
+    EXPECT_DOUBLE_EQ(max_abs_diff(r.C, baselines::reference_gemm(A, B)), 0.0);
+  }
+  {
+    const auto A = random_matrix<fp16_t>(256, 16, rng);  // tall and thin k
+    const auto B = random_matrix<fp16_t>(16, 256, rng);
+    const auto r = gemm(Algo::OneD, dev, A, B);
+    EXPECT_DOUBLE_EQ(max_abs_diff(r.C, baselines::reference_gemm(A, B)), 0.0);
+  }
+}
+
+TEST(FailureInjection, FragViewWindowBoundsChecked) {
+  const auto dev = hostile_base();
+  sim::ThreadBlock blk(dev, 1);
+  blk.phase([&](sim::Warp& w) {
+    auto f = w.alloc_fragment<float>(8, 8);
+    auto v = f.view();
+    auto sub = v.window(2, 2, 4, 4);
+    f(3, 3) = 7.0f;
+    EXPECT_FLOAT_EQ(sub(1, 1), 7.0f);
+    EXPECT_THROW((void)v.window(6, 6, 4, 4), PreconditionError);
+  });
+}
+
+}  // namespace
+}  // namespace kami::core

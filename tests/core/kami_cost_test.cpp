@@ -1,0 +1,142 @@
+// Cycle-accounting properties of the KAMI kernels: determinism, agreement
+// with the Section 4 analytic model, and the Fig 10 spill trade-off.
+#include <gtest/gtest.h>
+
+#include "baselines/reference.hpp"
+#include "core/kami.hpp"
+#include "model/cost_model.hpp"
+
+namespace kami {
+namespace {
+
+const sim::DeviceSpec& dev() { return sim::gh200(); }
+
+template <Scalar T>
+GemmResult<T> run(Algo algo, std::size_t n, const GemmOptions& opt = {}) {
+  Rng rng(n * 31 + static_cast<std::size_t>(algo));
+  const auto A = random_matrix<T>(n, n, rng);
+  const auto B = random_matrix<T>(n, n, rng);
+  return gemm(algo, dev(), A, B, opt);
+}
+
+TEST(KamiCost, DeterministicCycleCounts) {
+  for (Algo algo : {Algo::OneD, Algo::TwoD, Algo::ThreeD}) {
+    const auto a = run<fp16_t>(algo, 64);
+    const auto b = run<fp16_t>(algo, 64);
+    EXPECT_DOUBLE_EQ(a.profile.latency, b.profile.latency) << algo_name(algo);
+    EXPECT_DOUBLE_EQ(a.profile.smem_busy, b.profile.smem_busy);
+    EXPECT_DOUBLE_EQ(a.profile.tc_busy, b.profile.tc_busy);
+  }
+}
+
+// 1D, 64^3 FP16, p = 4, no spill: every stage is 1 write + 3 serialized
+// reads of a 2 KiB B-slice. Port occupancy = V_cm aggregate / B_sm plus the
+// per-transaction instruction overhead:
+//   bytes: write 4 x 2 KiB + read 12 x 2 KiB = 32 KiB -> 256 cycles @128 B/c
+//   transactions: 16 x 12 cycles = 192
+TEST(KamiCost, OneDSmemOccupancyMatchesHandModel) {
+  GemmOptions opt;
+  opt.warps = 4;
+  opt.smem_ratio = 0.0;
+  const auto r = run<fp16_t>(Algo::OneD, 64, opt);
+  EXPECT_NEAR(r.profile.smem_busy, 256.0 + 16.0 * 12.0, 1e-9);
+}
+
+// The aggregate data volume on the port equals the model's total:
+// V_write + V_read = kn*se + (p-1)*kn*se. With the fixed 16-wide stripes,
+// order 32 has 2 broadcast stages (8 transactions) and order 64 has 4 (16).
+TEST(KamiCost, OneDVolumeScalesWithN) {
+  GemmOptions opt;
+  opt.warps = 4;
+  opt.smem_ratio = 0.0;
+  const auto r64 = run<fp16_t>(Algo::OneD, 64, opt);
+  const auto r32 = run<fp16_t>(Algo::OneD, 32, opt);
+  EXPECT_NEAR(r64.profile.smem_busy - 16.0 * 12.0,
+              4.0 * (r32.profile.smem_busy - 8.0 * 12.0), 1e-9);
+}
+
+TEST(KamiCost, TensorCoreBusyMatchesFlops) {
+  GemmOptions opt;
+  opt.warps = 4;
+  opt.smem_ratio = 0.0;
+  const auto r = run<fp16_t>(Algo::OneD, 64, opt);
+  // No padding at 64: issued flops = 2*64^3; units booked at the ideal rate.
+  const double otc = dev().ops_per_cycle_per_tc(Precision::FP16);
+  EXPECT_NEAR(r.profile.tc_busy, 2.0 * 64 * 64 * 64 / otc, 1e-9);
+}
+
+TEST(KamiCost, SpillingTradesRegistersForSmemTraffic) {
+  GemmOptions none;
+  none.warps = 4;
+  none.smem_ratio = 0.0;
+  GemmOptions heavy;
+  heavy.warps = 4;
+  heavy.smem_ratio = 0.75;
+  const auto r0 = run<fp16_t>(Algo::OneD, 64, none);
+  const auto r3 = run<fp16_t>(Algo::OneD, 64, heavy);
+  EXPECT_LT(r3.profile.reg_bytes_per_warp, r0.profile.reg_bytes_per_warp);
+  EXPECT_GT(r3.profile.smem_busy, r0.profile.smem_busy);
+  EXPECT_GT(r3.profile.smem_bytes, r0.profile.smem_bytes);
+}
+
+TEST(KamiCost, LatencyEqualsBreakdownTotal) {
+  for (Algo algo : {Algo::OneD, Algo::TwoD}) {
+    const auto r = run<fp16_t>(algo, 64);
+    const auto& bd = r.profile.mean_breakdown;
+    // Per-warp category sums average to the block latency (every warp ends
+    // at the same barrier).
+    EXPECT_NEAR(bd.total(), r.profile.latency, 1e-6) << algo_name(algo);
+  }
+}
+
+TEST(KamiCost, ChargedIoGmemTrafficMatchesFootprint) {
+  GemmOptions opt;
+  opt.warps = 4;  // FP64 at 64 slightly overflows at ratio 0; let it spill
+  opt.charge_global_io = true;
+  const auto r = run<double>(Algo::OneD, 64, opt);
+  // A + B at 8 B plus the C writeback at 8 B: 3 * 64^2 * 8 bytes.
+  const double bytes = 3.0 * 64 * 64 * 8;
+  EXPECT_NEAR(r.profile.gmem_busy, bytes / dev().gmem_bytes_per_cycle_per_sm, 1e-6);
+}
+
+TEST(KamiCost, ModelTracksSimulatedCommunication) {
+  // The analytic comm term and the simulated smem occupancy agree within
+  // the transaction-overhead margin for all three algorithms (Fig 15).
+  const std::size_t n = 64;
+  auto params = model::Params::from_device(dev(), Precision::FP16, n, n, n, 4);
+  GemmOptions opt;
+  opt.smem_ratio = 0.0;
+
+  opt.warps = 4;
+  const auto r1 = run<fp16_t>(Algo::OneD, n, opt);
+  const double m1 = model::cost_1d(params).comm_cycles - params.L_sm * 4;
+  EXPECT_NEAR(r1.profile.smem_busy - m1, 192.0, 1e-6);  // 16 transactions
+
+  const auto r2 = run<fp16_t>(Algo::TwoD, n, opt);
+  const double m2 = model::cost_2d(params).comm_cycles - params.L_sm * 2;
+  EXPECT_NEAR(r2.profile.smem_busy - m2, 32.0 * 12.0, 1e-6);  // 32 transactions
+
+  params.p = 8;
+  opt.warps = 8;
+  const auto r3 = run<fp16_t>(Algo::ThreeD, n, opt);
+  const double m3 = model::cost_3d(params).comm_cycles - params.L_sm * 2;
+  // 3D adds the inter-layer reduction (mn * 4 B at c-1 = 1 round, written
+  // and read once) on top of the A/B broadcast volume.
+  const double reduction_bytes = 2.0 * 64 * 64 * 4;
+  EXPECT_GT(r3.profile.smem_busy, m3);
+  EXPECT_NEAR(r3.profile.smem_busy,
+              m3 + reduction_bytes / 128.0 + 48.0 * 12.0, 1e-6);
+}
+
+TEST(KamiCost, ProfileReportsSmemFootprint) {
+  GemmOptions opt;
+  opt.warps = 4;
+  opt.smem_ratio = 0.0;
+  const auto r = run<fp16_t>(Algo::OneD, 64, opt);
+  // §5.6.1: KAMI uses only a few KB of shared memory (the broadcast buffer).
+  EXPECT_LE(r.profile.smem_bytes, 8u * 1024u);
+  EXPECT_GT(r.profile.smem_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace kami

@@ -1,0 +1,48 @@
+#include "model/roofline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace kami::model {
+namespace {
+
+TEST(Roofline, SquareGemmIntensity) {
+  // n = 64 FP64: AI = 2*64^3 / (3*64^2*8) = 64/12 flops/byte.
+  EXPECT_NEAR(gemm_arithmetic_intensity(64, 64, 64, Precision::FP64), 64.0 / 12.0, 1e-12);
+}
+
+TEST(Roofline, IntensityGrowsWithN) {
+  const double small = gemm_arithmetic_intensity(16, 16, 16, Precision::FP64);
+  const double big = gemm_arithmetic_intensity(4096, 4096, 4096, Precision::FP64);
+  EXPECT_GT(big, small);
+}
+
+TEST(Roofline, SmallSizesAreMemoryBound) {
+  const auto& dev = sim::gh200();
+  const double ai = gemm_arithmetic_intensity(16, 16, 16, Precision::FP64);
+  EXPECT_LT(roofline_tflops(dev, Precision::FP64, ai), dev.peak_fp64_tflops);
+}
+
+TEST(Roofline, LargeSizesHitComputePeak) {
+  const auto& dev = sim::gh200();
+  const double ai = gemm_arithmetic_intensity(8192, 8192, 8192, Precision::FP64);
+  EXPECT_DOUBLE_EQ(roofline_tflops(dev, Precision::FP64, ai), dev.peak_fp64_tflops);
+}
+
+TEST(Roofline, BandwidthAggregatesOverSms) {
+  const auto& dev = sim::gh200();
+  // 15.3 B/cyc/SM x 132 SMs x 1.98 GHz = ~4 TB/s.
+  EXPECT_NEAR(device_gmem_bytes_per_second(dev) / 1e12, 4.0, 0.05);
+}
+
+TEST(Roofline, RidgePointSeparatesRegimes) {
+  const auto& dev = sim::gh200();
+  const double bw = device_gmem_bytes_per_second(dev);
+  const double ridge = dev.peak_fp64_tflops * 1e12 / bw;
+  EXPECT_LT(roofline_tflops(dev, Precision::FP64, ridge * 0.5),
+            dev.peak_fp64_tflops * 0.51);
+  EXPECT_DOUBLE_EQ(roofline_tflops(dev, Precision::FP64, ridge * 2.0),
+                   dev.peak_fp64_tflops);
+}
+
+}  // namespace
+}  // namespace kami::model

@@ -1,0 +1,61 @@
+#include "sim/bank_conflicts.hpp"
+
+#include <gtest/gtest.h>
+
+namespace kami::sim {
+namespace {
+
+const DeviceSpec& nv() { return gh200(); }  // 32 banks x 4 B
+
+TEST(BankConflicts, UnitStrideIsConflictFree) {
+  EXPECT_DOUBLE_EQ(strided_access_theta(nv(), 4, 1), 1.0);
+  EXPECT_DOUBLE_EQ(strided_access_theta(nv(), 8, 1), 1.0);  // fp64 spans 2 banks
+  EXPECT_DOUBLE_EQ(strided_access_theta(nv(), 2, 1), 1.0);  // fp16 packs 2/bank
+}
+
+TEST(BankConflicts, PowerOfTwoStridesSerialize) {
+  // 4 B words, stride 32: all 32 lanes hit bank 0 -> 32-way conflict.
+  EXPECT_DOUBLE_EQ(strided_access_theta(nv(), 4, 32), 1.0 / 32.0);
+  // Stride 16: lanes alternate between 2 banks -> 16-way.
+  EXPECT_DOUBLE_EQ(strided_access_theta(nv(), 4, 16), 1.0 / 16.0);
+  // Stride 2: 2-way.
+  EXPECT_DOUBLE_EQ(strided_access_theta(nv(), 4, 2), 1.0 / 2.0);
+}
+
+TEST(BankConflicts, OddStridesAreConflictFree) {
+  for (std::size_t stride : {3u, 5u, 7u, 17u, 33u})
+    EXPECT_DOUBLE_EQ(strided_access_theta(nv(), 4, stride), 1.0) << stride;
+}
+
+TEST(BankConflicts, ColumnAccessOfPowerOfTwoTileConflicts) {
+  // Reading a column of a row-major 32-wide FP32 tile: stride 32 -> 1/32.
+  EXPECT_DOUBLE_EQ(column_access_theta(nv(), 4, 32), 1.0 / 32.0);
+  // FP16 tile 64 wide: stride 64 halves, two halves share bank words.
+  EXPECT_LT(column_access_theta(nv(), 2, 64), 1.0);
+}
+
+TEST(BankConflicts, PaddingRestoresFullBandwidth) {
+  const std::size_t pad = conflict_free_padding(nv(), 4, 32);
+  EXPECT_GT(pad, 0u);
+  EXPECT_DOUBLE_EQ(strided_access_theta(nv(), 4, 32 + pad), 1.0);
+  EXPECT_EQ(pad, 1u);  // the classic +1 trick
+}
+
+TEST(BankConflicts, IntelHasFewerBanks) {
+  const auto& intel = intel_max1100();  // 16 banks
+  EXPECT_DOUBLE_EQ(strided_access_theta(intel, 4, 16), 1.0 / 16.0);
+  // Stride 32 on 16 banks: 32 distinct words in one bank, ideal 2 cycles.
+  EXPECT_DOUBLE_EQ(strided_access_theta(intel, 4, 32), 2.0 / 32.0);
+}
+
+TEST(BankConflicts, SubWordTypesShareBankWords) {
+  // FP16 at stride 2: consecutive lanes touch consecutive 4 B words -> free.
+  EXPECT_DOUBLE_EQ(strided_access_theta(nv(), 2, 2), 1.0);
+  // FP16 unit stride: lane pairs broadcast from a shared word -> free.
+  EXPECT_DOUBLE_EQ(strided_access_theta(nv(), 2, 1), 1.0);
+  // FP16 at stride 64: 32 distinct words all in bank 0 -> 32-way.
+  EXPECT_DOUBLE_EQ(strided_access_theta(nv(), 2, 64), 1.0 / 32.0);
+}
+
+}  // namespace
+}  // namespace kami::sim

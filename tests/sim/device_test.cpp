@@ -1,0 +1,106 @@
+#include "sim/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+
+namespace kami::sim {
+namespace {
+
+// Table 3 of the paper, row by row.
+TEST(Device, Table3Gh200) {
+  const auto& d = gh200();
+  EXPECT_DOUBLE_EQ(d.boost_clock_ghz, 1.980);
+  EXPECT_EQ(d.smem_banks, 32);
+  EXPECT_EQ(d.bank_width_bytes, 4);
+  EXPECT_EQ(d.num_sms, 132);
+  EXPECT_EQ(d.tensor_cores_per_sm, 4);
+  EXPECT_DOUBLE_EQ(d.peak_fp16_tflops, 990.0);
+  EXPECT_DOUBLE_EQ(d.peak_fp64_tflops, 67.0);
+}
+
+TEST(Device, Table3Rtx5090) {
+  const auto& d = rtx5090();
+  EXPECT_DOUBLE_EQ(d.boost_clock_ghz, 2.655);
+  EXPECT_EQ(d.num_sms, 170);
+  EXPECT_DOUBLE_EQ(d.peak_fp16_tflops, 462.0);
+  EXPECT_FALSE(d.supports(Precision::FP64));  // Table 3: N/A
+}
+
+TEST(Device, Table3Amd) {
+  const auto& d = amd7900xtx();
+  EXPECT_DOUBLE_EQ(d.boost_clock_ghz, 2.498);
+  EXPECT_EQ(d.num_sms, 96);
+  EXPECT_EQ(d.tensor_cores_per_sm, 2);
+  EXPECT_DOUBLE_EQ(d.peak_fp16_tflops, 123.0);
+  EXPECT_EQ(d.api, "HIP");
+}
+
+TEST(Device, Table3Intel) {
+  const auto& d = intel_max1100();
+  EXPECT_DOUBLE_EQ(d.boost_clock_ghz, 1.550);
+  EXPECT_EQ(d.num_sms, 448);
+  EXPECT_EQ(d.tensor_cores_per_sm, 1);
+  EXPECT_EQ(d.smem_banks, 16);  // Table 3: 16 x 4 B
+  EXPECT_DOUBLE_EQ(d.peak_fp16_tflops, 22.0);
+  EXPECT_EQ(d.api, "SYCL");
+}
+
+TEST(Device, SmemBandwidthIsBanksTimesWidth) {
+  EXPECT_DOUBLE_EQ(gh200().smem_bytes_per_cycle(), 128.0);       // 32 x 4
+  EXPECT_DOUBLE_EQ(intel_max1100().smem_bytes_per_cycle(), 64.0);  // 16 x 4
+}
+
+TEST(Device, OtcDerivationReproducesPeak) {
+  // peak = sms * n_tc * O_tc * clock must hold by construction.
+  for (const DeviceSpec* d : {&gh200(), &rtx5090(), &amd7900xtx(), &intel_max1100()}) {
+    const double otc = d->ops_per_cycle_per_tc(Precision::FP16);
+    const double peak = static_cast<double>(d->num_sms) *
+                        static_cast<double>(d->tensor_cores_per_sm) * otc *
+                        d->boost_clock_ghz * 1e9 / 1e12;
+    EXPECT_NEAR(peak, d->peak_fp16_tflops, 1e-9) << d->name;
+  }
+}
+
+TEST(Device, UnsupportedPrecisionThrows) {
+  EXPECT_THROW((void)rtx5090().ops_per_cycle_per_tc(Precision::FP64),
+               kami::PreconditionError);
+  EXPECT_THROW((void)amd7900xtx().ops_per_cycle_per_tc(Precision::FP8E4M3),
+               kami::PreconditionError);
+}
+
+// Table 4: instruction shapes.
+TEST(Device, MmaShapesMatchTable4) {
+  const auto fp64 = gh200().mma_shape(Precision::FP64);
+  EXPECT_EQ(fp64.m, 16);
+  EXPECT_EQ(fp64.n, 8);
+  EXPECT_EQ(fp64.k, 8);
+  const auto fp16 = gh200().mma_shape(Precision::FP16);
+  EXPECT_EQ(fp16.k, 16);
+  const auto amd = amd7900xtx().mma_shape(Precision::FP16);
+  EXPECT_EQ(amd.m, 16);
+  EXPECT_EQ(amd.n, 16);
+  EXPECT_EQ(amd.k, 16);
+  const auto intel = intel_max1100().mma_shape(Precision::FP16);
+  EXPECT_EQ(intel.n, 16);
+}
+
+TEST(Device, RegisterFilePerWarp) {
+  // 255 regs x 4 B x 32 threads (§4.7's budget arithmetic).
+  EXPECT_EQ(gh200().reg_bytes_per_warp(), 255u * 4u * 32u);
+}
+
+TEST(Device, LookupByName) {
+  EXPECT_EQ(device_by_name("GH200").name, "GH200");
+  EXPECT_EQ(device_by_name("Max 1100").vendor, "Intel");
+  EXPECT_THROW((void)device_by_name("H100"), kami::PreconditionError);
+}
+
+TEST(Device, WorkedExampleConstants) {
+  // §4.3's example assumes L_sm = 22 and B_sm = 128 on NVIDIA hardware.
+  EXPECT_DOUBLE_EQ(gh200().smem_latency_cycles, 22.0);
+  EXPECT_DOUBLE_EQ(gh200().smem_bytes_per_cycle(), 128.0);
+}
+
+}  // namespace
+}  // namespace kami::sim

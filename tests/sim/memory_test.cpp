@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "sim/fragment.hpp"
+#include "sim/register_file.hpp"
+#include "sim/shared_memory.hpp"
+
+namespace kami::sim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SharedMemory
+// ---------------------------------------------------------------------------
+
+TEST(SharedMemory, AllocWithinCapacity) {
+  SharedMemory sm(1024, 128.0, 22.0);
+  auto t = sm.alloc<double>(8, 8);  // 512 B
+  EXPECT_EQ(t.bytes(), 512u);
+  EXPECT_GE(sm.bytes_allocated(), 512u);
+}
+
+TEST(SharedMemory, OverflowThrows) {
+  SharedMemory sm(1024, 128.0, 22.0);
+  (void)sm.alloc<double>(8, 8);
+  EXPECT_THROW((void)sm.alloc<double>(10, 10), SharedMemoryOverflow);
+}
+
+TEST(SharedMemory, ResetAllowsReuseAndKeepsHighWater) {
+  SharedMemory sm(1024, 128.0, 22.0);
+  (void)sm.alloc<double>(8, 8);
+  sm.reset_allocations();
+  EXPECT_EQ(sm.bytes_allocated(), 0u);
+  (void)sm.alloc<double>(8, 8);
+  EXPECT_GE(sm.high_water_bytes(), 512u);
+}
+
+TEST(SharedMemory, DataRoundTrip) {
+  SharedMemory sm(1024, 128.0, 22.0);
+  auto t = sm.alloc<float>(2, 3);
+  const float src[6] = {1, 2, 3, 4, 5, 6};
+  sm.write(t, src, 6);
+  float dst[6] = {};
+  sm.read(t, dst, 6);
+  for (int i = 0; i < 6; ++i) EXPECT_FLOAT_EQ(dst[i], src[i]);
+}
+
+TEST(SharedMemory, UnwrittenRegionReadsZero) {
+  SharedMemory sm(1024, 128.0, 22.0);
+  auto t = sm.alloc<float>(1, 4);
+  float dst[4] = {9, 9, 9, 9};
+  sm.read(t, dst, 4);
+  for (float v : dst) EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(SharedMemory, TransferOccupancyFollowsBandwidthAndTheta) {
+  SharedMemory sm(1024, 128.0, 22.0);
+  EXPECT_DOUBLE_EQ(sm.transfer_occupancy(256, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(sm.transfer_occupancy(256, 0.5), 4.0);  // conflicts halve B_sm
+}
+
+TEST(SharedMemory, RejectsInvalidTheta) {
+  SharedMemory sm(1024, 128.0, 22.0);
+  EXPECT_THROW((void)sm.transfer_occupancy(1, 0.0), kami::PreconditionError);
+  EXPECT_THROW((void)sm.transfer_occupancy(1, 1.5), kami::PreconditionError);
+}
+
+// ---------------------------------------------------------------------------
+// RegisterFile
+// ---------------------------------------------------------------------------
+
+TEST(RegisterFile, AllocateReleaseCycle) {
+  RegisterFile rf(100);
+  rf.allocate(60);
+  EXPECT_EQ(rf.used(), 60u);
+  rf.release(60);
+  EXPECT_EQ(rf.used(), 0u);
+  EXPECT_EQ(rf.high_water(), 60u);
+}
+
+TEST(RegisterFile, OverflowThrowsWithoutCorruptingState) {
+  RegisterFile rf(100);
+  rf.allocate(80);
+  EXPECT_THROW(rf.allocate(30), RegisterOverflow);
+  EXPECT_EQ(rf.used(), 80u);  // failed allocation does not leak
+}
+
+TEST(RegisterFile, HighWaterAsRegsPerThread) {
+  RegisterFile rf(255 * 4 * 32);
+  rf.allocate(4 * 32 * 10);  // 10 registers per thread worth
+  EXPECT_DOUBLE_EQ(rf.high_water_regs_per_thread(32), 10.0);
+}
+
+// ---------------------------------------------------------------------------
+// Fragment
+// ---------------------------------------------------------------------------
+
+TEST(Fragment, AllocatesAndReleasesRegisters) {
+  RegisterFile rf(4096);
+  {
+    Fragment<float> f(rf, 8, 8);
+    EXPECT_EQ(rf.used(), 256u);
+    f(3, 4) = 1.5f;
+    EXPECT_FLOAT_EQ(f(3, 4), 1.5f);
+  }
+  EXPECT_EQ(rf.used(), 0u);
+}
+
+TEST(Fragment, OverflowPropagates) {
+  RegisterFile rf(100);
+  EXPECT_THROW(Fragment<double> f(rf, 8, 8), RegisterOverflow);
+}
+
+TEST(Fragment, MoveTransfersOwnership) {
+  RegisterFile rf(4096);
+  Fragment<float> a(rf, 4, 4);
+  a(0, 0) = 2.0f;
+  Fragment<float> b(std::move(a));
+  EXPECT_FLOAT_EQ(b(0, 0), 2.0f);
+  EXPECT_EQ(rf.used(), 64u);  // exactly one live allocation
+}
+
+TEST(Fragment, ViewWindowsAreBoundsChecked) {
+  RegisterFile rf(4096);
+  Fragment<float> f(rf, 4, 8);
+  auto v = f.view(1, 2, 2, 3);
+  f(1, 2) = 9.0f;
+  EXPECT_FLOAT_EQ(v(0, 0), 9.0f);
+  EXPECT_THROW((void)f.view(3, 0, 2, 8), kami::PreconditionError);
+}
+
+}  // namespace
+}  // namespace kami::sim

@@ -1,0 +1,72 @@
+#include "sim/resources.hpp"
+
+#include <gtest/gtest.h>
+
+namespace kami::sim {
+namespace {
+
+TEST(PortTimeline, SerializesOverlappingRequests) {
+  PortTimeline port;
+  // Two warps request at t=0: second starts when first finishes.
+  EXPECT_DOUBLE_EQ(port.acquire(0.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(port.acquire(0.0, 5.0), 10.0);
+  EXPECT_DOUBLE_EQ(port.free_at(), 15.0);
+}
+
+TEST(PortTimeline, IdlePortStartsImmediately) {
+  PortTimeline port;
+  port.acquire(0.0, 2.0);
+  EXPECT_DOUBLE_EQ(port.acquire(100.0, 1.0), 100.0);  // gap: port is free
+}
+
+TEST(PortTimeline, BusyAccountingSumsOccupancy) {
+  PortTimeline port;
+  port.acquire(0.0, 3.0);
+  port.acquire(50.0, 4.0);
+  EXPECT_DOUBLE_EQ(port.busy_cycles(), 7.0);
+}
+
+TEST(PortTimeline, ResetClears) {
+  PortTimeline port;
+  port.acquire(0.0, 3.0);
+  port.reset();
+  EXPECT_DOUBLE_EQ(port.free_at(), 0.0);
+  EXPECT_DOUBLE_EQ(port.busy_cycles(), 0.0);
+}
+
+TEST(UnitPool, ParallelUnitsDoNotSerialize) {
+  UnitPool pool(4);
+  // Four simultaneous requests run concurrently on four units.
+  for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(pool.acquire(0.0, 8.0), 0.0);
+  // The fifth waits for the earliest unit.
+  EXPECT_DOUBLE_EQ(pool.acquire(0.0, 8.0), 8.0);
+}
+
+TEST(UnitPool, PicksEarliestAvailableUnit) {
+  UnitPool pool(2);
+  pool.acquire(0.0, 10.0);  // unit 0 busy till 10
+  pool.acquire(0.0, 2.0);   // unit 1 busy till 2
+  EXPECT_DOUBLE_EQ(pool.acquire(0.0, 1.0), 2.0);  // goes to unit 1
+}
+
+TEST(UnitPool, BusySumsAcrossUnits) {
+  UnitPool pool(2);
+  pool.acquire(0.0, 3.0);
+  pool.acquire(0.0, 5.0);
+  EXPECT_DOUBLE_EQ(pool.busy_cycles(), 8.0);
+}
+
+TEST(UnitPool, RequiresAtLeastOneUnit) {
+  EXPECT_THROW(UnitPool pool(0), kami::PreconditionError);
+}
+
+TEST(CycleBreakdown, TotalsAndAccumulation) {
+  CycleBreakdown a{1.0, 2.0, 3.0, 4.0, 5.0};
+  CycleBreakdown b{10.0, 0.0, 0.0, 0.0, 0.0};
+  a += b;
+  EXPECT_DOUBLE_EQ(a.smem_comm, 11.0);
+  EXPECT_DOUBLE_EQ(a.total(), 25.0);
+}
+
+}  // namespace
+}  // namespace kami::sim

@@ -1,0 +1,96 @@
+#include "sim/throughput.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../testing/test_device.hpp"
+
+namespace kami::sim {
+namespace {
+
+using kami::testing::tiny_device;
+
+KernelProfile sample_profile() {
+  KernelProfile p;
+  p.latency = 1000.0;
+  p.tc_busy = 400.0;     // over 2 units -> 200/unit
+  p.smem_busy = 150.0;
+  p.gmem_busy = 50.0;
+  p.vector_busy = 10.0;
+  p.useful_flops = 1e6;
+  p.reg_bytes_per_warp = 8 * 1024;
+  p.smem_bytes = 4 * 1024;
+  p.num_warps = 4;
+  return p;
+}
+
+TEST(Throughput, ProfileSnapshotsBlockState) {
+  const auto dev = tiny_device();
+  ThreadBlock blk(dev, 2);
+  auto tile = blk.smem().alloc<float>(16, 8);
+  blk.phase([&](Warp& w) {
+    auto f = w.alloc_fragment<float>(16, 8);
+    w.store_smem(tile, f.view());
+  });
+  const auto prof = profile_block(blk, 123.0);
+  EXPECT_DOUBLE_EQ(prof.useful_flops, 123.0);
+  EXPECT_DOUBLE_EQ(prof.smem_busy, 8.0);  // 2 x 512 B / 128
+  EXPECT_EQ(prof.num_warps, 2);
+  EXPECT_GT(prof.reg_bytes_per_warp, 0u);
+}
+
+TEST(Throughput, ResidentBlocksLimitedByRegisters) {
+  const auto dev = tiny_device();
+  auto prof = sample_profile();
+  // Block uses 4 warps x 8 KiB = 32 KiB of the 256 KiB SM file -> 8 blocks;
+  // but the 64-warp slot limit with 4 warps also allows 16; regs win.
+  EXPECT_EQ(resident_blocks_per_sm(dev, prof), 8);
+}
+
+TEST(Throughput, ResidentBlocksLimitedBySmem) {
+  const auto dev = tiny_device();  // 64 KiB smem
+  auto prof = sample_profile();
+  prof.smem_bytes = 40 * 1024;  // only one block fits
+  EXPECT_EQ(resident_blocks_per_sm(dev, prof), 1);
+}
+
+TEST(Throughput, SteadyIntervalTakesTheBottleneck) {
+  const auto dev = tiny_device();
+  auto prof = sample_profile();
+  // tc: 400/2 = 200; smem 150; gmem 50; latency/resident = 1000/8 = 125.
+  EXPECT_DOUBLE_EQ(steady_interval_cycles(dev, prof), 200.0);
+  prof.smem_busy = 500.0;
+  EXPECT_DOUBLE_EQ(steady_interval_cycles(dev, prof), 500.0);
+}
+
+TEST(Throughput, SingleResidentBlockIsLatencyBound) {
+  const auto dev = tiny_device();
+  auto prof = sample_profile();
+  prof.smem_bytes = 40 * 1024;  // resident = 1
+  EXPECT_DOUBLE_EQ(steady_interval_cycles(dev, prof), 1000.0);
+}
+
+TEST(Throughput, TflopsMatchesHandComputation) {
+  const auto dev = tiny_device();  // 1 SM @ 1 GHz
+  const auto prof = sample_profile();
+  // interval 200 cycles -> per block 200 ns; 10 blocks -> 2000 ns.
+  // 10 * 1e6 flops / 2e-6 s = 5e12 flops/s = 5 TFLOPS.
+  EXPECT_NEAR(throughput_tflops(dev, prof, 10), 5.0, 1e-9);
+}
+
+TEST(Throughput, LatencyTflops) {
+  const auto dev = tiny_device();
+  const auto prof = sample_profile();
+  // 1e6 flops in 1000 cycles @ 1 GHz = 1e6 / 1e-6 s = 1 TFLOPS.
+  EXPECT_NEAR(latency_tflops(dev, prof), 1.0, 1e-9);
+}
+
+TEST(Throughput, MoreBlocksNeverReduceThroughput) {
+  const auto dev = tiny_device();
+  const auto prof = sample_profile();
+  const double t1 = throughput_tflops(dev, prof, 16);
+  const double t2 = throughput_tflops(dev, prof, 16384);
+  EXPECT_GE(t2, t1 - 1e-12);
+}
+
+}  // namespace
+}  // namespace kami::sim

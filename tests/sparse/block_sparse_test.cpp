@@ -1,0 +1,130 @@
+#include "sparse/block_sparse.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sparse/morton.hpp"
+
+namespace kami::sparse {
+namespace {
+
+TEST(Morton, EncodeDecodeRoundTrip) {
+  for (std::uint32_t r = 0; r < 64; ++r)
+    for (std::uint32_t c = 0; c < 64; ++c) {
+      const auto code = morton_encode(r, c);
+      EXPECT_EQ(morton_row(code), r);
+      EXPECT_EQ(morton_col(code), c);
+    }
+}
+
+TEST(Morton, KnownCodes) {
+  EXPECT_EQ(morton_encode(0, 0), 0u);
+  EXPECT_EQ(morton_encode(0, 1), 1u);
+  EXPECT_EQ(morton_encode(1, 0), 2u);
+  EXPECT_EQ(morton_encode(1, 1), 3u);
+  EXPECT_EQ(morton_encode(2, 2), 12u);
+}
+
+TEST(Morton, QuadrantsAreContiguous) {
+  // All codes of the top-left 2x2 quadrant precede any code of the
+  // bottom-right quadrant — the property the 2D/3D extraction relies on.
+  std::uint32_t max_tl = 0, min_br = ~0u;
+  for (std::uint32_t r = 0; r < 2; ++r)
+    for (std::uint32_t c = 0; c < 2; ++c) max_tl = std::max(max_tl, morton_encode(r, c));
+  for (std::uint32_t r = 2; r < 4; ++r)
+    for (std::uint32_t c = 2; c < 4; ++c) min_br = std::min(min_br, morton_encode(r, c));
+  EXPECT_LT(max_tl, min_br);
+}
+
+Matrix<fp16_t> checkerboard(std::size_t n, std::size_t tile) {
+  Matrix<fp16_t> d(n, n);
+  for (std::size_t br = 0; br < n / tile; ++br)
+    for (std::size_t bc = 0; bc < n / tile; ++bc) {
+      if ((br + bc) % 2 != 0) continue;
+      for (std::size_t r = 0; r < tile; ++r)
+        for (std::size_t c = 0; c < tile; ++c)
+          d(br * tile + r, bc * tile + c) =
+              fp16_t{static_cast<float>(br + bc + 1) * 0.125f};
+    }
+  return d;
+}
+
+TEST(BlockSparse, FromDenseToDenseRoundTrip) {
+  const auto dense = checkerboard(64, 16);
+  for (BlockOrder order : {BlockOrder::RowMajor, BlockOrder::ZMorton}) {
+    const auto sp = BlockSparseMatrix<fp16_t>::from_dense(dense, 16, order);
+    EXPECT_EQ(sp.nnz_blocks(), 8u);  // half of the 16 tiles
+    EXPECT_DOUBLE_EQ(max_abs_diff(sp.to_dense(), dense), 0.0);
+  }
+}
+
+TEST(BlockSparse, FindLocatesBlocks) {
+  const auto sp = BlockSparseMatrix<fp16_t>::from_dense(checkerboard(64, 16), 16);
+  EXPECT_TRUE(sp.find(0, 0).has_value());
+  EXPECT_FALSE(sp.find(0, 1).has_value());
+  EXPECT_TRUE(sp.find(1, 1).has_value());
+  EXPECT_THROW((void)sp.find(4, 0), PreconditionError);  // out of range
+}
+
+TEST(BlockSparse, RowBlocksSortedByColumn) {
+  Rng rng(31);
+  const auto sp = BlockSparseMatrix<fp16_t>::random(128, 128, 0.5, rng);
+  for (std::size_t br = 0; br < sp.block_rows(); ++br) {
+    const auto row = sp.row_blocks(br);
+    for (std::size_t i = 1; i < row.size(); ++i)
+      EXPECT_LT(row[i - 1].block_col, row[i].block_col);
+  }
+}
+
+TEST(BlockSparse, ZMortonPhysicalLayoutFollowsMortonOrder) {
+  const auto sp =
+      BlockSparseMatrix<fp16_t>::from_dense(checkerboard(64, 16), 16, BlockOrder::ZMorton);
+  // Reconstruct the physical order by sorting refs on val_offset; Morton
+  // codes must be increasing along it.
+  std::vector<BlockRef> phys(sp.all_blocks().begin(), sp.all_blocks().end());
+  std::sort(phys.begin(), phys.end(),
+            [](const BlockRef& a, const BlockRef& b) { return a.val_offset < b.val_offset; });
+  for (std::size_t i = 1; i < phys.size(); ++i) {
+    const auto prev = morton_encode(static_cast<std::uint32_t>(phys[i - 1].block_row),
+                                    static_cast<std::uint32_t>(phys[i - 1].block_col));
+    const auto cur = morton_encode(static_cast<std::uint32_t>(phys[i].block_row),
+                                   static_cast<std::uint32_t>(phys[i].block_col));
+    EXPECT_LT(prev, cur);
+  }
+}
+
+TEST(BlockSparse, RandomDensityIsRespected) {
+  Rng rng(32);
+  const auto sp = BlockSparseMatrix<fp16_t>::random(256, 256, 0.5, rng);
+  EXPECT_NEAR(sp.block_density(), 0.5, 0.15);
+  EXPECT_EQ(sp.tile(), 16u);
+}
+
+TEST(BlockSparse, EmptyAndFullDensities) {
+  Rng rng(33);
+  const auto none = BlockSparseMatrix<fp16_t>::random(64, 64, 0.0, rng);
+  EXPECT_EQ(none.nnz_blocks(), 0u);
+  const auto full = BlockSparseMatrix<fp16_t>::random(64, 64, 1.0, rng);
+  EXPECT_EQ(full.nnz_blocks(), 16u);
+}
+
+TEST(BlockSparse, IndexBytesCountRowPtrAndColIdx) {
+  const auto sp = BlockSparseMatrix<fp16_t>::from_dense(checkerboard(64, 16), 16);
+  // RowPtr: 5 entries; ColBlkIdx: 8 entries; 4 B each.
+  EXPECT_EQ(sp.index_bytes(), (5u + 8u) * 4u);
+}
+
+TEST(BlockSparse, RejectsNonMultipleDimensions) {
+  Matrix<fp16_t> d(60, 64);
+  EXPECT_THROW((void)BlockSparseMatrix<fp16_t>::from_dense(d, 16), PreconditionError);
+}
+
+TEST(BlockSparse, CustomTileSizes) {
+  const auto dense = checkerboard(64, 8);
+  const auto sp = BlockSparseMatrix<fp16_t>::from_dense(dense, 8);
+  EXPECT_EQ(sp.tile(), 8u);
+  EXPECT_EQ(sp.block_rows(), 8u);
+  EXPECT_DOUBLE_EQ(max_abs_diff(sp.to_dense(), dense), 0.0);
+}
+
+}  // namespace
+}  // namespace kami::sparse

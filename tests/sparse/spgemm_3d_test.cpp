@@ -1,0 +1,67 @@
+#include "sparse/spgemm_3d.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/reference.hpp"
+
+namespace kami::sparse {
+namespace {
+
+const sim::DeviceSpec& dev() { return sim::gh200(); }
+
+TEST(Spgemm3d, CloseToDensifiedReference) {
+  for (std::size_t n : {64u, 128u}) {
+    Rng rng(n + 90);
+    const auto A =
+        BlockSparseMatrix<fp16_t>::random(n, n, 0.5, rng, 16, BlockOrder::ZMorton);
+    const auto B =
+        BlockSparseMatrix<fp16_t>::random(n, n, 0.5, rng, 16, BlockOrder::ZMorton);
+    const auto r = spgemm_3d(dev(), A, B);
+    const auto ref = baselines::reference_gemm_fp64(A.to_dense(), B.to_dense());
+    EXPECT_LE(max_abs_diff(r.C.to_dense(), ref), 1e-2 * static_cast<double>(n)) << n;
+  }
+}
+
+TEST(Spgemm3d, SameUsefulFlopsAs1d) {
+  Rng rng(91);
+  const auto A = BlockSparseMatrix<fp16_t>::random(64, 64, 0.5, rng, 16,
+                                                   BlockOrder::ZMorton);
+  const auto B = BlockSparseMatrix<fp16_t>::random(64, 64, 0.5, rng, 16,
+                                                   BlockOrder::ZMorton);
+  const auto r1 = spgemm_1d(dev(), A, B);
+  const auto r3 = spgemm_3d(dev(), A, B);
+  EXPECT_DOUBLE_EQ(r1.useful_flops, r3.useful_flops);  // no redundant work
+  EXPECT_EQ(r1.C.nnz_blocks(), r3.C.nnz_blocks());
+}
+
+TEST(Spgemm3d, StructureBoundedBySymbolic) {
+  Rng rng(92);
+  const auto A = BlockSparseMatrix<fp16_t>::random(64, 64, 0.4, rng, 16,
+                                                   BlockOrder::ZMorton);
+  const auto B = BlockSparseMatrix<fp16_t>::random(64, 64, 0.4, rng, 16,
+                                                   BlockOrder::ZMorton);
+  const auto r = spgemm_3d(dev(), A, B);
+  EXPECT_LE(r.C.nnz_blocks(), r.symbolic.nnz_blocks);
+}
+
+TEST(Spgemm3d, EmptyOperands) {
+  Rng rng(93);
+  const auto empty = BlockSparseMatrix<fp16_t>::random(64, 64, 0.0, rng, 16,
+                                                       BlockOrder::ZMorton);
+  const auto B = BlockSparseMatrix<fp16_t>::random(64, 64, 0.5, rng, 16,
+                                                   BlockOrder::ZMorton);
+  const auto r = spgemm_3d(dev(), empty, B);
+  EXPECT_EQ(r.C.nnz_blocks(), 0u);
+}
+
+TEST(Spgemm3d, RequiresCubeWarpCount) {
+  Rng rng(94);
+  const auto A = BlockSparseMatrix<fp16_t>::random(64, 64, 0.5, rng);
+  const auto B = BlockSparseMatrix<fp16_t>::random(64, 64, 0.5, rng);
+  core::GemmOptions opt;
+  opt.warps = 4;
+  EXPECT_THROW((void)spgemm_3d(dev(), A, B, opt), PreconditionError);
+}
+
+}  // namespace
+}  // namespace kami::sparse

@@ -1,0 +1,81 @@
+#include "sparse/spmm_3d.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/reference.hpp"
+#include "sparse/spmm.hpp"
+
+namespace kami::sparse {
+namespace {
+
+const sim::DeviceSpec& dev() { return sim::gh200(); }
+
+TEST(Spmm3d, CloseToDensifiedReference) {
+  // The inter-layer reduction re-associates the k sum (as in dense 3D);
+  // compare against the double-precision reference with a tolerance.
+  for (std::size_t n : {64u, 128u}) {
+    Rng rng(n + 80);
+    const auto A =
+        BlockSparseMatrix<fp16_t>::random(n, n, 0.5, rng, 16, BlockOrder::ZMorton);
+    const auto B = random_matrix<fp16_t>(n, n, rng);
+    const auto r = spmm_3d(dev(), A, B);
+    const auto ref = baselines::reference_gemm_fp64(A.to_dense(), B);
+    EXPECT_LE(max_abs_diff(r.C, ref), 1e-2 * static_cast<double>(n)) << n;
+  }
+}
+
+TEST(Spmm3d, SameUsefulFlopsAs1d) {
+  Rng rng(81);
+  const auto A = BlockSparseMatrix<fp16_t>::random(64, 64, 0.5, rng, 16,
+                                                   BlockOrder::ZMorton);
+  const auto B = random_matrix<fp16_t>(64, 64, rng);
+  const auto r1 = spmm_1d(dev(), A, B);
+  const auto r3 = spmm_3d(dev(), A, B);
+  EXPECT_DOUBLE_EQ(r1.useful_flops, r3.useful_flops);  // no redundant compute
+}
+
+TEST(Spmm3d, FullDensityMatchesDense) {
+  Rng rng(82);
+  const auto A = BlockSparseMatrix<fp16_t>::random(64, 64, 1.0, rng, 16,
+                                                   BlockOrder::ZMorton);
+  const auto B = random_matrix<fp16_t>(64, 64, rng);
+  const auto r = spmm_3d(dev(), A, B);
+  const auto ref = baselines::reference_gemm_fp64(A.to_dense(), B);
+  EXPECT_LE(max_abs_diff(r.C, ref), 1e-2 * 64.0);
+}
+
+TEST(Spmm3d, EmptyMatrixYieldsZero) {
+  Rng rng(83);
+  const auto A = BlockSparseMatrix<fp16_t>::random(64, 64, 0.0, rng, 16,
+                                                   BlockOrder::ZMorton);
+  const auto B = random_matrix<fp16_t>(64, 64, rng);
+  const auto r = spmm_3d(dev(), A, B);
+  Matrix<fp16_t> zero(64, 64);
+  EXPECT_DOUBLE_EQ(max_abs_diff(r.C, zero), 0.0);
+  EXPECT_DOUBLE_EQ(r.useful_flops, 0.0);
+}
+
+TEST(Spmm3d, RequiresCubeWarpCount) {
+  Rng rng(84);
+  const auto A = BlockSparseMatrix<fp16_t>::random(64, 64, 0.5, rng);
+  const auto B = random_matrix<fp16_t>(64, 64, rng);
+  core::GemmOptions opt;
+  opt.warps = 4;
+  EXPECT_THROW((void)spmm_3d(dev(), A, B, opt), PreconditionError);
+}
+
+TEST(Spmm3d, TwentySevenWarps) {
+  Rng rng(85);
+  // 96 = 6 block rows, divisible by c = 3.
+  const auto A = BlockSparseMatrix<fp16_t>::random(96, 96, 0.5, rng, 16,
+                                                   BlockOrder::ZMorton);
+  const auto B = random_matrix<fp16_t>(96, 96, rng);
+  core::GemmOptions opt;
+  opt.warps = 27;
+  const auto r = spmm_3d(dev(), A, B, opt);
+  const auto ref = baselines::reference_gemm_fp64(A.to_dense(), B);
+  EXPECT_LE(max_abs_diff(r.C, ref), 1e-2 * 96.0);
+}
+
+}  // namespace
+}  // namespace kami::sparse

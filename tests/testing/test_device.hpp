@@ -1,0 +1,38 @@
+// A tiny synthetic device with round constants so simulator tests can be
+// verified by hand arithmetic:
+//   O_tc(FP32) = 32 ops/cycle, 2 tensor cores, L_sm = 10, B_sm = 128 B/cyc,
+//   gmem latency 100 / 16 B per cycle, register moves 512 B/cycle.
+#pragma once
+
+#include "sim/device.hpp"
+
+namespace kami::testing {
+
+inline sim::DeviceSpec tiny_device() {
+  sim::DeviceSpec d;
+  d.name = "TinySim";
+  d.vendor = "NVIDIA";  // NVIDIA-style MMA shapes: fp32 m16n8k8
+  d.api = "CUDA";
+  d.boost_clock_ghz = 1.0;
+  d.num_sms = 1;
+  d.tensor_cores_per_sm = 2;
+  d.smem_banks = 32;
+  d.bank_width_bytes = 4;
+  d.smem_latency_cycles = 10.0;
+  d.gmem_latency_cycles = 100.0;
+  d.gmem_bytes_per_cycle_per_sm = 16.0;
+  d.reg_bytes_per_cycle = 512.0;
+  d.smem_bytes_per_block = 64 * 1024;
+  // peak = sms * n_tc * O_tc * clock: choose O_tc = 32 for every precision.
+  d.peak_fp64_tflops = 1 * 2 * 32 * 1.0e9 / 1e12;
+  d.peak_fp32_tflops = d.peak_fp64_tflops;
+  d.peak_fp16_tflops = d.peak_fp64_tflops;
+  d.peak_fp8_tflops = d.peak_fp64_tflops;
+  d.mma_efficiency = 1.0;
+  d.vector_fp64_flops_per_cycle = 64.0;
+  d.vector_fp32_flops_per_cycle = 64.0;
+  d.vector_fp16_flops_per_cycle = 64.0;
+  return d;
+}
+
+}  // namespace kami::testing

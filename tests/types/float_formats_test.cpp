@@ -1,0 +1,179 @@
+#include "types/float_formats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace kami {
+namespace {
+
+// ---------------------------------------------------------------------------
+// fp16 (IEEE binary16)
+// ---------------------------------------------------------------------------
+
+TEST(Fp16, KnownBitPatterns) {
+  EXPECT_EQ(fp16_t::encode(0.0f), 0x0000u);
+  EXPECT_EQ(fp16_t::encode(1.0f), 0x3C00u);
+  EXPECT_EQ(fp16_t::encode(-2.0f), 0xC000u);
+  EXPECT_EQ(fp16_t::encode(65504.0f), 0x7BFFu);  // max finite
+  EXPECT_EQ(fp16_t::encode(0.5f), 0x3800u);
+  EXPECT_EQ(fp16_t::encode(-0.0f), 0x8000u);
+}
+
+TEST(Fp16, OverflowBecomesInfinity) {
+  EXPECT_EQ(fp16_t::encode(65520.0f), 0x7C00u);  // rounds above max -> inf
+  EXPECT_EQ(fp16_t::encode(1e10f), 0x7C00u);
+  EXPECT_EQ(fp16_t::encode(-1e10f), 0xFC00u);
+}
+
+TEST(Fp16, NanPreserved) {
+  const std::uint16_t b = fp16_t::encode(std::numeric_limits<float>::quiet_NaN());
+  EXPECT_EQ(b & 0x7C00u, 0x7C00u);
+  EXPECT_NE(b & 0x03FFu, 0u);
+  EXPECT_TRUE(std::isnan(fp16_t::decode(b)));
+}
+
+TEST(Fp16, SubnormalsRepresentable) {
+  const float smallest = std::ldexp(1.0f, -24);  // 2^-24, least subnormal
+  EXPECT_EQ(fp16_t::encode(smallest), 0x0001u);
+  EXPECT_FLOAT_EQ(fp16_t::decode(0x0001u), smallest);
+  const float largest_sub = std::ldexp(1023.0f, -24);
+  EXPECT_EQ(fp16_t::encode(largest_sub), 0x03FFu);
+}
+
+TEST(Fp16, RoundToNearestEvenTies) {
+  // 1 + 2^-11 is exactly halfway between 1.0 and the next fp16 (1 + 2^-10);
+  // RNE picks the even mantissa (1.0).
+  EXPECT_EQ(fp16_t::encode(1.0f + std::ldexp(1.0f, -11)), 0x3C00u);
+  // 1 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9; even is 1+2^-9.
+  EXPECT_EQ(fp16_t::encode(1.0f + 3.0f * std::ldexp(1.0f, -11)), 0x3C02u);
+}
+
+TEST(Fp16, RoundTripExactForAllFiniteBitPatterns) {
+  for (std::uint32_t b = 0; b <= 0xFFFFu; ++b) {
+    const auto bits = static_cast<std::uint16_t>(b);
+    const float v = fp16_t::decode(bits);
+    if (!std::isfinite(v)) continue;
+    EXPECT_EQ(fp16_t::encode(v), bits) << "bits=0x" << std::hex << b;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// bfloat16
+// ---------------------------------------------------------------------------
+
+TEST(Bf16, KnownBitPatterns) {
+  EXPECT_EQ(bf16_t::encode(1.0f), 0x3F80u);
+  EXPECT_EQ(bf16_t::encode(-2.0f), 0xC000u);
+  EXPECT_EQ(bf16_t::encode(0.0f), 0x0000u);
+}
+
+TEST(Bf16, TruncationRoundsNearestEven) {
+  // 1 + 2^-8 is halfway between 1.0 and 1 + 2^-7: RNE -> 1.0.
+  EXPECT_EQ(bf16_t::encode(1.0f + std::ldexp(1.0f, -8)), 0x3F80u);
+  // slightly above the tie rounds up.
+  EXPECT_EQ(bf16_t::encode(1.0f + std::ldexp(1.2f, -8)), 0x3F81u);
+}
+
+TEST(Bf16, RoundTripExactForFinitePatterns) {
+  for (std::uint32_t b = 0; b <= 0xFFFFu; ++b) {
+    const auto bits = static_cast<std::uint16_t>(b);
+    const float v = bf16_t::decode(bits);
+    if (!std::isfinite(v)) continue;
+    EXPECT_EQ(bf16_t::encode(v), bits);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// fp8 e4m3
+// ---------------------------------------------------------------------------
+
+TEST(Fp8, KnownValues) {
+  EXPECT_EQ(fp8_e4m3_t::encode(0.0f), 0x00u);
+  EXPECT_EQ(fp8_e4m3_t::encode(1.0f), 0x38u);   // biased exp 7, mant 0
+  EXPECT_EQ(fp8_e4m3_t::encode(-1.0f), 0xB8u);
+  EXPECT_EQ(fp8_e4m3_t::encode(448.0f), 0x7Eu);  // max finite = S.1111.110
+  EXPECT_FLOAT_EQ(fp8_e4m3_t::decode(0x7Eu), 448.0f);
+}
+
+TEST(Fp8, SaturatesInsteadOfInfinity) {
+  EXPECT_EQ(fp8_e4m3_t::encode(1000.0f), 0x7Eu);
+  EXPECT_EQ(fp8_e4m3_t::encode(-1000.0f), 0xFEu);
+  EXPECT_FLOAT_EQ(fp8_e4m3_t::decode(fp8_e4m3_t::encode(1e30f)), 448.0f);
+}
+
+TEST(Fp8, NanEncoding) {
+  EXPECT_EQ(fp8_e4m3_t::encode(std::numeric_limits<float>::quiet_NaN()) & 0x7Fu, 0x7Fu);
+  EXPECT_TRUE(std::isnan(fp8_e4m3_t::decode(0x7Fu)));
+  EXPECT_TRUE(std::isnan(fp8_e4m3_t::decode(0xFFu)));
+}
+
+TEST(Fp8, Subnormals) {
+  const float least = std::ldexp(1.0f, -9);  // 2^-9
+  EXPECT_EQ(fp8_e4m3_t::encode(least), 0x01u);
+  EXPECT_FLOAT_EQ(fp8_e4m3_t::decode(0x01u), least);
+  EXPECT_FLOAT_EQ(fp8_e4m3_t::decode(0x07u), 7.0f * least);  // largest subnormal
+}
+
+TEST(Fp8, RoundTripExactForFinitePatterns) {
+  for (std::uint32_t b = 0; b <= 0xFFu; ++b) {
+    const auto bits = static_cast<std::uint8_t>(b);
+    const float v = fp8_e4m3_t::decode(bits);
+    if (std::isnan(v)) continue;
+    if (v == 0.0f && (bits & 0x7Fu) != 0) continue;  // impossible for e4m3
+    // -0 encodes to 0x80 which decodes to -0: treat signs of zero equal.
+    const std::uint8_t back = fp8_e4m3_t::encode(v);
+    if (v == 0.0f) {
+      EXPECT_EQ(back & 0x7Fu, 0u);
+    } else {
+      EXPECT_EQ(back, bits) << "bits=0x" << std::hex << b;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// tf32
+// ---------------------------------------------------------------------------
+
+TEST(Tf32, KeepsTenMantissaBits) {
+  const float v = 1.0f + std::ldexp(1.0f, -10);  // representable in tf32
+  EXPECT_FLOAT_EQ(round_to_tf32(v), v);
+  const float fine = 1.0f + std::ldexp(1.0f, -12);  // below tf32 resolution
+  EXPECT_FLOAT_EQ(round_to_tf32(fine), 1.0f);
+}
+
+TEST(Tf32, RoundsNearestEven) {
+  // Tie at 1 + 2^-11: even -> 1.0. Just above the tie rounds up to 1 + 2^-10.
+  EXPECT_FLOAT_EQ(round_to_tf32(1.0f + std::ldexp(1.0f, -11)), 1.0f);
+  EXPECT_FLOAT_EQ(round_to_tf32(1.0f + std::ldexp(1.1f, -11)),
+                  1.0f + std::ldexp(1.0f, -10));
+}
+
+TEST(Tf32, PassesThroughSpecials) {
+  EXPECT_TRUE(std::isnan(round_to_tf32(std::numeric_limits<float>::quiet_NaN())));
+  EXPECT_EQ(round_to_tf32(std::numeric_limits<float>::infinity()),
+            std::numeric_limits<float>::infinity());
+  EXPECT_EQ(round_to_tf32(0.0f), 0.0f);
+}
+
+// ---------------------------------------------------------------------------
+// precision tags
+// ---------------------------------------------------------------------------
+
+TEST(Precision, ElementBytesMatchPaperSe) {
+  EXPECT_EQ(element_bytes(Precision::FP64), 8u);
+  EXPECT_EQ(element_bytes(Precision::FP32), 4u);
+  EXPECT_EQ(element_bytes(Precision::TF32), 4u);
+  EXPECT_EQ(element_bytes(Precision::FP16), 2u);
+  EXPECT_EQ(element_bytes(Precision::BF16), 2u);
+  EXPECT_EQ(element_bytes(Precision::FP8E4M3), 1u);
+}
+
+TEST(Precision, Names) {
+  EXPECT_STREQ(precision_name(Precision::FP64), "FP64");
+  EXPECT_STREQ(precision_name(Precision::FP8E4M3), "FP8");
+}
+
+}  // namespace
+}  // namespace kami

@@ -1,0 +1,76 @@
+#include "types/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "types/numeric_traits.hpp"
+
+namespace kami {
+namespace {
+
+TEST(Matrix, ShapeAndIndexing) {
+  Matrix<double> m(3, 5);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 5u);
+  EXPECT_EQ(m.size(), 15u);
+  m(2, 4) = 7.5;
+  EXPECT_DOUBLE_EQ(m(2, 4), 7.5);
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.0);  // zero-initialized
+}
+
+TEST(Matrix, Fill) {
+  Matrix<float> m(2, 2);
+  m.fill(3.0f);
+  EXPECT_FLOAT_EQ(m(1, 1), 3.0f);
+}
+
+TEST(Matrix, RandomIsDeterministicPerSeed) {
+  Rng r1(99), r2(99);
+  const auto a = random_matrix<double>(4, 4, r1);
+  const auto b = random_matrix<double>(4, 4, r2);
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 0.0);
+}
+
+TEST(Matrix, RandomRespectsRange) {
+  Rng r(1);
+  const auto m = random_matrix<double>(16, 16, r, -0.25, 0.25);
+  for (std::size_t i = 0; i < m.rows(); ++i)
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      EXPECT_GE(m(i, j), -0.25);
+      EXPECT_LT(m(i, j), 0.25);
+    }
+}
+
+TEST(Matrix, RandomRoundsIntoStoragePrecision) {
+  Rng r(2);
+  const auto m = random_matrix<fp16_t>(8, 8, r);
+  for (std::size_t i = 0; i < m.rows(); ++i)
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      const float v = static_cast<float>(m(i, j));
+      EXPECT_EQ(fp16_t::encode(v), m(i, j).bits());  // already quantized
+    }
+}
+
+TEST(Matrix, MaxAbsDiffAcrossTypes) {
+  Matrix<double> a(1, 2);
+  Matrix<float> b(1, 2);
+  a(0, 0) = 1.0;
+  b(0, 0) = 1.5f;
+  a(0, 1) = -2.0;
+  b(0, 1) = -2.25f;
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 0.5);
+}
+
+TEST(Matrix, MaxAbsDiffRejectsShapeMismatch) {
+  Matrix<double> a(2, 2), b(2, 3);
+  EXPECT_THROW((void)max_abs_diff(a, b), PreconditionError);
+}
+
+TEST(Matrix, ToDoubleWidens) {
+  Matrix<fp16_t> h(1, 1);
+  h(0, 0) = fp16_t{1.5f};
+  const auto d = h.to_double();
+  EXPECT_DOUBLE_EQ(d(0, 0), 1.5);
+}
+
+}  // namespace
+}  // namespace kami

@@ -1,0 +1,55 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace kami {
+namespace {
+
+constexpr std::array<double, 4> kXs{1.0, 2.0, 3.0, 4.0};
+
+TEST(Stats, Mean) { EXPECT_DOUBLE_EQ(mean(kXs), 2.5); }
+
+TEST(Stats, Geomean) {
+  const std::array<double, 2> xs{1.0, 4.0};
+  EXPECT_NEAR(geomean(xs), 2.0, 1e-12);
+}
+
+TEST(Stats, GeomeanRejectsNonPositive) {
+  const std::array<double, 2> xs{1.0, 0.0};
+  EXPECT_THROW((void)geomean(xs), PreconditionError);
+}
+
+TEST(Stats, SampleStddev) {
+  const std::array<double, 2> xs{1.0, 3.0};
+  EXPECT_NEAR(stddev(xs), std::sqrt(2.0), 1e-12);
+}
+
+TEST(Stats, MinMax) {
+  EXPECT_DOUBLE_EQ(min_of(kXs), 1.0);
+  EXPECT_DOUBLE_EQ(max_of(kXs), 4.0);
+}
+
+TEST(Stats, MedianEvenAndOdd) {
+  EXPECT_DOUBLE_EQ(median(kXs), 2.5);
+  const std::array<double, 3> odd{9.0, 1.0, 5.0};
+  EXPECT_DOUBLE_EQ(median(odd), 5.0);
+}
+
+TEST(Stats, EmptyInputRejected) {
+  const std::array<double, 0> none{};
+  EXPECT_THROW((void)mean(none), PreconditionError);
+  EXPECT_THROW((void)median(none), PreconditionError);
+}
+
+TEST(Stats, RelativeError) {
+  EXPECT_NEAR(relative_error(101.0, 100.0), 0.01, 1e-12);
+  EXPECT_NEAR(relative_error(0.0, 0.0), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace kami

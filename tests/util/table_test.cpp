@@ -1,0 +1,52 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace kami {
+namespace {
+
+TEST(Table, PrintsAlignedColumns) {
+  TablePrinter t({"size", "TFLOPS"});
+  t.add_row({"16", "1.23"});
+  t.add_row({"128", "456.78"});
+  std::ostringstream os;
+  t.print(os, "demo");
+  const std::string s = os.str();
+  EXPECT_NE(s.find("== demo =="), std::string::npos);
+  EXPECT_NE(s.find("size"), std::string::npos);
+  EXPECT_NE(s.find("456.78"), std::string::npos);
+}
+
+TEST(Table, CsvRoundTrip) {
+  TablePrinter t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, RejectsMismatchedRowWidth) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), PreconditionError);
+}
+
+TEST(Table, RowCount) {
+  TablePrinter t({"x"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, FmtDouble) {
+  EXPECT_EQ(fmt_double(1.005, 2), "1.00");  // fixed formatting, no locale
+  EXPECT_EQ(fmt_double(12.5, 1), "12.5");
+  EXPECT_EQ(fmt_double(-3.14159, 3), "-3.142");
+}
+
+TEST(Table, FmtCount) { EXPECT_EQ(fmt_count(16384), "16384"); }
+
+}  // namespace
+}  // namespace kami
