@@ -26,8 +26,7 @@ void ablate_transaction_overhead() {
     t.add_row({fmt_double(ov, 0), cell(r1), cell(r2),
                (r1 && r2) ? fmt_double(*r1 / *r2, 2) : "-"});
   }
-  t.print(std::cout,
-          "Ablation A: smem transaction overhead, 64^3 FP16 GH200 [TFLOPS]");
+  emit_table(t, "Ablation A: smem transaction overhead, 64^3 FP16 GH200 [TFLOPS]");
   std::cout << "  the overhead term is what makes 1D beat 2D (their CA byte "
                "volumes tie at p=4)\n\n";
 }
@@ -43,7 +42,7 @@ void ablate_slice_width() {
     const auto lr = kami_tput<fp16_t>(Algo::OneD, sim::gh200(), 128, 128, 16, opt);
     t.add_row({std::to_string(sw), cell(sq), cell(lr)});
   }
-  t.print(std::cout, "Ablation B: k-slice width (16 = MMA granularity) [TFLOPS]");
+  emit_table(t, "Ablation B: k-slice width (16 = MMA granularity) [TFLOPS]");
   std::cout << "  slices below the MMA k-shape pad every instruction; §4.7's "
                "choice of 16 is the knee\n\n";
 }
@@ -64,7 +63,7 @@ void ablate_mma_efficiency() {
                fmt_double(r.profile.mean_breakdown.compute, 0),
                fmt_double(tput(dev, r.profile), 1)});
   }
-  t.print(std::cout, "Ablation C: MMA issue efficiency (Hopper measures 62%, §5.6.2)");
+  emit_table(t, "Ablation C: MMA issue efficiency (Hopper measures 62%, §5.6.2)");
   std::cout << "  warp-visible compute stretches by 1/eff; steady-state "
                "throughput is shielded when other resources bound it\n\n";
 }
@@ -78,7 +77,7 @@ void ablate_sync_latency() {
     const auto large = kami_tput<fp16_t>(Algo::OneD, dev, 128, 128, 128);
     t.add_row({fmt_double(sync, 0), cell(small), cell(large)});
   }
-  t.print(std::cout, "Ablation D: barrier latency [TFLOPS]");
+  emit_table(t, "Ablation D: barrier latency [TFLOPS]");
   std::cout << "  tiny problems are barrier-bound (3 syncs per broadcast "
                "stage); large ones amortize\n";
 }
@@ -86,10 +85,11 @@ void ablate_sync_latency() {
 }  // namespace
 }  // namespace kami::bench
 
-int main() {
-  kami::bench::ablate_transaction_overhead();
-  kami::bench::ablate_slice_width();
-  kami::bench::ablate_mma_efficiency();
-  kami::bench::ablate_sync_latency();
-  return 0;
+int main(int argc, char** argv) {
+  return kami::bench::bench_main(argc, argv, "ablation_design", [] {
+    kami::bench::ablate_transaction_overhead();
+    kami::bench::ablate_slice_width();
+    kami::bench::ablate_mma_efficiency();
+    kami::bench::ablate_sync_latency();
+  });
 }

@@ -4,6 +4,8 @@
 // average/peak speedups quoted in the text.
 #pragma once
 
+#include <fstream>
+#include <functional>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -13,6 +15,8 @@
 #include "baselines/cutlass_like.hpp"
 #include "baselines/syclbench_like.hpp"
 #include "core/kami.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
 #include "sim/throughput.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -43,6 +47,62 @@ inline std::string speedup_summary(const Series& kami, const Series& base) {
 
 inline std::string cell(const std::optional<double>& v, int precision = 2) {
   return v ? fmt_double(*v, precision) : "-";
+}
+
+/// The run report this binary accumulates. bench_main() names it after the
+/// binary and exports it when --json/--csv is given.
+inline obs::RunReport& run_report() {
+  static obs::RunReport report("bench");
+  return report;
+}
+
+/// Print a table to stdout AND capture it verbatim into the run report, so
+/// the exported JSON reproduces the console output cell for cell.
+inline void emit_table(const TablePrinter& table, const std::string& title) {
+  table.print(std::cout, title);
+  run_report().add_table(title, table);
+}
+
+/// Shared entry point for every bench binary: parses `--json <path>` /
+/// `--csv <path>`, runs the experiment body (which prints via emit_table),
+/// then snapshots the global metric registry and writes the report.
+inline int bench_main(int argc, char** argv, const std::string& name,
+                      const std::function<void()>& body) {
+  std::string json_path, csv_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--csv" && i + 1 < argc) {
+      csv_path = argv[++i];
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--json <path>] [--csv <path>]\n";
+      return 2;
+    }
+  }
+
+  auto& report = run_report();
+  report.set_name(name);
+  report.set_meta("blocks", std::to_string(kBlocks));
+  body();
+  report.set_metrics(obs::MetricRegistry::global());
+
+  const auto write_to = [&](const std::string& path, auto&& writer) {
+    std::ofstream os(path);
+    if (!os) {
+      std::cerr << name << ": cannot open " << path << " for writing\n";
+      return false;
+    }
+    writer(os);
+    return true;
+  };
+  if (!json_path.empty() &&
+      !write_to(json_path, [&](std::ostream& os) { report.write_json(os); }))
+    return 1;
+  if (!csv_path.empty() &&
+      !write_to(csv_path, [&](std::ostream& os) { report.write_csv(os); }))
+    return 1;
+  return 0;
 }
 
 /// Run one KAMI variant at block level, nullopt when the planner reports

@@ -35,7 +35,7 @@ void run() {
                     fmt_double(perf.tflops, perf.tflops < 1 ? 4 : 2),
                     fmt_double(100.0 * perf.tflops / ceiling, 1)});
   }
-  cublas.print(std::cout, "Fig 3: cuBLAS-like square FP64 GEMM vs roofline (GH200)");
+  emit_table(cublas, "Fig 3: cuBLAS-like square FP64 GEMM vs roofline (GH200)");
   std::cout << "\n";
 
   TablePrinter dx({"order", "cuBLASDx-like TFLOPS", "% of FP64 peak"});
@@ -44,7 +44,7 @@ void run() {
     dx.add_row({std::to_string(n), cell(t),
                 t ? fmt_double(100.0 * *t / dev.peak_fp64_tflops, 1) : "-"});
   }
-  dx.print(std::cout, "Fig 3: cuBLASDx-like block-level FP64 GEMM (GH200, data resident)");
+  emit_table(dx, "Fig 3: cuBLASDx-like block-level FP64 GEMM (GH200, data resident)");
   std::cout << "  (order ceiling: 3*n^2*8 B of shared memory; n > 98 is infeasible — "
                "matches the Fig 3 caption)\n";
 }
@@ -52,7 +52,7 @@ void run() {
 }  // namespace
 }  // namespace kami::bench
 
-int main() {
-  kami::bench::run();
-  return 0;
+int main(int argc, char** argv) {
+  return kami::bench::bench_main(argc, argv, "fig03_roofline",
+                                 [] { kami::bench::run(); });
 }

@@ -31,7 +31,7 @@ void panel(const char* title, const sim::DeviceSpec& dev,
                    with_syclbench ? cell(ssy.back()) : cell(sdx.back()),
                    cell(sct.back())});
   }
-  table.print(std::cout, std::string(title) + " [TFLOPS]");
+  emit_table(table, std::string(title) + " [TFLOPS]");
   if (with_nvidia_baselines) {
     std::cout << "  speedup vs cuBLASDx-like: 1D " << speedup_summary(s1, sdx) << ", 2D "
               << speedup_summary(s2, sdx) << ", 3D " << speedup_summary(s3, sdx) << "\n";
@@ -65,7 +65,7 @@ void run() {
 }  // namespace
 }  // namespace kami::bench
 
-int main() {
-  kami::bench::run();
-  return 0;
+int main(int argc, char** argv) {
+  return kami::bench::bench_main(argc, argv, "fig08_square_gemm",
+                                 [] { kami::bench::run(); });
 }

@@ -37,7 +37,7 @@ void run() {
     table.add_row({std::to_string(warps * 32), std::to_string(warps), cell(s1.back()),
                    cell(s2.back()), cell(s3.back())});
   }
-  table.print(std::cout, "Fig 9: impact of block size, 64x64 FP16 on RTX 5090 [TFLOPS]");
+  emit_table(table, "Fig 9: impact of block size, 64x64 FP16 on RTX 5090 [TFLOPS]");
   std::cout << "\n  '-' marks warp counts the algorithm's grid shape cannot use\n";
 
   double best1 = 0, best2 = 0, best3 = 0;
@@ -55,7 +55,7 @@ void run() {
 }  // namespace
 }  // namespace kami::bench
 
-int main() {
-  kami::bench::run();
-  return 0;
+int main(int argc, char** argv) {
+  return kami::bench::bench_main(argc, argv, "fig09_block_size",
+                                 [] { kami::bench::run(); });
 }

@@ -37,8 +37,8 @@ void run() {
     cells.push_back(fmt_double(ratios[best] * 100.0, 0) + "%");
     table.add_row(cells);
   }
-  table.print(std::cout,
-              "Fig 10: impact of shared-memory ratio, KAMI-1D FP16 on RTX 5090 [TFLOPS]");
+  emit_table(table,
+             "Fig 10: impact of shared-memory ratio, KAMI-1D FP16 on RTX 5090 [TFLOPS]");
   std::cout << "\n  'overflow' = register demand exceeds the 255-register/thread limit\n"
             << "  (paper: registers alone suffice for 32-64; order 128 peaks at a "
                "moderate ratio; excessive spilling degrades)\n";
@@ -47,7 +47,7 @@ void run() {
 }  // namespace
 }  // namespace kami::bench
 
-int main() {
-  kami::bench::run();
-  return 0;
+int main(int argc, char** argv) {
+  return kami::bench::bench_main(argc, argv, "fig10_smem_ratio",
+                                 [] { kami::bench::run(); });
 }

@@ -23,8 +23,8 @@ void panel(std::size_t k) {
     table.add_row({std::to_string(n), cell(s1.back()), cell(s2.back()), cell(s3.back()),
                    cell(sdx.back()), cell(sct.back())});
   }
-  table.print(std::cout, "Fig 11: low-rank GEMM k=" + std::to_string(k) +
-                             " FP16 on GH200 [TFLOPS]");
+  emit_table(table, "Fig 11: low-rank GEMM k=" + std::to_string(k) +
+                        " FP16 on GH200 [TFLOPS]");
   std::cout << "  KAMI-1D speedup vs cuBLASDx-like: " << speedup_summary(s1, sdx)
             << "; vs CUTLASS-like: " << speedup_summary(s1, sct) << "\n\n";
 }
@@ -32,8 +32,9 @@ void panel(std::size_t k) {
 }  // namespace
 }  // namespace kami::bench
 
-int main() {
-  kami::bench::panel(16);
-  kami::bench::panel(32);
-  return 0;
+int main(int argc, char** argv) {
+  return kami::bench::bench_main(argc, argv, "fig11_lowrank", [] {
+    kami::bench::panel(16);
+    kami::bench::panel(32);
+  });
 }

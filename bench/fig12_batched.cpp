@@ -37,8 +37,8 @@ void panel(std::size_t batch) {
          sm.back() ? fmt_double(kami.tflops / *sm.back(), 1) + "x" : "-",
          sc.back() ? fmt_double(kami.tflops / *sc.back(), 1) + "x" : "-"});
   }
-  table.print(std::cout,
-              "Fig 12: batched FP64 GEMM on GH200, batch = " + std::to_string(batch));
+  emit_table(table,
+             "Fig 12: batched FP64 GEMM on GH200, batch = " + std::to_string(batch));
   std::cout << "  average speedups: vs MAGMA-like " << speedup_summary(sk, sm)
             << ", vs cuBLAS-like " << speedup_summary(sk, sc) << "\n\n";
 }
@@ -46,8 +46,9 @@ void panel(std::size_t batch) {
 }  // namespace
 }  // namespace kami::bench
 
-int main() {
-  kami::bench::panel(1000);
-  kami::bench::panel(10000);
-  return 0;
+int main(int argc, char** argv) {
+  return kami::bench::bench_main(argc, argv, "fig12_batched", [] {
+    kami::bench::panel(1000);
+    kami::bench::panel(10000);
+  });
 }

@@ -51,9 +51,9 @@ void run() {
                    dense ? fmt_double(t_spmm / *dense, 2) : "-",
                    fmt_double(t_spgemm / t_spmm, 2)});
   }
-  table.print(std::cout,
-              "Fig 13: SpMM and SpGEMM, FP16 on GH200, 50% block sparsity [TFLOPS on "
-              "useful flops]");
+  emit_table(table,
+             "Fig 13: SpMM and SpGEMM, FP16 on GH200, 50% block sparsity [TFLOPS on "
+             "useful flops]");
   std::cout << "\n  SpMM tracks dense GEMM (dense B/C, regular accesses); SpGEMM's\n"
                "  sparse indexing and index-array transfers reduce throughput (§5.5)\n";
 }
@@ -61,7 +61,7 @@ void run() {
 }  // namespace
 }  // namespace kami::bench
 
-int main() {
-  kami::bench::run();
-  return 0;
+int main(int argc, char** argv) {
+  return kami::bench::bench_main(argc, argv, "fig13_sparse",
+                                 [] { kami::bench::run(); });
 }

@@ -52,8 +52,8 @@ void run() {
     table.add_row({std::to_string(k), fmt_double(t1, 1), cell(m1, 1), fmt_double(t2, 1),
                    cell(m2, 1), fmt_double(t3, 1), cell(m3, 1)});
   }
-  table.print(std::cout,
-              "Fig 14: register usage (regs/thread), C = 64x32 FP16, A/B grow with k");
+  emit_table(table,
+             "Fig 14: register usage (regs/thread), C = 64x32 FP16, A/B grow with k");
   auto pct = [](const std::vector<double>& v) {
     return v.empty() ? std::string("n/a") : fmt_double(100.0 * mean(v), 1) + "%";
   };
@@ -82,14 +82,14 @@ void run() {
   chip.add_row({"CUTLASS-like",
                 fmt_double(static_cast<double>(ct.profile.reg_bytes_per_warp) / 128.0, 0),
                 fmt_double(static_cast<double>(ct.profile.smem_bytes) / 1024.0, 1)});
-  chip.print(std::cout, "On-chip memory at 64x64 FP16 (§5.6.1; paper: KAMI 62/80/55 regs "
-                        "+ 2-8 KB smem, cuBLASDx 40 regs + 27 KB, CUTLASS 96 regs + 65 KB)");
+  emit_table(chip, "On-chip memory at 64x64 FP16 (§5.6.1; paper: KAMI 62/80/55 regs "
+                   "+ 2-8 KB smem, cuBLASDx 40 regs + 27 KB, CUTLASS 96 regs + 65 KB)");
 }
 
 }  // namespace
 }  // namespace kami::bench
 
-int main() {
-  kami::bench::run();
-  return 0;
+int main(int argc, char** argv) {
+  return kami::bench::bench_main(argc, argv, "fig14_registers",
+                                 [] { kami::bench::run(); });
 }

@@ -54,21 +54,37 @@ void panel(const sim::DeviceSpec& dev) {
                      fmt_double(cost.comm_cycles, 0), fmt_double(meas_comm, 0),
                      fmt_double(cost.compute_cycles, 0), fmt_double(meas_comp, 0),
                      fmt_double(cost.T_all, 0), fmt_double(r->profile.latency, 0)});
+
+      // Structured breakdown for the exported run: the five simulator
+      // categories plus the analytic-model reference values.
+      obs::Breakdown out;
+      out.name = dev.name + "/fp16/n=" + std::to_string(n) + "/" + algo_name(cfg.algo);
+      out.categories = {{"smem_comm", bd.smem_comm},
+                        {"gmem", bd.gmem},
+                        {"reg_copy", bd.reg_copy},
+                        {"compute", bd.compute},
+                        {"sync_wait", bd.sync_wait},
+                        {"measured_total", r->profile.latency},
+                        {"theory_comm", cost.comm_cycles},
+                        {"theory_compute", cost.compute_cycles},
+                        {"theory_total", cost.T_all}};
+      run_report().add_breakdown(std::move(out));
     }
   }
-  table.print(std::cout, "Fig 15: theoretical vs measured cycles, FP16 on " + dev.name +
-                             " (single block)");
+  emit_table(table, "Fig 15: theoretical vs measured cycles, FP16 on " + dev.name +
+                        " (single block)");
   std::cout << "\n";
 }
 
 }  // namespace
 }  // namespace kami::bench
 
-int main() {
-  kami::bench::panel<kami::fp16_t>(kami::sim::gh200());
-  kami::bench::panel<kami::fp16_t>(kami::sim::rtx5090());
-  std::cout << "Measured totals also include sync waits and barrier latency, which the\n"
-               "analytic model omits; measured computation exceeds theory by the\n"
-               "device's MMA issue-efficiency factor (GH200: 62%, per §5.6.2).\n";
-  return 0;
+int main(int argc, char** argv) {
+  return kami::bench::bench_main(argc, argv, "fig15_cycles", [] {
+    kami::bench::panel<kami::fp16_t>(kami::sim::gh200());
+    kami::bench::panel<kami::fp16_t>(kami::sim::rtx5090());
+    std::cout << "Measured totals also include sync waits and barrier latency, which the\n"
+                 "analytic model omits; measured computation exceeds theory by the\n"
+                 "device's MMA issue-efficiency factor (GH200: 62%, per §5.6.2).\n";
+  });
 }

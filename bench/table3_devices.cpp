@@ -30,7 +30,7 @@ void run() {
   row("Peak FP64 tensor (TFLOPS)", [](const sim::DeviceSpec& d) {
     return d.peak_fp64_tflops > 0 ? fmt_double(d.peak_fp64_tflops, 0) : std::string("N/A");
   });
-  t3.print(std::cout, "Table 3: Four GPUs from NVIDIA, AMD and Intel");
+  emit_table(t3, "Table 3: Four GPUs from NVIDIA, AMD and Intel");
   std::cout << "\n";
 
   TablePrinter t4({"GPU Vendor", "NVIDIA", "AMD", "Intel"});
@@ -47,7 +47,7 @@ void run() {
               shape_str(sim::intel_max1100().mma_shape(Precision::FP16))});
   t4.add_row({"Instruction shape (FP64)", shape_str(sim::gh200().mma_shape(Precision::FP64)),
               "N/A", "N/A"});
-  t4.print(std::cout, "Table 4: Programming API supported by KAMI");
+  emit_table(t4, "Table 4: Programming API supported by KAMI");
 
   std::cout << "\nDerived simulator constants:\n";
   TablePrinter derived({"Device", "O_tc FP16 (flops/cyc/TC)", "B_sm (B/cyc)",
@@ -59,13 +59,13 @@ void run() {
                      fmt_double(static_cast<double>(d->reg_bytes_per_warp()) / 1024.0, 1),
                      fmt_double(static_cast<double>(d->smem_bytes_per_block) / 1024.0, 0)});
   }
-  derived.print(std::cout, "Simulator hardware constants");
+  emit_table(derived, "Simulator hardware constants");
 }
 
 }  // namespace
 }  // namespace kami::bench
 
-int main() {
-  kami::bench::run();
-  return 0;
+int main(int argc, char** argv) {
+  return kami::bench::bench_main(argc, argv, "table3_devices",
+                                 [] { kami::bench::run(); });
 }

@@ -1,14 +1,31 @@
-// Execution-trace example: record the op-level timeline of one KAMI-1D
-// block and emit it in Chrome's about://tracing JSON format, plus a textual
-// per-phase summary — the simulator's equivalent of an Nsight timeline.
+// Execution-trace example: record the op-level timeline AND the phase
+// (region) tree of one KAMI-1D block, then emit:
+//   * an enriched Chrome/Perfetto trace (op events per warp + named phase
+//     tracks) — the simulator's equivalent of an Nsight timeline;
+//   * the kernel -> phase self/total-cycle tree;
+//   * warp-cycles per op kind attributed to the innermost phase.
 //
-//   $ ./trace_timeline > kami_1d_64.trace.json   # open in chrome://tracing
+//   $ ./trace_timeline          # writes kami_1d_64.trace.json
+//   # open https://ui.perfetto.dev (or chrome://tracing) and load the file
 #include <fstream>
 #include <iostream>
 #include <map>
 
 #include "core/kami.hpp"
+#include "obs/trace_analysis.hpp"
 #include "util/table.hpp"
+
+namespace {
+
+void print_region_tree(const kami::obs::RegionNode& node, int depth) {
+  using kami::fmt_double;
+  std::cout << std::string(static_cast<std::size_t>(depth) * 2, ' ') << node.name
+            << ": total " << fmt_double(node.total_cycles, 0) << " cycles, self "
+            << fmt_double(node.self_cycles(), 0) << " (x" << node.count << ")\n";
+  for (const auto& ch : node.children) print_region_tree(*ch, depth + 1);
+}
+
+}  // namespace
 
 int main() {
   using namespace kami;
@@ -21,12 +38,14 @@ int main() {
   opt.warps = 4;
   opt.smem_ratio = 0.0;
   opt.record_trace = true;
+  opt.record_regions = true;
   const auto r = gemm(Algo::OneD, dev, A, B, opt);
 
   const char* path = "kami_1d_64.trace.json";
   {
     std::ofstream out(path);
-    r.trace->dump_chrome_trace(out);
+    obs::dump_chrome_trace_with_regions(out, *r.trace, r.regions.get(),
+                                        "kami_1d 64x64 fp16");
   }
 
   // Per-kind summary.
@@ -42,9 +61,21 @@ int main() {
   }
   t.print(std::cout, "KAMI-1D 64x64 FP16 on GH200: op-level timeline summary");
 
+  std::cout << "\nPhase tree (simulated cycles):\n";
+  for (const auto& ch : r.regions->root().children) print_region_tree(*ch, 0);
+
+  // kernel -> phase -> op-kind: warp-cycles per op attributed to the
+  // innermost region whose interval contains the op's issue time.
+  TablePrinter po({"phase", "op kind", "warp-cycles"});
+  for (const auto& rb : obs::region_op_breakdown(*r.trace, *r.regions))
+    for (const auto& [kind, cycles] : rb.op_cycles)
+      po.add_row({rb.path, kind, fmt_double(cycles, 0)});
+  std::cout << "\n";
+  po.print(std::cout, "Warp-cycles per phase and op kind");
+
   std::cout << "\nblock latency: " << fmt_double(r.profile.latency, 0)
             << " cycles across " << r.trace->size() << " events\n"
             << "Chrome trace written to " << path
-            << " (open chrome://tracing and load it)\n";
+            << " (open https://ui.perfetto.dev and load it)\n";
   return 0;
 }

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/kami.hpp"
+#include "obs/metrics.hpp"
 
 namespace kami::core {
 
@@ -41,6 +42,11 @@ TuneResult autotune_gemm(const sim::DeviceSpec& dev, std::size_t m, std::size_t 
   const auto A = random_matrix<T>(m, k, rng);
   const auto B = random_matrix<T>(k, n, rng);
 
+  auto& metrics = obs::MetricRegistry::global();
+  metrics.counter("autotune.runs").increment();
+  obs::Counter& evaluated = metrics.counter("autotune.candidates_evaluated");
+  obs::Counter& infeasible = metrics.counter("autotune.candidates_infeasible");
+
   TuneResult best;
   for (const auto& cand : candidates) {
     GemmOptions opt;
@@ -50,6 +56,8 @@ TuneResult autotune_gemm(const sim::DeviceSpec& dev, std::size_t m, std::size_t 
       const auto r = gemm(cand.algo, dev, A, B, opt);
       const double t = sim::throughput_tflops(dev, r.profile, blocks);
       ++best.evaluated;
+      evaluated.increment();
+      metrics.histogram("autotune.candidate_tflops").observe(t);
       if (t > best.tflops) {
         best.tflops = t;
         best.config = cand;
@@ -57,6 +65,7 @@ TuneResult autotune_gemm(const sim::DeviceSpec& dev, std::size_t m, std::size_t 
       }
     } catch (const PreconditionError&) {
       // Candidate infeasible for this shape (grid mismatch or registers).
+      infeasible.increment();
     }
   }
   KAMI_REQUIRE(best.evaluated > 0, "no feasible configuration for this shape");

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "model/registers.hpp"
+#include "obs/region.hpp"
 #include "sim/throughput.hpp"
 #include "types/matrix.hpp"
 
@@ -38,6 +39,10 @@ struct GemmOptions {
 
   /// Record an op-level timeline (sim/trace.hpp) into GemmResult::trace.
   bool record_trace = false;
+
+  /// Record a hierarchical phase profile (obs/region.hpp) keyed to simulated
+  /// cycles into GemmResult::regions.
+  bool record_regions = false;
 };
 
 template <Scalar T>
@@ -47,6 +52,8 @@ struct GemmResult {
   int warps = 0;           ///< the p actually used
   double smem_ratio = 0.0; ///< the spill ratio actually used
   std::shared_ptr<sim::Trace> trace;  ///< set when GemmOptions::record_trace
+  /// Frozen phase tree; set when GemmOptions::record_regions.
+  std::shared_ptr<obs::RegionProfiler> regions;
 };
 
 }  // namespace kami::core

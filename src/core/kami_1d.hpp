@@ -50,6 +50,13 @@ GemmResult<T> kami_1d_gemm(const sim::DeviceSpec& dev, const Matrix<T>& A,
   sim::ThreadBlock blk(dev, plan.p);
   if (opt.record_trace) blk.enable_trace();
 
+  // Optional phase profile keyed to the block's simulated clock. The
+  // profiler is frozen (clock detached) before `blk` goes out of scope.
+  std::shared_ptr<obs::RegionProfiler> regions;
+  if (opt.record_regions)
+    regions = std::make_shared<obs::RegionProfiler>([&blk] { return blk.cycles(); });
+  obs::RegionProfiler* rp = regions.get();
+
   // Per-warp state, indexed by warp id (phases run warps in id order).
   std::vector<SlicedOperand<T>> Aop;
   std::vector<std::optional<SlicedOperand<T>>> Bop(p);
@@ -63,24 +70,28 @@ GemmResult<T> kami_1d_gemm(const sim::DeviceSpec& dev, const Matrix<T>& A,
   const bool a_spills = plan.a.spilled_slices_total() > 0;
   if (a_spills) Ascratch.reserve(p);
 
-  blk.phase([&](sim::Warp& w) {
-    w.set_gmem_charging(opt.charge_global_io);
-    const auto i = static_cast<std::size_t>(w.id());
-    Aop.emplace_back(w, blk.smem(), plan.a, A, i * row_chunk, 0);
-    const std::size_t first = i * q;
-    const std::size_t count = first >= stripes
-                                  ? 0
-                                  : ((first + q <= stripes) ? q : stripes - first);
-    if (count > 0) {
-      b_layout[i] = SliceLayout::make(count * sw, n, SliceAxis::Rows, sw, 0,
-                                      plan.smem_ratio);
-      Bop[i].emplace(w, blk.smem(), b_layout[i], B, first * sw, 0);
-    }
-    Ci.emplace_back(w.regs(), row_chunk, n);
-    BRecv.emplace_back(w.regs(), sw, n);
-    if (a_spills) Ascratch.emplace_back(w.regs(), plan.a.slice_rows(), plan.a.slice_cols());
-  });
-  blk.sync();
+  obs::ScopedRegion r_kernel(rp, "kami_1d");
+  {
+    obs::ScopedRegion r_setup(rp, "setup");
+    blk.phase([&](sim::Warp& w) {
+      w.set_gmem_charging(opt.charge_global_io);
+      const auto i = static_cast<std::size_t>(w.id());
+      Aop.emplace_back(w, blk.smem(), plan.a, A, i * row_chunk, 0);
+      const std::size_t first = i * q;
+      const std::size_t count = first >= stripes
+                                    ? 0
+                                    : ((first + q <= stripes) ? q : stripes - first);
+      if (count > 0) {
+        b_layout[i] = SliceLayout::make(count * sw, n, SliceAxis::Rows, sw, 0,
+                                        plan.smem_ratio);
+        Bop[i].emplace(w, blk.smem(), b_layout[i], B, first * sw, 0);
+      }
+      Ci.emplace_back(w.regs(), row_chunk, n);
+      BRecv.emplace_back(w.regs(), sw, n);
+      if (a_spills) Ascratch.emplace_back(w.regs(), plan.a.slice_rows(), plan.a.slice_cols());
+    });
+    blk.sync();
+  }
 
   // One broadcast buffer, reused across stages (Algorithm 1's SmB).
   auto SmB = blk.smem().alloc<T>(sw, n);
@@ -92,49 +103,66 @@ GemmResult<T> kami_1d_gemm(const sim::DeviceSpec& dev, const Matrix<T>& A,
 
     // Write phase: the owner publishes its resident slice (lines 6-7);
     // spilled slices are already in its shared-memory region.
-    blk.phase([&](sim::Warp& w) {
-      if (static_cast<std::size_t>(w.id()) != owner) return;
-      if (resident) w.store_smem(SmB, Bop[owner]->resident_slice(ls), opt.theta_w);
-      Bop[owner]->fetch_slice(w, ls, BRecv[owner], opt.theta_r);  // own copy (line 7)
-    });
-    blk.sync();
+    {
+      obs::ScopedRegion r(rp, "broadcast_write");
+      blk.phase([&](sim::Warp& w) {
+        if (static_cast<std::size_t>(w.id()) != owner) return;
+        if (resident) w.store_smem(SmB, Bop[owner]->resident_slice(ls), opt.theta_w);
+        Bop[owner]->fetch_slice(w, ls, BRecv[owner], opt.theta_r);  // own copy (line 7)
+      });
+      blk.sync();
+    }
 
     // Read phase: everyone else pulls the slice (line 10), serialized on
     // the shared-memory port.
-    blk.phase([&](sim::Warp& w) {
-      const auto i = static_cast<std::size_t>(w.id());
-      if (i == owner) return;
-      if (resident) {
-        w.load_smem(BRecv[i], SmB, opt.theta_r);
-      } else {
-        w.load_smem(BRecv[i], Bop[owner]->spilled_slice(ls), opt.theta_r);
-      }
-    });
-    blk.sync();
+    {
+      obs::ScopedRegion r(rp, "broadcast_read");
+      blk.phase([&](sim::Warp& w) {
+        const auto i = static_cast<std::size_t>(w.id());
+        if (i == owner) return;
+        if (resident) {
+          w.load_smem(BRecv[i], SmB, opt.theta_r);
+        } else {
+          w.load_smem(BRecv[i], Bop[owner]->spilled_slice(ls), opt.theta_r);
+        }
+      });
+      blk.sync();
+    }
 
     // Compute phase (line 12): Ci += A_i[:, stripe z] x BRecv.
-    blk.phase([&](sim::Warp& w) {
-      const auto i = static_cast<std::size_t>(w.id());
-      if (plan.a.is_resident(z)) {
-        w.mma(Ci[i], Aop[i].resident_slice(z), BRecv[i].view());
-      } else {
-        w.load_smem(Ascratch[i], Aop[i].spilled_slice(z), opt.theta_r);
-        w.mma(Ci[i], Ascratch[i].view(), BRecv[i].view());
-      }
-    });
-    blk.sync();
+    {
+      obs::ScopedRegion r(rp, "compute");
+      blk.phase([&](sim::Warp& w) {
+        const auto i = static_cast<std::size_t>(w.id());
+        if (plan.a.is_resident(z)) {
+          w.mma(Ci[i], Aop[i].resident_slice(z), BRecv[i].view());
+        } else {
+          w.load_smem(Ascratch[i], Aop[i].spilled_slice(z), opt.theta_r);
+          w.mma(Ci[i], Ascratch[i].view(), BRecv[i].view());
+        }
+      });
+      blk.sync();
+    }
   }
 
   // Line 13: write back C, narrowed to the storage precision.
-  GemmResult<T> out{Matrix<T>(m, n), {}, plan.p, plan.smem_ratio, nullptr};
-  blk.phase([&](sim::Warp& w) {
-    const auto i = static_cast<std::size_t>(w.id());
-    w.store_global_narrowed(out.C, Ci[i], i * row_chunk, 0);
-  });
-  blk.sync();
+  GemmResult<T> out{Matrix<T>(m, n), {}, plan.p, plan.smem_ratio, nullptr, nullptr};
+  {
+    obs::ScopedRegion r(rp, "writeback");
+    blk.phase([&](sim::Warp& w) {
+      const auto i = static_cast<std::size_t>(w.id());
+      w.store_global_narrowed(out.C, Ci[i], i * row_chunk, 0);
+    });
+    blk.sync();
+  }
+  r_kernel.close();
 
   out.profile = sim::profile_block(blk, model::gemm_flops(m, n, k));
   if (opt.record_trace) out.trace = blk.take_trace();
+  if (regions) {
+    regions->freeze();
+    out.regions = regions;
+  }
   return out;
 }
 

@@ -34,6 +34,12 @@ GemmResult<T> kami_2d_gemm(const sim::DeviceSpec& dev, const Matrix<T>& A,
 
   sim::ThreadBlock blk(dev, plan.p);
   if (opt.record_trace) blk.enable_trace();
+
+  std::shared_ptr<obs::RegionProfiler> regions;
+  if (opt.record_regions)
+    regions = std::make_shared<obs::RegionProfiler>([&blk] { return blk.cycles(); });
+  obs::RegionProfiler* rp = regions.get();
+
   const auto row_of = [&](std::size_t id) { return id / q; };
   const auto col_of = [&](std::size_t id) { return id % q; };
 
@@ -46,17 +52,21 @@ GemmResult<T> kami_2d_gemm(const sim::DeviceSpec& dev, const Matrix<T>& A,
   ARecv.reserve(p);
   BRecv.reserve(p);
 
-  blk.phase([&](sim::Warp& w) {
-    w.set_gmem_charging(opt.charge_global_io);
-    const auto i = static_cast<std::size_t>(w.id());
-    const std::size_t r = row_of(i), c = col_of(i);
-    Aop.emplace_back(w, blk.smem(), plan.a, A, r * mb, c * kb);
-    Bop.emplace_back(w, blk.smem(), plan.b, B, r * kb, c * nb);
-    Ci.emplace_back(w.regs(), mb, nb);
-    ARecv.emplace_back(w.regs(), plan.a.slice_rows(), plan.a.slice_cols());
-    BRecv.emplace_back(w.regs(), plan.b.slice_rows(), plan.b.slice_cols());
-  });
-  blk.sync();
+  obs::ScopedRegion r_kernel(rp, "kami_2d");
+  {
+    obs::ScopedRegion r_setup(rp, "setup");
+    blk.phase([&](sim::Warp& w) {
+      w.set_gmem_charging(opt.charge_global_io);
+      const auto i = static_cast<std::size_t>(w.id());
+      const std::size_t r = row_of(i), c = col_of(i);
+      Aop.emplace_back(w, blk.smem(), plan.a, A, r * mb, c * kb);
+      Bop.emplace_back(w, blk.smem(), plan.b, B, r * kb, c * nb);
+      Ci.emplace_back(w.regs(), mb, nb);
+      ARecv.emplace_back(w.regs(), plan.a.slice_rows(), plan.a.slice_cols());
+      BRecv.emplace_back(w.regs(), plan.b.slice_rows(), plan.b.slice_cols());
+    });
+    blk.sync();
+  }
 
   // One A buffer per grid row and one B buffer per grid column.
   std::vector<sim::SmemTile<T>> SmA, SmB;
@@ -72,6 +82,7 @@ GemmResult<T> kami_2d_gemm(const sim::DeviceSpec& dev, const Matrix<T>& A,
 
       // Write phase (lines 5-10): column-z warps publish A, row-z warps
       // publish B; owners also stage their own copies (Reg2Reg).
+      obs::ScopedRegion r_w(rp, "broadcast_write");
       blk.phase([&](sim::Warp& w) {
         const auto i = static_cast<std::size_t>(w.id());
         const std::size_t r = row_of(i), c = col_of(i);
@@ -85,8 +96,10 @@ GemmResult<T> kami_2d_gemm(const sim::DeviceSpec& dev, const Matrix<T>& A,
         }
       });
       blk.sync();
+      r_w.close();
 
       // Read phase (lines 12-15).
+      obs::ScopedRegion r_r(rp, "broadcast_read");
       blk.phase([&](sim::Warp& w) {
         const auto i = static_cast<std::size_t>(w.id());
         const std::size_t r = row_of(i), c = col_of(i);
@@ -108,8 +121,10 @@ GemmResult<T> kami_2d_gemm(const sim::DeviceSpec& dev, const Matrix<T>& A,
         }
       });
       blk.sync();
+      r_r.close();
 
       // Compute phase (line 17).
+      obs::ScopedRegion r_c(rp, "compute");
       blk.phase([&](sim::Warp& w) {
         const auto i = static_cast<std::size_t>(w.id());
         w.mma(Ci[i], ARecv[i].view(), BRecv[i].view());
@@ -118,15 +133,23 @@ GemmResult<T> kami_2d_gemm(const sim::DeviceSpec& dev, const Matrix<T>& A,
     }
   }
 
-  GemmResult<T> out{Matrix<T>(m, n), {}, plan.p, plan.smem_ratio, nullptr};
-  blk.phase([&](sim::Warp& w) {
-    const auto i = static_cast<std::size_t>(w.id());
-    w.store_global_narrowed(out.C, Ci[i], row_of(i) * mb, col_of(i) * nb);
-  });
-  blk.sync();
+  GemmResult<T> out{Matrix<T>(m, n), {}, plan.p, plan.smem_ratio, nullptr, nullptr};
+  {
+    obs::ScopedRegion r(rp, "writeback");
+    blk.phase([&](sim::Warp& w) {
+      const auto i = static_cast<std::size_t>(w.id());
+      w.store_global_narrowed(out.C, Ci[i], row_of(i) * mb, col_of(i) * nb);
+    });
+    blk.sync();
+  }
+  r_kernel.close();
 
   out.profile = sim::profile_block(blk, model::gemm_flops(m, n, k));
   if (opt.record_trace) out.trace = blk.take_trace();
+  if (regions) {
+    regions->freeze();
+    out.regions = regions;
+  }
   return out;
 }
 

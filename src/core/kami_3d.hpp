@@ -52,6 +52,12 @@ GemmResult<T> kami_3d_gemm(const sim::DeviceSpec& dev, const Matrix<T>& A,
 
   sim::ThreadBlock blk(dev, plan.p);
   if (opt.record_trace) blk.enable_trace();
+
+  std::shared_ptr<obs::RegionProfiler> regions;
+  if (opt.record_regions)
+    regions = std::make_shared<obs::RegionProfiler>([&blk] { return blk.cycles(); });
+  obs::RegionProfiler* rp = regions.get();
+
   const auto layer_of = [&](std::size_t id) { return id / (c * c); };
   const auto row_of = [&](std::size_t id) { return (id % (c * c)) / c; };
   const auto col_of = [&](std::size_t id) { return id % c; };
@@ -65,15 +71,19 @@ GemmResult<T> kami_3d_gemm(const sim::DeviceSpec& dev, const Matrix<T>& A,
   std::vector<sim::Fragment<T>> ARecv;
   ARecv.reserve(p);
 
-  blk.phase([&](sim::Warp& w) {
-    w.set_gmem_charging(opt.charge_global_io);
-    const auto id = static_cast<std::size_t>(w.id());
-    const std::size_t i = row_of(id), j = col_of(id), l = layer_of(id);
-    if (j == l) Aop[id].emplace(w, blk.smem(), plan.a, A, i * mb, l * kb);
-    if (i == l) Bop[id].emplace(w, blk.smem(), plan.b, B, l * kb, j * nb);
-    ARecv.emplace_back(w.regs(), plan.a.slice_rows(), plan.a.slice_cols());
-  });
-  blk.sync();
+  obs::ScopedRegion r_kernel(rp, "kami_3d");
+  {
+    obs::ScopedRegion r_setup(rp, "setup");
+    blk.phase([&](sim::Warp& w) {
+      w.set_gmem_charging(opt.charge_global_io);
+      const auto id = static_cast<std::size_t>(w.id());
+      const std::size_t i = row_of(id), j = col_of(id), l = layer_of(id);
+      if (j == l) Aop[id].emplace(w, blk.smem(), plan.a, A, i * mb, l * kb);
+      if (i == l) Bop[id].emplace(w, blk.smem(), plan.b, B, l * kb, j * nb);
+      ARecv.emplace_back(w.regs(), plan.a.slice_rows(), plan.a.slice_cols());
+    });
+    blk.sync();
+  }
 
   // Broadcast buffers: one per (row, layer) for A, one per (col, layer) for
   // B (B buffers are chunk-width); plus the reduction staging tiles.
@@ -87,7 +97,7 @@ GemmResult<T> kami_3d_gemm(const sim::DeviceSpec& dev, const Matrix<T>& A,
   for (std::size_t g = 0; g < c * c; ++g)
     SmP.push_back(blk.smem().alloc<Acc>(mb, red_cols));
 
-  GemmResult<T> out{Matrix<T>(m, n), {}, plan.p, plan.smem_ratio, nullptr};
+  GemmResult<T> out{Matrix<T>(m, n), {}, plan.p, plan.smem_ratio, nullptr, nullptr};
 
   for (std::size_t n0 = 0; n0 < nb; n0 += nc) {
     // Per-chunk accumulators and receive buffers.
@@ -106,6 +116,7 @@ GemmResult<T> kami_3d_gemm(const sim::DeviceSpec& dev, const Matrix<T>& A,
 
       // Write phase: owners publish slice s (A full-width; B only the
       // current column chunk).
+      obs::ScopedRegion r_w(rp, "broadcast_write");
       blk.phase([&](sim::Warp& w) {
         const auto id = static_cast<std::size_t>(w.id());
         const std::size_t i = row_of(id), j = col_of(id), l = layer_of(id);
@@ -132,8 +143,10 @@ GemmResult<T> kami_3d_gemm(const sim::DeviceSpec& dev, const Matrix<T>& A,
         }
       });
       blk.sync();
+      r_w.close();
 
       // Read phase: same row+layer for A, same column+layer for B.
+      obs::ScopedRegion r_r(rp, "broadcast_read");
       blk.phase([&](sim::Warp& w) {
         const auto id = static_cast<std::size_t>(w.id());
         const std::size_t i = row_of(id), j = col_of(id), l = layer_of(id);
@@ -160,8 +173,10 @@ GemmResult<T> kami_3d_gemm(const sim::DeviceSpec& dev, const Matrix<T>& A,
         }
       });
       blk.sync();
+      r_r.close();
 
       // Compute phase: one partial-product MMA per warp per slice.
+      obs::ScopedRegion r_c(rp, "compute");
       blk.phase([&](sim::Warp& w) {
         const auto id = static_cast<std::size_t>(w.id());
         w.mma(Ci[id], ARecv[id].view(), BRecv[id].view());
@@ -171,6 +186,7 @@ GemmResult<T> kami_3d_gemm(const sim::DeviceSpec& dev, const Matrix<T>& A,
 
     // Inter-layer reduction of this chunk: layer 0 accumulates layers
     // 1..c-1, streamed through shared memory in <=16-column pieces.
+    obs::ScopedRegion r_red(rp, "reduce");
     std::vector<std::optional<sim::Fragment<Acc>>> Pscratch(p);
     blk.phase([&](sim::Warp& w) {
       Pscratch[static_cast<std::size_t>(w.id())].emplace(w.regs(), mb, red_cols);
@@ -206,7 +222,10 @@ GemmResult<T> kami_3d_gemm(const sim::DeviceSpec& dev, const Matrix<T>& A,
       }
     }
 
+    r_red.close();
+
     // Store this chunk (layer 0 holds the reduced result).
+    obs::ScopedRegion r_wb(rp, "writeback");
     blk.phase([&](sim::Warp& w) {
       const auto id = static_cast<std::size_t>(w.id());
       if (layer_of(id) != 0) return;
@@ -214,9 +233,14 @@ GemmResult<T> kami_3d_gemm(const sim::DeviceSpec& dev, const Matrix<T>& A,
     });
     blk.sync();
   }
+  r_kernel.close();
 
   out.profile = sim::profile_block(blk, model::gemm_flops(m, n, k));
   if (opt.record_trace) out.trace = blk.take_trace();
+  if (regions) {
+    regions->freeze();
+    out.regions = regions;
+  }
   return out;
 }
 

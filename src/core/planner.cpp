@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/register_file.hpp"
 #include "util/require.hpp"
 
@@ -178,6 +179,15 @@ Plan plan_gemm(Algo algo, const sim::DeviceSpec& dev, Precision prec, std::size_
   std::vector<std::size_t> chunk_candidates{0};
   if (algo == Algo::ThreeD) chunk_candidates.push_back(16);
 
+  // Planner decisions are part of the observability contract: how many
+  // candidate (p, ratio, slice) configurations were examined and why the
+  // losers were rejected.
+  auto& metrics = obs::MetricRegistry::global();
+  obs::Counter& tried = metrics.counter("planner.candidates_tried");
+  obs::Counter& rejected_regs = metrics.counter("planner.candidates_rejected_registers");
+  obs::Counter& rejected_smem = metrics.counter("planner.candidates_rejected_smem");
+  metrics.counter("planner.plans_requested").increment();
+
   for (int p : warp_candidates) {
     if (!shape_divisible(algo, m, n, k, p)) continue;
     for (std::size_t nchunk : chunk_candidates) {
@@ -189,16 +199,21 @@ Plan plan_gemm(Algo algo, const sim::DeviceSpec& dev, Precision prec, std::size_
           plan.n_chunk = nchunk;
           plan.reg_demand_bytes = register_demand_bytes(plan, prec, m, n, k);
           const std::size_t smem_need = smem_demand_bytes(plan, prec, m, n);
+          tried.increment();
           if (plan.reg_demand_bytes <= capacity &&
               smem_need <= dev.smem_bytes_per_block) {
+            metrics.histogram("planner.reg_demand_bytes")
+                .observe(static_cast<double>(plan.reg_demand_bytes));
             return plan;
           }
           if (plan.reg_demand_bytes > capacity) {
+            rejected_regs.increment();
             last_error = "register demand " + std::to_string(plan.reg_demand_bytes) +
                          " B exceeds the " + std::to_string(capacity) +
                          " B register file (p=" + std::to_string(p) +
                          ", ratio=" + std::to_string(ratio) + ")";
           } else {
+            rejected_smem.increment();
             last_error = "spill footprint " + std::to_string(smem_need) +
                          " B exceeds the " + std::to_string(dev.smem_bytes_per_block) +
                          " B shared memory (p=" + std::to_string(p) +
@@ -208,6 +223,7 @@ Plan plan_gemm(Algo algo, const sim::DeviceSpec& dev, Precision prec, std::size_
       }
     }
   }
+  metrics.counter("planner.infeasible").increment();
   throw sim::RegisterOverflow("no feasible launch plan: " + last_error);
 }
 

@@ -1,0 +1,387 @@
+#include "obs/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+
+namespace kami::obs {
+
+namespace {
+
+[[noreturn]] void type_error(const char* want, Json::Type got) {
+  static const char* names[] = {"null", "bool", "number", "string", "array", "object"};
+  throw JsonError(std::string("JSON type mismatch: wanted ") + want + ", value is " +
+                  names[static_cast<int>(got)]);
+}
+
+}  // namespace
+
+bool Json::as_bool() const {
+  if (!is_bool()) type_error("bool", type_);
+  return bool_;
+}
+
+double Json::as_number() const {
+  if (!is_number()) type_error("number", type_);
+  return num_;
+}
+
+const std::string& Json::as_string() const {
+  if (!is_string()) type_error("string", type_);
+  return str_;
+}
+
+const Json::Array& Json::as_array() const {
+  if (!is_array()) type_error("array", type_);
+  return arr_;
+}
+
+const Json::Object& Json::as_object() const {
+  if (!is_object()) type_error("object", type_);
+  return obj_;
+}
+
+void Json::push_back(Json v) {
+  if (!is_array()) type_error("array", type_);
+  arr_.push_back(std::move(v));
+}
+
+void Json::set(std::string key, Json v) {
+  if (!is_object()) type_error("object", type_);
+  for (auto& [k, old] : obj_) {
+    if (k == key) {
+      old = std::move(v);
+      return;
+    }
+  }
+  obj_.emplace_back(std::move(key), std::move(v));
+}
+
+const Json* Json::find(std::string_view key) const noexcept {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : obj_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const Json& Json::at(std::string_view key) const {
+  const Json* v = find(key);
+  if (v == nullptr) throw JsonError("JSON object has no key \"" + std::string(key) + "\"");
+  return *v;
+}
+
+const Json& Json::at(std::size_t index) const {
+  if (!is_array()) type_error("array", type_);
+  if (index >= arr_.size())
+    throw JsonError("JSON array index " + std::to_string(index) + " out of range (size " +
+                    std::to_string(arr_.size()) + ")");
+  return arr_[index];
+}
+
+std::size_t Json::size() const noexcept {
+  if (is_array()) return arr_.size();
+  if (is_object()) return obj_.size();
+  return 0;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c) & 0xff);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";  // JSON has no Inf/NaN
+  // Integral doubles print exactly, without an exponent or decimal point,
+  // so cycle counts stay human-readable in the export.
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+    return buf;
+  }
+  // Shortest representation that round-trips through strtod.
+  char buf[40];
+  for (int prec = 15; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+void Json::dump_impl(std::ostream& os, int indent, int depth) const {
+  const auto newline = [&](int d) {
+    if (indent < 0) return;
+    os << '\n';
+    for (int i = 0; i < indent * d; ++i) os << ' ';
+  };
+  switch (type_) {
+    case Type::Null: os << "null"; break;
+    case Type::Bool: os << (bool_ ? "true" : "false"); break;
+    case Type::Number: os << json_number(num_); break;
+    case Type::String: os << '"' << json_escape(str_) << '"'; break;
+    case Type::Array: {
+      os << '[';
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        if (i) os << ',';
+        newline(depth + 1);
+        arr_[i].dump_impl(os, indent, depth + 1);
+      }
+      if (!arr_.empty()) newline(depth);
+      os << ']';
+      break;
+    }
+    case Type::Object: {
+      os << '{';
+      for (std::size_t i = 0; i < obj_.size(); ++i) {
+        if (i) os << ',';
+        newline(depth + 1);
+        os << '"' << json_escape(obj_[i].first) << "\":";
+        if (indent >= 0) os << ' ';
+        obj_[i].second.dump_impl(os, indent, depth + 1);
+      }
+      if (!obj_.empty()) newline(depth);
+      os << '}';
+      break;
+    }
+  }
+}
+
+void Json::dump(std::ostream& os, int indent) const { dump_impl(os, indent, 0); }
+
+std::string Json::dump(int indent) const {
+  std::ostringstream os;
+  dump(os, indent);
+  return os.str();
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json parse_document() {
+    Json v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw JsonError("JSON parse error at offset " + std::to_string(pos_) + ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "', found '" + peek() + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Json parse_value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Json(parse_string());
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return Json(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return Json(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return Json(nullptr);
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json obj = Json::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.set(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return obj;
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json arr = Json::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return arr;
+    }
+  }
+
+  void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xc0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3f));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xe0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (cp & 0x3f));
+    } else {
+      out += static_cast<char>(0xf0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3f));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (cp & 0x3f));
+    }
+  }
+
+  unsigned parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    unsigned cp = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      cp <<= 4;
+      if (c >= '0' && c <= '9') cp |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') cp |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') cp |= static_cast<unsigned>(c - 'A' + 10);
+      else fail("bad hex digit in \\u escape");
+    }
+    return cp;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("truncated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned cp = parse_hex4();
+          if (cp >= 0xd800 && cp <= 0xdbff) {  // surrogate pair
+            if (pos_ + 2 <= text_.size() && text_[pos_] == '\\' && text_[pos_ + 1] == 'u') {
+              pos_ += 2;
+              const unsigned lo = parse_hex4();
+              if (lo >= 0xdc00 && lo <= 0xdfff)
+                cp = 0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00);
+              else
+                fail("invalid low surrogate");
+            } else {
+              fail("unpaired surrogate");
+            }
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: fail(std::string("bad escape \\") + e);
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-')
+        ++pos_;
+      else
+        break;
+    }
+    if (pos_ == start) fail("expected a value");
+    double value = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(text_.data() + start, text_.data() + pos_, value);
+    if (ec != std::errc{} || ptr != text_.data() + pos_) fail("malformed number");
+    return Json(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(std::string_view text) { return Parser(text).parse_document(); }
+
+}  // namespace kami::obs

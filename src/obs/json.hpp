@@ -1,0 +1,112 @@
+// A minimal JSON value — writer and parser — for the observability layer.
+//
+// Exported run reports must be machine-readable (stable schema, versioned)
+// and `tools/kami_prof` must load them back, so the repo needs a JSON round
+// trip without external dependencies. Objects keep insertion order so the
+// emitted schema reads in the order it was built; numbers are written with
+// enough digits that doubles survive the round trip exactly.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace kami::obs {
+
+/// Thrown on malformed JSON text or on type-mismatched access.
+class JsonError : public kami::PreconditionError {
+ public:
+  using PreconditionError::PreconditionError;
+};
+
+class Json {
+ public:
+  enum class Type : std::uint8_t { Null, Bool, Number, String, Array, Object };
+
+  using Array = std::vector<Json>;
+  /// Insertion-ordered key/value pairs; keys are unique (set replaces).
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() = default;  // null
+  Json(std::nullptr_t) {}
+  Json(bool b) : type_(Type::Bool), bool_(b) {}
+  Json(double v) : type_(Type::Number), num_(v) {}
+  Json(int v) : type_(Type::Number), num_(v) {}
+  Json(unsigned v) : type_(Type::Number), num_(v) {}
+  Json(long v) : type_(Type::Number), num_(static_cast<double>(v)) {}
+  Json(unsigned long v) : type_(Type::Number), num_(static_cast<double>(v)) {}
+  Json(long long v) : type_(Type::Number), num_(static_cast<double>(v)) {}
+  Json(unsigned long long v) : type_(Type::Number), num_(static_cast<double>(v)) {}
+  Json(const char* s) : type_(Type::String), str_(s) {}
+  Json(std::string s) : type_(Type::String), str_(std::move(s)) {}
+  Json(std::string_view s) : type_(Type::String), str_(s) {}
+  Json(Array a) : type_(Type::Array), arr_(std::move(a)) {}
+  Json(Object o) : type_(Type::Object), obj_(std::move(o)) {}
+
+  static Json array() { return Json(Array{}); }
+  static Json object() { return Json(Object{}); }
+
+  Type type() const noexcept { return type_; }
+  bool is_null() const noexcept { return type_ == Type::Null; }
+  bool is_bool() const noexcept { return type_ == Type::Bool; }
+  bool is_number() const noexcept { return type_ == Type::Number; }
+  bool is_string() const noexcept { return type_ == Type::String; }
+  bool is_array() const noexcept { return type_ == Type::Array; }
+  bool is_object() const noexcept { return type_ == Type::Object; }
+
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  /// Array append.
+  void push_back(Json v);
+
+  /// Object set (replaces an existing key, keeps its position).
+  void set(std::string key, Json v);
+
+  /// Object lookup; nullptr when absent (or not an object).
+  const Json* find(std::string_view key) const noexcept;
+
+  /// Object lookup that throws JsonError when the key is missing.
+  const Json& at(std::string_view key) const;
+
+  /// Array element access (bounds-checked).
+  const Json& at(std::size_t index) const;
+
+  std::size_t size() const noexcept;
+
+  /// Serialize. indent < 0 emits compact one-line JSON; indent >= 0 pretty
+  /// prints with that many spaces per level.
+  void dump(std::ostream& os, int indent = -1) const;
+  std::string dump(int indent = -1) const;
+
+  /// Parse a complete JSON document; throws JsonError with position info.
+  static Json parse(std::string_view text);
+
+ private:
+  void dump_impl(std::ostream& os, int indent, int depth) const;
+
+  Type type_ = Type::Null;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  Array arr_;
+  Object obj_;
+};
+
+/// JSON string escaping (quotes not included): control characters, quote,
+/// and backslash become escape sequences; everything else passes through.
+std::string json_escape(std::string_view s);
+
+/// Format a double the way the JSON writer does (shortest round-trippable
+/// form; integral values print without a decimal point).
+std::string json_number(double v);
+
+}  // namespace kami::obs

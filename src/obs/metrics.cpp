@@ -1,0 +1,131 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace kami::obs {
+
+double Histogram::sum() const noexcept {
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0);
+}
+
+double Histogram::mean() const {
+  KAMI_REQUIRE(!samples_.empty(), "histogram has no samples");
+  return sum() / static_cast<double>(samples_.size());
+}
+
+void Histogram::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Histogram::min() const {
+  KAMI_REQUIRE(!samples_.empty(), "histogram has no samples");
+  ensure_sorted();
+  return samples_.front();
+}
+
+double Histogram::max() const {
+  KAMI_REQUIRE(!samples_.empty(), "histogram has no samples");
+  ensure_sorted();
+  return samples_.back();
+}
+
+double Histogram::percentile(double p) const {
+  KAMI_REQUIRE(!samples_.empty(), "histogram has no samples");
+  KAMI_REQUIRE(p >= 0.0 && p <= 100.0, "percentile must be in [0, 100]");
+  ensure_sorted();
+  if (samples_.size() == 1) return samples_.front();
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= samples_.size()) return samples_.back();
+  return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+Counter& MetricRegistry::counter(std::string_view name) {
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  return counters_.emplace(std::string(name), Counter{}).first->second;
+}
+
+Gauge& MetricRegistry::gauge(std::string_view name) {
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second;
+  return gauges_.emplace(std::string(name), Gauge{}).first->second;
+}
+
+Histogram& MetricRegistry::histogram(std::string_view name) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(std::string(name), Histogram{}).first->second;
+}
+
+const Counter* MetricRegistry::find_counter(std::string_view name) const noexcept {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge* MetricRegistry::find_gauge(std::string_view name) const noexcept {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const Histogram* MetricRegistry::find_histogram(std::string_view name) const noexcept {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+std::map<std::string, double> MetricRegistry::counter_values() const {
+  std::map<std::string, double> out;
+  for (const auto& [name, c] : counters_) out.emplace(name, c.value());
+  return out;
+}
+
+std::map<std::string, double> MetricRegistry::gauge_values() const {
+  std::map<std::string, double> out;
+  for (const auto& [name, g] : gauges_) out.emplace(name, g.value());
+  return out;
+}
+
+void MetricRegistry::reset_values() {
+  for (auto& [name, c] : counters_) c.reset();
+  for (auto& [name, g] : gauges_) g.reset();
+  for (auto& [name, h] : histograms_) h.reset();
+}
+
+Json MetricRegistry::to_json() const {
+  Json counters = Json::object();
+  for (const auto& [name, c] : counters_) counters.set(name, c.value());
+  Json gauges = Json::object();
+  for (const auto& [name, g] : gauges_) gauges.set(name, g.value());
+  Json hists = Json::object();
+  for (const auto& [name, h] : histograms_) {
+    Json entry = Json::object();
+    entry.set("count", static_cast<double>(h.count()));
+    entry.set("sum", h.count() ? h.sum() : 0.0);
+    if (h.count() > 0) {
+      entry.set("min", h.min());
+      entry.set("max", h.max());
+      entry.set("p50", h.percentile(50.0));
+      entry.set("p90", h.percentile(90.0));
+      entry.set("p99", h.percentile(99.0));
+    }
+    hists.set(name, std::move(entry));
+  }
+  Json out = Json::object();
+  out.set("counters", std::move(counters));
+  out.set("gauges", std::move(gauges));
+  out.set("histograms", std::move(hists));
+  return out;
+}
+
+MetricRegistry& MetricRegistry::global() {
+  static MetricRegistry registry;
+  return registry;
+}
+
+}  // namespace kami::obs

@@ -1,0 +1,140 @@
+// MetricRegistry: named counters, gauges, and histograms that instrumented
+// code (the simulator's Warp/ThreadBlock/SharedMemory, the planner, the
+// autotuner) publishes into.
+//
+// Design constraints, in order:
+//   * hot-path cheap — instrumented code resolves a metric by name once and
+//     then holds a stable reference; an update is one add on a double;
+//   * deterministic export — iteration and JSON output are name-sorted;
+//   * resettable without invalidating handles — `reset_values()` zeroes
+//     every metric in place, so a Warp constructed before the reset keeps
+//     publishing into the same (now zeroed) counters.
+//
+// The simulator is single-threaded by construction (warps are round-robin
+// scheduled on one OS thread), so metrics carry no synchronization.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "util/require.hpp"
+
+namespace kami::obs {
+
+/// A monotonically increasing sum (bytes moved, ops issued, cycles waited).
+class Counter {
+ public:
+  /// Increase by `v`; negative deltas are rejected (counters only go up).
+  void add(double v) {
+    KAMI_REQUIRE(v >= 0.0, "counter increments must be non-negative");
+    value_ += v;
+  }
+  void increment() { add(1.0); }
+  double value() const noexcept { return value_; }
+  void reset() noexcept { value_ = 0.0; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// A point-in-time level (high-water bytes, resident blocks).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_ = v; }
+  /// Keep the maximum of the current and the observed value.
+  void set_max(double v) noexcept {
+    if (v > value_) value_ = v;
+  }
+  double value() const noexcept { return value_; }
+  void reset() noexcept { value_ = 0.0; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// A sample distribution with exact percentiles (the sample counts here are
+/// small — planner candidates, autotune evaluations — so keeping every
+/// observation is cheaper than maintaining approximate sketches).
+class Histogram {
+ public:
+  void observe(double v) {
+    samples_.push_back(v);
+    sorted_ = false;
+  }
+
+  std::size_t count() const noexcept { return samples_.size(); }
+  double sum() const noexcept;
+  double mean() const;
+  double min() const;
+  double max() const;
+
+  /// Exact percentile by linear interpolation between order statistics;
+  /// p in [0, 100]. Requires at least one sample.
+  double percentile(double p) const;
+
+  void reset() noexcept {
+    samples_.clear();
+    sorted_ = false;
+  }
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+class MetricRegistry {
+ public:
+  /// Find-or-create. The returned reference stays valid for the registry's
+  /// lifetime (std::map nodes are stable) and across reset_values().
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Lookup without creating; nullptr when absent.
+  const Counter* find_counter(std::string_view name) const noexcept;
+  const Gauge* find_gauge(std::string_view name) const noexcept;
+  const Histogram* find_histogram(std::string_view name) const noexcept;
+
+  /// Name-sorted snapshots for reports.
+  std::map<std::string, double> counter_values() const;
+  std::map<std::string, double> gauge_values() const;
+
+  /// Zero every metric in place; existing references keep working.
+  void reset_values();
+
+  std::size_t size() const noexcept {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name: {count, sum,
+  /// min, max, p50, p90, p99}}} — name-sorted, deterministic.
+  Json to_json() const;
+
+  /// The process-wide registry the simulator publishes into.
+  static MetricRegistry& global();
+
+ private:
+  // std::map (not unordered) for deterministic iteration; transparent
+  // comparator so string_view lookups don't allocate.
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+/// RAII reset of the global registry's values — tests and bench binaries
+/// wrap a measured run so previously accumulated totals don't leak in.
+class ScopedMetricsReset {
+ public:
+  ScopedMetricsReset() { MetricRegistry::global().reset_values(); }
+  ~ScopedMetricsReset() = default;
+  ScopedMetricsReset(const ScopedMetricsReset&) = delete;
+  ScopedMetricsReset& operator=(const ScopedMetricsReset&) = delete;
+};
+
+}  // namespace kami::obs

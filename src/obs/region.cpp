@@ -1,0 +1,69 @@
+#include "obs/region.hpp"
+
+namespace kami::obs {
+
+void RegionProfiler::enter(std::string_view name) {
+  KAMI_REQUIRE(!frozen_, "region profiler is frozen");
+  KAMI_REQUIRE(!name.empty(), "region name must be non-empty");
+  RegionNode* parent = stack_.empty() ? &root_ : stack_.back().node;
+  RegionNode* node = nullptr;
+  for (const auto& ch : parent->children) {
+    if (ch->name == name) {
+      node = ch.get();
+      break;
+    }
+  }
+  if (node == nullptr) {
+    parent->children.push_back(std::make_unique<RegionNode>());
+    node = parent->children.back().get();
+    node->name = std::string(name);
+  }
+  std::string path = stack_.empty() ? std::string(name)
+                                    : stack_.back().path + "/" + std::string(name);
+  stack_.push_back(Open{node, clock_(), std::move(path)});
+}
+
+void RegionProfiler::leave() {
+  KAMI_REQUIRE(!frozen_, "region profiler is frozen");
+  KAMI_REQUIRE(!stack_.empty(), "leave() without a matching enter()");
+  const Open open = std::move(stack_.back());
+  stack_.pop_back();
+  const double now = clock_();
+  KAMI_REQUIRE(now >= open.start, "region clock went backwards");
+  open.node->total_cycles += now - open.start;
+  open.node->count += 1;
+  intervals_.push_back(
+      Interval{open.path, static_cast<int>(stack_.size()) + 1, open.start, now});
+}
+
+void RegionProfiler::freeze() {
+  KAMI_REQUIRE(stack_.empty(), "cannot freeze with open regions");
+  frozen_ = true;
+  clock_ = nullptr;
+}
+
+namespace {
+
+Json node_json(const RegionNode& node) {
+  Json j = Json::object();
+  j.set("name", node.name);
+  j.set("count", static_cast<double>(node.count));
+  j.set("total_cycles", node.total_cycles);
+  j.set("self_cycles", node.self_cycles());
+  if (!node.children.empty()) {
+    Json children = Json::array();
+    for (const auto& ch : node.children) children.push_back(node_json(*ch));
+    j.set("children", std::move(children));
+  }
+  return j;
+}
+
+}  // namespace
+
+Json RegionProfiler::to_json() const {
+  Json regions = Json::array();
+  for (const auto& ch : root_.children) regions.push_back(node_json(*ch));
+  return regions;
+}
+
+}  // namespace kami::obs

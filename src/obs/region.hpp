@@ -1,0 +1,119 @@
+// ScopedRegion / RegionProfiler: a hierarchical phase profiler keyed to
+// *simulated* cycles.
+//
+// A kernel binds the profiler to its block clock (`[&blk]{ return
+// blk.cycles(); }`) and brackets phases with ScopedRegion. Re-entering a
+// name under the same parent aggregates (total += dt, count += 1), so a
+// per-stripe loop collapses into one "broadcast_write" node with the loop's
+// trip count. The result is a self-time/total-time tree (kernel -> phase),
+// and a flat interval log that exporters correlate with the op-level trace
+// to get the kernel -> phase -> op-kind level.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "util/require.hpp"
+
+namespace kami::obs {
+
+struct RegionNode {
+  std::string name;
+  double total_cycles = 0.0;  ///< summed inclusive time across entries
+  std::size_t count = 0;      ///< times this region was entered
+  std::vector<std::unique_ptr<RegionNode>> children;  // in first-entry order
+
+  /// Inclusive time minus the children's inclusive time.
+  double self_cycles() const noexcept {
+    double c = total_cycles;
+    for (const auto& ch : children) c -= ch->total_cycles;
+    return c;
+  }
+
+  const RegionNode* find(std::string_view child_name) const noexcept {
+    for (const auto& ch : children)
+      if (ch->name == child_name) return ch.get();
+    return nullptr;
+  }
+};
+
+class RegionProfiler {
+ public:
+  using ClockFn = std::function<double()>;
+
+  /// `clock` supplies the current simulated time; it is only called during
+  /// enter()/leave(), never after freeze().
+  explicit RegionProfiler(ClockFn clock) : clock_(std::move(clock)) {
+    KAMI_REQUIRE(clock_ != nullptr, "region profiler needs a clock");
+  }
+
+  void enter(std::string_view name);
+  void leave();
+
+  /// Unbind the clock once the instrumented run is over, so the profiler
+  /// can safely outlive the ThreadBlock its clock captured. All regions
+  /// must be closed; enter()/leave() afterwards throw.
+  void freeze();
+
+  int depth() const noexcept { return static_cast<int>(stack_.size()); }
+
+  /// Synthetic root ("" name) holding the top-level regions.
+  const RegionNode& root() const noexcept { return root_; }
+
+  /// One closed region occurrence, for timeline exporters.
+  struct Interval {
+    std::string path;  ///< slash-joined, e.g. "kami_1d/broadcast_write"
+    int depth = 0;     ///< 1 = top level
+    double start = 0.0;
+    double end = 0.0;
+  };
+  const std::vector<Interval>& intervals() const noexcept { return intervals_; }
+
+  /// Nested {name, count, total_cycles, self_cycles, children:[...]}.
+  Json to_json() const;
+
+ private:
+  struct Open {
+    RegionNode* node;
+    double start;
+    std::string path;
+  };
+
+  RegionNode root_{"", 0.0, 0, {}};
+  std::vector<Open> stack_;
+  std::vector<Interval> intervals_;
+  ClockFn clock_;
+  bool frozen_ = false;
+};
+
+/// RAII region bracket. The pointer form is a no-op on nullptr so kernels
+/// can instrument unconditionally and pay nothing when profiling is off.
+class ScopedRegion {
+ public:
+  ScopedRegion(RegionProfiler& prof, std::string_view name) : prof_(&prof) {
+    prof_->enter(name);
+  }
+  ScopedRegion(RegionProfiler* prof, std::string_view name) : prof_(prof) {
+    if (prof_ != nullptr) prof_->enter(name);
+  }
+  /// Leave the region early; the destructor then does nothing. Lets a
+  /// kernel close its outermost region and freeze() the profiler before
+  /// the ScopedRegion's scope ends.
+  void close() {
+    if (prof_ != nullptr) prof_->leave();
+    prof_ = nullptr;
+  }
+  ~ScopedRegion() { close(); }
+  ScopedRegion(const ScopedRegion&) = delete;
+  ScopedRegion& operator=(const ScopedRegion&) = delete;
+
+ private:
+  RegionProfiler* prof_;
+};
+
+}  // namespace kami::obs

@@ -1,0 +1,215 @@
+#include "obs/report.hpp"
+
+#include <cmath>
+#include <ostream>
+
+#include "util/table.hpp"
+
+namespace kami::obs {
+
+double UtilizationTimeline::busy_cycles(std::size_t resource) const {
+  KAMI_REQUIRE(resource < busy.size());
+  double acc = 0.0;
+  for (const double frac : busy[resource]) acc += frac * bucket_cycles;
+  return acc;
+}
+
+void RunReport::set_meta(std::string key, std::string value) {
+  for (auto& [k, v] : meta_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  meta_.emplace_back(std::move(key), std::move(value));
+}
+
+void RunReport::add_table(const std::string& title, const TablePrinter& table) {
+  tables_.push_back(ReportTable{title, table.headers(), table.rows_data()});
+}
+
+const Breakdown* RunReport::find_breakdown(std::string_view name) const noexcept {
+  for (const auto& b : breakdowns_)
+    if (b.name == name) return &b;
+  return nullptr;
+}
+
+Json RunReport::to_json() const {
+  Json doc = Json::object();
+  doc.set("schema", kRunSchemaName);
+  doc.set("schema_version", kRunSchemaVersion);
+  doc.set("name", name_);
+
+  if (!meta_.empty()) {
+    Json meta = Json::object();
+    for (const auto& [k, v] : meta_) meta.set(k, v);
+    doc.set("meta", std::move(meta));
+  }
+
+  if (!tables_.empty()) {
+    Json tables = Json::array();
+    for (const auto& t : tables_) {
+      Json jt = Json::object();
+      jt.set("title", t.title);
+      Json headers = Json::array();
+      for (const auto& h : t.headers) headers.push_back(h);
+      jt.set("headers", std::move(headers));
+      Json rows = Json::array();
+      for (const auto& row : t.rows) {
+        Json jrow = Json::array();
+        for (const auto& cell : row) jrow.push_back(cell);
+        rows.push_back(std::move(jrow));
+      }
+      jt.set("rows", std::move(rows));
+      tables.push_back(std::move(jt));
+    }
+    doc.set("tables", std::move(tables));
+  }
+
+  if (!breakdowns_.empty()) {
+    Json breakdowns = Json::array();
+    for (const auto& b : breakdowns_) {
+      Json jb = Json::object();
+      jb.set("name", b.name);
+      Json cats = Json::array();
+      for (const auto& [cname, cycles] : b.categories) {
+        Json jc = Json::object();
+        jc.set("name", cname);
+        jc.set("cycles", cycles);
+        cats.push_back(std::move(jc));
+      }
+      jb.set("categories", std::move(cats));
+      breakdowns.push_back(std::move(jb));
+    }
+    doc.set("breakdowns", std::move(breakdowns));
+  }
+
+  if (!metrics_.is_null()) doc.set("metrics", metrics_);
+  if (!regions_.is_null()) doc.set("regions", regions_);
+
+  if (utilization_) {
+    Json ju = Json::object();
+    ju.set("bucket_cycles", utilization_->bucket_cycles);
+    ju.set("wall_cycles", utilization_->wall_cycles);
+    Json resources = Json::array();
+    for (std::size_t r = 0; r < utilization_->resources.size(); ++r) {
+      Json jr = Json::object();
+      jr.set("name", utilization_->resources[r]);
+      Json busy = Json::array();
+      for (const double frac : utilization_->busy[r]) busy.push_back(frac);
+      jr.set("busy", std::move(busy));
+      resources.push_back(std::move(jr));
+    }
+    ju.set("resources", std::move(resources));
+    doc.set("utilization", std::move(ju));
+  }
+  return doc;
+}
+
+RunReport RunReport::from_json(const Json& doc) {
+  if (!doc.is_object()) throw SchemaError("run document must be a JSON object");
+  const Json* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string() || schema->as_string() != kRunSchemaName)
+    throw SchemaError(std::string("not a ") + kRunSchemaName + " document");
+  const Json* version = doc.find("schema_version");
+  if (version == nullptr || !version->is_number())
+    throw SchemaError("missing schema_version");
+  if (static_cast<int>(version->as_number()) != kRunSchemaVersion)
+    throw SchemaError("unsupported schema_version " + json_number(version->as_number()) +
+                      " (this build reads version " +
+                      std::to_string(kRunSchemaVersion) + ")");
+
+  RunReport report(doc.at("name").as_string());
+
+  if (const Json* meta = doc.find("meta")) {
+    for (const auto& [k, v] : meta->as_object()) report.set_meta(k, v.as_string());
+  }
+
+  if (const Json* tables = doc.find("tables")) {
+    for (const auto& jt : tables->as_array()) {
+      ReportTable t;
+      t.title = jt.at("title").as_string();
+      for (const auto& h : jt.at("headers").as_array()) t.headers.push_back(h.as_string());
+      for (const auto& jrow : jt.at("rows").as_array()) {
+        std::vector<std::string> row;
+        for (const auto& cell : jrow.as_array()) row.push_back(cell.as_string());
+        if (row.size() != t.headers.size())
+          throw SchemaError("table \"" + t.title + "\" has a row of width " +
+                            std::to_string(row.size()) + ", headers have " +
+                            std::to_string(t.headers.size()));
+        t.rows.push_back(std::move(row));
+      }
+      report.add_table(std::move(t));
+    }
+  }
+
+  if (const Json* breakdowns = doc.find("breakdowns")) {
+    for (const auto& jb : breakdowns->as_array()) {
+      Breakdown b;
+      b.name = jb.at("name").as_string();
+      for (const auto& jc : jb.at("categories").as_array())
+        b.categories.emplace_back(jc.at("name").as_string(), jc.at("cycles").as_number());
+      report.add_breakdown(std::move(b));
+    }
+  }
+
+  if (const Json* metrics = doc.find("metrics")) report.metrics_ = *metrics;
+  if (const Json* regions = doc.find("regions")) report.regions_ = *regions;
+
+  if (const Json* ju = doc.find("utilization")) {
+    UtilizationTimeline u;
+    u.bucket_cycles = ju->at("bucket_cycles").as_number();
+    u.wall_cycles = ju->at("wall_cycles").as_number();
+    for (const auto& jr : ju->at("resources").as_array()) {
+      u.resources.push_back(jr.at("name").as_string());
+      std::vector<double> busy;
+      for (const auto& frac : jr.at("busy").as_array()) busy.push_back(frac.as_number());
+      u.busy.push_back(std::move(busy));
+    }
+    report.set_utilization(std::move(u));
+  }
+  return report;
+}
+
+void RunReport::write_json(std::ostream& os) const {
+  to_json().dump(os, 2);
+  os << '\n';
+}
+
+namespace {
+
+std::string csv_cell(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void RunReport::write_csv(std::ostream& os) const {
+  for (const auto& t : tables_) {
+    os << "# " << t.title << '\n';
+    for (std::size_t c = 0; c < t.headers.size(); ++c)
+      os << (c ? "," : "") << csv_cell(t.headers[c]);
+    os << '\n';
+    for (const auto& row : t.rows) {
+      for (std::size_t c = 0; c < row.size(); ++c) os << (c ? "," : "") << csv_cell(row[c]);
+      os << '\n';
+    }
+    os << '\n';
+  }
+  for (const auto& b : breakdowns_) {
+    os << "# breakdown: " << b.name << '\n';
+    os << "category,cycles\n";
+    for (const auto& [cname, cycles] : b.categories)
+      os << csv_cell(cname) << ',' << json_number(cycles) << '\n';
+    os << '\n';
+  }
+}
+
+}  // namespace kami::obs

@@ -51,6 +51,7 @@ class ThreadBlock {
       if (w->clock() > t) t = w->clock();
     t += dev_->sync_latency_cycles;
     for (auto& w : warps_) w->wait_until(t);
+    syncs_.increment();
   }
 
   /// Wall cycles so far (max over warps).
@@ -78,11 +79,12 @@ class ThreadBlock {
   Cycles vector_busy_cycles() const noexcept { return vector_pipe_.busy_cycles(); }
 
   /// Start recording an op-level timeline for all warps; returns the trace.
+  /// Idempotent while a trace is attached; after take_trace() it starts a
+  /// fresh recorder and re-attaches every warp, so enable -> run -> take can
+  /// be repeated on the same block.
   Trace& enable_trace() {
-    if (!trace_) {
-      trace_ = std::make_unique<Trace>();
-      for (auto& w : warps_) w->set_trace(trace_.get());
-    }
+    if (!trace_) trace_ = std::make_unique<Trace>();
+    for (auto& w : warps_) w->set_trace(trace_.get());
     return *trace_;
   }
   const Trace* trace() const noexcept { return trace_.get(); }
@@ -112,6 +114,7 @@ class ThreadBlock {
   // referenced by live fragments).
   std::vector<std::unique_ptr<Warp>> warps_;
   std::unique_ptr<Trace> trace_;
+  obs::Counter& syncs_ = obs::MetricRegistry::global().counter("sim.block.syncs");
 };
 
 }  // namespace kami::sim

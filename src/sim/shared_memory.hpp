@@ -11,6 +11,7 @@
 #include <cstring>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/resources.hpp"
 #include "util/require.hpp"
 
@@ -54,6 +55,9 @@ class SharedMemory {
     SmemTile<T> tile{top_, rows, cols};
     top_ += want;
     if (top_ > high_water_) high_water_ = top_;
+    auto& reg = obs::MetricRegistry::global();
+    reg.counter("sim.smem.tile_allocs").increment();
+    reg.gauge("sim.smem.high_water_bytes").set_max(static_cast<double>(high_water_));
     return tile;
   }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "util/require.hpp"
 
 namespace kami::sim {
@@ -19,6 +20,14 @@ KernelProfile profile_block(const ThreadBlock& blk, double useful_flops) {
   p.smem_bytes = blk.smem_high_water();
   p.num_warps = blk.num_warps();
   p.mean_breakdown = blk.mean_breakdown();
+
+  // Every profiled block feeds the observability layer: peak footprints as
+  // high-water gauges, block latency as a distribution.
+  auto& reg = obs::MetricRegistry::global();
+  reg.gauge("sim.block.smem_high_water_bytes").set_max(static_cast<double>(p.smem_bytes));
+  reg.gauge("sim.block.reg_high_water_bytes")
+      .set_max(static_cast<double>(p.reg_bytes_per_warp));
+  reg.histogram("sim.block.latency_cycles").observe(p.latency);
   return p;
 }
 

@@ -20,6 +20,7 @@
 
 #include <cstddef>
 
+#include "obs/metrics.hpp"
 #include "sim/device.hpp"
 #include "sim/fragment.hpp"
 #include "sim/register_file.hpp"
@@ -29,6 +30,39 @@
 #include "types/matrix.hpp"
 
 namespace kami::sim {
+
+/// Handles into the process-global obs::MetricRegistry for the warp's
+/// hot-path counters, resolved by name once per warp so an update is one
+/// add on a double. Metric names are part of the observability contract
+/// documented in README.md ("Observability").
+struct WarpMetricHandles {
+  obs::Counter& smem_bytes_written;
+  obs::Counter& smem_bytes_read;
+  obs::Counter& smem_conflicted_transfers;
+  obs::Counter& smem_conflict_excess_cycles;
+  obs::Counter& gmem_bytes_loaded;
+  obs::Counter& gmem_bytes_stored;
+  obs::Counter& reg_bytes_copied;
+  obs::Counter& mma_instructions;
+  obs::Counter& mma_flops;
+  obs::Counter& vector_flops;
+  obs::Counter& sync_wait_cycles;
+
+  static WarpMetricHandles acquire() {
+    auto& r = obs::MetricRegistry::global();
+    return WarpMetricHandles{r.counter("sim.smem.bytes_written"),
+                             r.counter("sim.smem.bytes_read"),
+                             r.counter("sim.smem.conflicted_transfers"),
+                             r.counter("sim.smem.conflict_excess_cycles"),
+                             r.counter("sim.gmem.bytes_loaded"),
+                             r.counter("sim.gmem.bytes_stored"),
+                             r.counter("sim.reg.bytes_copied"),
+                             r.counter("sim.mma.instructions"),
+                             r.counter("sim.mma.flops"),
+                             r.counter("sim.vector.flops"),
+                             r.counter("sim.sync.wait_cycles")};
+  }
+};
 
 class Warp {
  public:
@@ -68,6 +102,8 @@ class Warp {
     const Cycles issue = clock_;
     const Cycles start = smem_->port().acquire(clock_, occ);
     advance(start + occ, bd_.smem_comm);
+    metrics_.smem_bytes_written.add(static_cast<double>(src.bytes()));
+    note_smem_conflict(src.bytes(), theta_w);
     record(OpKind::SmemStore, issue, start, static_cast<double>(src.bytes()));
   }
 
@@ -82,6 +118,8 @@ class Warp {
     const Cycles issue = clock_;
     const Cycles start = smem_->port().acquire(clock_, occ);
     advance(start + occ + smem_->latency(), bd_.smem_comm);
+    metrics_.smem_bytes_read.add(static_cast<double>(dst.bytes()));
+    note_smem_conflict(dst.bytes(), theta_r);
     record(OpKind::SmemLoad, issue, start, static_cast<double>(dst.bytes()));
   }
 
@@ -96,6 +134,7 @@ class Warp {
     const Cycles issue = clock_;
     advance(clock_ + 1.0 + static_cast<double>(src.bytes()) / dev_->reg_bytes_per_cycle,
             bd_.reg_copy);
+    metrics_.reg_bytes_copied.add(static_cast<double>(src.bytes()));
     record(OpKind::RegCopy, issue, issue, static_cast<double>(src.bytes()));
   }
 
@@ -177,7 +216,7 @@ class Warp {
     KAMI_REQUIRE(r0 + dst.rows() <= src.rows() && c0 + dst.cols() <= src.cols());
     for (std::size_t r = 0; r < dst.rows(); ++r)
       for (std::size_t c = 0; c < dst.cols(); ++c) dst(r, c) = src(r0 + r, c0 + c);
-    charge_gmem(dst.bytes());
+    charge_gmem(dst.bytes(), OpKind::GmemLoad);
   }
 
   /// Reg2GMem: store a fragment into a window of `dst`.
@@ -186,7 +225,7 @@ class Warp {
     KAMI_REQUIRE(r0 + src.rows() <= dst.rows() && c0 + src.cols() <= dst.cols());
     for (std::size_t r = 0; r < src.rows(); ++r)
       for (std::size_t c = 0; c < src.cols(); ++c) dst(r0 + r, c0 + c) = src(r, c);
-    charge_gmem(src.bytes());
+    charge_gmem(src.bytes(), OpKind::GmemStore);
   }
 
   /// Store an accumulator fragment narrowed back to the storage precision.
@@ -210,7 +249,7 @@ class Warp {
     for (std::size_t r = 0; r < rows; ++r)
       for (std::size_t c = 0; c < cols; ++c)
         dst(r0 + r, c0 + c) = num_traits<T>::from_acc(src(sr0 + r, sc0 + c));
-    charge_gmem(rows * cols * sizeof(T));
+    charge_gmem(rows * cols * sizeof(T), OpKind::GmemStore);
   }
 
   /// Fixed ALU/control overhead on this warp (index matching, accumulator
@@ -233,7 +272,7 @@ class Warp {
 
   /// Account global traffic without a data-moving op (used by setup paths
   /// that place data directly). Honors the gmem-charging flag.
-  void charge_global_traffic(std::size_t bytes) { charge_gmem(bytes); }
+  void charge_global_traffic(std::size_t bytes) { charge_gmem(bytes, OpKind::GmemLoad); }
 
   /// Pipelined (cp.async-style) global traffic: occupies the memory port
   /// but hides the access latency behind the software pipeline, as
@@ -243,6 +282,7 @@ class Warp {
     const Cycles occ = static_cast<double>(bytes) / dev_->gmem_bytes_per_cycle_per_sm;
     const Cycles start = gmem_port_->acquire(clock_, occ);
     advance(start + occ, bd_.gmem);
+    metrics_.gmem_bytes_loaded.add(static_cast<double>(bytes));
   }
 
   /// Account a shared-memory write without a fragment source.
@@ -251,6 +291,8 @@ class Warp {
                        dev_->smem_transaction_overhead_cycles;
     const Cycles start = smem_->port().acquire(clock_, occ);
     advance(start + occ, bd_.smem_comm);
+    metrics_.smem_bytes_written.add(static_cast<double>(bytes));
+    note_smem_conflict(bytes, theta_w);
   }
 
   /// Account a shared-memory read (latency + occupancy) without a typed
@@ -261,6 +303,8 @@ class Warp {
                        dev_->smem_transaction_overhead_cycles;
     const Cycles start = smem_->port().acquire(clock_, occ);
     advance(start + occ + smem_->latency(), bd_.smem_comm);
+    metrics_.smem_bytes_read.add(static_cast<double>(bytes));
+    note_smem_conflict(bytes, theta_r);
   }
 
   // -- used by ThreadBlock ------------------------------------------------------
@@ -270,6 +314,7 @@ class Warp {
       const Cycles issue = clock_;
       bd_.sync_wait += t - clock_;
       clock_ = t;
+      metrics_.sync_wait_cycles.add(t - issue);
       record(OpKind::SyncWait, issue, issue, t - issue);
     }
   }
@@ -304,6 +349,8 @@ class Warp {
     const Cycles issue = clock_;
     const Cycles start = tc_->acquire(clock_, ideal);
     advance(start + ideal / dev_->mma_efficiency, bd_.compute);
+    metrics_.mma_instructions.add(instrs);
+    metrics_.mma_flops.add(issued_flops);
     record(OpKind::Mma, issue, start, issued_flops);
   }
 
@@ -315,16 +362,28 @@ class Warp {
     const Cycles issue = clock_;
     const Cycles start = vector_pipe_->acquire(clock_, occ);
     advance(start + occ, bd_.compute);
+    metrics_.vector_flops.add(flops);
     record(OpKind::VectorOp, issue, start, flops);
   }
 
-  void charge_gmem(std::size_t bytes) {
+  void charge_gmem(std::size_t bytes, OpKind kind) {
     if (!gmem_charging_) return;
     const Cycles occ = static_cast<double>(bytes) / dev_->gmem_bytes_per_cycle_per_sm;
     const Cycles issue = clock_;
     const Cycles start = gmem_port_->acquire(clock_, occ);
     advance(start + occ + dev_->gmem_latency_cycles, bd_.gmem);
-    record(OpKind::GmemLoad, issue, start, static_cast<double>(bytes));
+    (kind == OpKind::GmemStore ? metrics_.gmem_bytes_stored : metrics_.gmem_bytes_loaded)
+        .add(static_cast<double>(bytes));
+    record(kind, issue, start, static_cast<double>(bytes));
+  }
+
+  /// Publish the cost of a conflicted shared-memory transfer: the extra
+  /// port cycles relative to the same transfer at theta = 1.
+  void note_smem_conflict(std::size_t bytes, double theta) {
+    if (theta >= 1.0) return;
+    metrics_.smem_conflicted_transfers.increment();
+    metrics_.smem_conflict_excess_cycles.add(smem_->transfer_occupancy(bytes, theta) -
+                                             smem_->transfer_occupancy(bytes, 1.0));
   }
 
   template <Scalar T>
@@ -342,6 +401,7 @@ class Warp {
   PortTimeline* gmem_port_;
   PortTimeline* vector_pipe_;
   RegisterFile regs_;
+  WarpMetricHandles metrics_ = WarpMetricHandles::acquire();
   Cycles clock_ = 0.0;
   CycleBreakdown bd_;
   bool gmem_charging_ = true;

@@ -26,6 +26,13 @@ class TablePrinter {
 
   std::size_t rows() const noexcept { return rows_.size(); }
 
+  // Raw cell access, used by the observability layer to capture a printed
+  // table verbatim into a machine-readable run report.
+  const std::vector<std::string>& headers() const noexcept { return headers_; }
+  const std::vector<std::vector<std::string>>& rows_data() const noexcept {
+    return rows_;
+  }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

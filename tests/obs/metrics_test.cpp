@@ -1,0 +1,107 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace kami::obs {
+namespace {
+
+TEST(Counter, AccumulatesAndRejectsNegative) {
+  Counter c;
+  EXPECT_DOUBLE_EQ(c.value(), 0.0);
+  c.add(3.0);
+  c.increment();
+  EXPECT_DOUBLE_EQ(c.value(), 4.0);
+  EXPECT_THROW(c.add(-1.0), kami::PreconditionError);
+  EXPECT_DOUBLE_EQ(c.value(), 4.0);  // failed add leaves the value alone
+}
+
+TEST(Gauge, SetAndSetMax) {
+  Gauge g;
+  g.set(5.0);
+  g.set_max(3.0);
+  EXPECT_DOUBLE_EQ(g.value(), 5.0);
+  g.set_max(9.0);
+  EXPECT_DOUBLE_EQ(g.value(), 9.0);
+  g.set(1.0);  // plain set may go down
+  EXPECT_DOUBLE_EQ(g.value(), 1.0);
+}
+
+TEST(Histogram, MomentsAndPercentiles) {
+  Histogram h;
+  for (double v : {40.0, 10.0, 30.0, 20.0}) h.observe(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 100.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 25.0);
+  EXPECT_DOUBLE_EQ(h.min(), 10.0);
+  EXPECT_DOUBLE_EQ(h.max(), 40.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 40.0);
+  // Linear interpolation between order statistics: rank 1.5 of {10,20,30,40}.
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 25.0);
+  // Observing after a percentile query keeps working (lazy re-sort).
+  h.observe(50.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 50.0);
+}
+
+TEST(Histogram, PercentileRequiresSamples) {
+  Histogram h;
+  EXPECT_THROW(h.percentile(50.0), kami::PreconditionError);
+}
+
+TEST(MetricRegistry, FindOrCreateReturnsStableReferences) {
+  MetricRegistry reg;
+  Counter& a = reg.counter("x.bytes");
+  a.add(7.0);
+  // Creating more metrics must not invalidate the first reference.
+  for (int i = 0; i < 100; ++i) reg.counter("other." + std::to_string(i));
+  Counter& again = reg.counter("x.bytes");
+  EXPECT_EQ(&a, &again);
+  EXPECT_DOUBLE_EQ(again.value(), 7.0);
+}
+
+TEST(MetricRegistry, ResetValuesPreservesHandles) {
+  MetricRegistry reg;
+  Counter& c = reg.counter("c");
+  Gauge& g = reg.gauge("g");
+  Histogram& h = reg.histogram("h");
+  c.add(5.0);
+  g.set(3.0);
+  h.observe(1.0);
+  reg.reset_values();
+  EXPECT_DOUBLE_EQ(c.value(), 0.0);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+  c.add(2.0);  // the pre-reset handle still publishes into the registry
+  EXPECT_DOUBLE_EQ(reg.counter_values().at("c"), 2.0);
+}
+
+TEST(MetricRegistry, FindDoesNotCreate) {
+  MetricRegistry reg;
+  EXPECT_EQ(reg.find_counter("missing"), nullptr);
+  EXPECT_EQ(reg.size(), 0u);
+  reg.counter("present");
+  EXPECT_NE(reg.find_counter("present"), nullptr);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(MetricRegistry, ToJsonIsNameSorted) {
+  MetricRegistry reg;
+  reg.counter("zeta").add(1.0);
+  reg.counter("alpha").add(2.0);
+  reg.histogram("lat").observe(4.0);
+  const Json doc = reg.to_json();
+  const auto& counters = doc.at("counters").as_object();
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters[0].first, "alpha");
+  EXPECT_EQ(counters[1].first, "zeta");
+  const Json& lat = doc.at("histograms").at("lat");
+  EXPECT_DOUBLE_EQ(lat.at("count").as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(lat.at("p50").as_number(), 4.0);
+}
+
+TEST(MetricRegistry, GlobalIsSingleton) {
+  EXPECT_EQ(&MetricRegistry::global(), &MetricRegistry::global());
+}
+
+}  // namespace
+}  // namespace kami::obs

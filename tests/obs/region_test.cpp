@@ -1,0 +1,135 @@
+#include "obs/region.hpp"
+
+#include <gtest/gtest.h>
+
+namespace kami::obs {
+namespace {
+
+TEST(RegionProfiler, BuildsTreeAndAggregatesRepeats) {
+  double now = 0.0;
+  RegionProfiler prof([&now] { return now; });
+
+  prof.enter("kernel");
+  now = 10.0;
+  prof.enter("stage");
+  now = 30.0;
+  prof.leave();  // stage: 20
+  now = 35.0;
+  prof.enter("stage");
+  now = 40.0;
+  prof.leave();  // stage again: +5 (same node)
+  now = 50.0;
+  prof.leave();  // kernel: 50
+  prof.freeze();
+
+  const RegionNode& root = prof.root();
+  ASSERT_EQ(root.children.size(), 1u);
+  const RegionNode* kernel = root.find("kernel");
+  ASSERT_NE(kernel, nullptr);
+  EXPECT_DOUBLE_EQ(kernel->total_cycles, 50.0);
+  EXPECT_EQ(kernel->count, 1u);
+  ASSERT_EQ(kernel->children.size(), 1u);  // both entries folded into one node
+  const RegionNode* stage = kernel->find("stage");
+  ASSERT_NE(stage, nullptr);
+  EXPECT_DOUBLE_EQ(stage->total_cycles, 25.0);
+  EXPECT_EQ(stage->count, 2u);
+  EXPECT_DOUBLE_EQ(kernel->self_cycles(), 25.0);
+}
+
+TEST(RegionProfiler, NestingInvariants) {
+  // A parent's inclusive time always covers its children's inclusive time.
+  double now = 0.0;
+  RegionProfiler prof([&now] { return now; });
+  prof.enter("a");
+  now = 1.0;
+  prof.enter("b");
+  now = 2.0;
+  prof.enter("c");
+  now = 5.0;
+  prof.leave();
+  now = 6.0;
+  prof.leave();
+  now = 9.0;
+  prof.leave();
+  prof.freeze();
+
+  const RegionNode* a = prof.root().find("a");
+  ASSERT_NE(a, nullptr);
+  const RegionNode* b = a->find("b");
+  ASSERT_NE(b, nullptr);
+  const RegionNode* c = b->find("c");
+  ASSERT_NE(c, nullptr);
+  EXPECT_GE(a->total_cycles, b->total_cycles);
+  EXPECT_GE(b->total_cycles, c->total_cycles);
+  EXPECT_GE(a->self_cycles(), 0.0);
+  EXPECT_GE(b->self_cycles(), 0.0);
+
+  // Intervals record the closed occurrences deepest-path included.
+  ASSERT_EQ(prof.intervals().size(), 3u);
+  bool saw_abc = false;
+  for (const auto& iv : prof.intervals()) {
+    EXPECT_LE(iv.start, iv.end);
+    if (iv.path == "a/b/c") {
+      saw_abc = true;
+      EXPECT_EQ(iv.depth, 3);
+      EXPECT_DOUBLE_EQ(iv.start, 2.0);
+      EXPECT_DOUBLE_EQ(iv.end, 5.0);
+    }
+  }
+  EXPECT_TRUE(saw_abc);
+}
+
+TEST(RegionProfiler, FreezeRequiresBalancedRegions) {
+  double now = 0.0;
+  RegionProfiler prof([&now] { return now; });
+  prof.enter("open");
+  EXPECT_THROW(prof.freeze(), kami::PreconditionError);
+  prof.leave();
+  prof.freeze();
+  EXPECT_THROW(prof.enter("late"), kami::PreconditionError);
+}
+
+TEST(RegionProfiler, LeaveWithoutEnterThrows) {
+  RegionProfiler prof([] { return 0.0; });
+  EXPECT_THROW(prof.leave(), kami::PreconditionError);
+}
+
+TEST(ScopedRegion, NullProfilerIsNoOp) {
+  RegionProfiler* none = nullptr;
+  {
+    ScopedRegion r(none, "anything");  // must not crash
+  }
+  SUCCEED();
+}
+
+TEST(ScopedRegion, CloseLeavesEarlyExactlyOnce) {
+  double now = 0.0;
+  RegionProfiler prof([&now] { return now; });
+  {
+    ScopedRegion r(prof, "outer");
+    now = 4.0;
+    r.close();  // destructor must not leave() a second time
+    prof.freeze();
+  }
+  const RegionNode* outer = prof.root().find("outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_DOUBLE_EQ(outer->total_cycles, 4.0);
+}
+
+TEST(RegionProfiler, ToJsonShape) {
+  double now = 0.0;
+  RegionProfiler prof([&now] { return now; });
+  prof.enter("k");
+  now = 7.0;
+  prof.leave();
+  prof.freeze();
+  // to_json() is the schema's "regions" section: an array of top-level nodes.
+  const Json doc = prof.to_json();
+  ASSERT_TRUE(doc.is_array());
+  ASSERT_EQ(doc.size(), 1u);
+  EXPECT_EQ(doc.at(std::size_t{0}).at("name").as_string(), "k");
+  EXPECT_DOUBLE_EQ(doc.at(std::size_t{0}).at("total_cycles").as_number(), 7.0);
+}
+
+}  // namespace
+}  // namespace kami::obs

@@ -162,5 +162,33 @@ TEST(Trace, TakeTraceDetachesRecorder) {
   EXPECT_EQ(trace->size(), count);  // detached: no further events
 }
 
+TEST(Trace, EnableTraceAfterTakeTraceStartsAFreshRecording) {
+  // Regression: enable_trace() used to return the stale recorder after
+  // take_trace() detached it, so a re-enabled trace silently saw nothing.
+  const auto dev = tiny_device();
+  ThreadBlock blk(dev, 1);
+  blk.enable_trace();
+  auto tile = blk.smem().alloc<float>(8, 8);
+  blk.phase([&](Warp& w) {
+    auto f = w.alloc_fragment<float>(8, 8);
+    w.store_smem(tile, f.view());
+  });
+  auto first = blk.take_trace();
+  ASSERT_NE(first, nullptr);
+  const auto first_count = first->size();
+  EXPECT_GE(first_count, 1u);
+
+  auto& second = blk.enable_trace();
+  EXPECT_EQ(second.size(), 0u);  // fresh recorder, not the detached one
+  blk.phase([&](Warp& w) {
+    auto f = w.alloc_fragment<float>(8, 8);
+    w.store_smem(tile, f.view());
+    w.load_smem(f, tile);
+  });
+  EXPECT_GE(second.size(), 2u);              // new events land in the new trace
+  EXPECT_EQ(first->size(), first_count);     // the taken trace stays frozen
+  EXPECT_EQ(blk.trace(), &second);
+}
+
 }  // namespace
 }  // namespace kami::sim

@@ -1,0 +1,278 @@
+// kami_prof: load an exported kami.obs.run JSON file and report on it.
+//
+//   kami_prof report <run.json>            print tables (verbatim), breakdowns,
+//                                          metrics, regions, and utilization
+//   kami_prof diff <a.json> <b.json>       numeric deltas between two runs
+//   kami_prof validate <run.json> [--expect-fig15]
+//                                          schema check; nonzero exit on failure
+//
+// Tables are stored in the report as the exact cell strings the bench binary
+// printed, so `report` reproduces the original console tables byte for byte.
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using kami::TablePrinter;
+using kami::obs::Json;
+using kami::obs::RunReport;
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw kami::PreconditionError("cannot open " + path);
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+RunReport load_run(const std::string& path) {
+  return RunReport::from_json(Json::parse(read_file(path)));
+}
+
+/// Parse a table cell as a number; false for "-", "overflow", text cells.
+bool cell_number(const std::string& cell, double* out) {
+  if (cell.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(cell.c_str(), &end);
+  if (end != cell.c_str() + cell.size()) return false;
+  *out = v;
+  return true;
+}
+
+void print_region_tree(const Json& node, int depth) {
+  const std::string name = node.at("name").as_string();
+  if (!name.empty() || depth > 0) {
+    std::cout << std::string(static_cast<std::size_t>(depth) * 2, ' ') << name << ": total "
+              << kami::obs::json_number(node.at("total_cycles").as_number()) << " cyc, self "
+              << kami::obs::json_number(node.at("self_cycles").as_number()) << " cyc, x"
+              << kami::obs::json_number(node.at("count").as_number()) << "\n";
+  }
+  if (const Json* children = node.find("children")) {
+    for (const auto& ch : children->as_array()) print_region_tree(ch, depth + 1);
+  }
+}
+
+void cmd_report(const RunReport& run) {
+  std::cout << "run: " << run.name() << "\n";
+  for (const auto& [k, v] : run.meta()) std::cout << "  " << k << ": " << v << "\n";
+  std::cout << "\n";
+
+  for (const auto& t : run.tables()) {
+    TablePrinter printer(t.headers);
+    for (const auto& row : t.rows) printer.add_row(row);
+    printer.print(std::cout, t.title);
+    std::cout << "\n";
+  }
+
+  if (!run.breakdowns().empty()) {
+    std::cout << "== Cycle breakdowns ==\n";
+    for (const auto& b : run.breakdowns()) {
+      std::cout << "  " << b.name << ":";
+      for (const auto& [cat, cycles] : b.categories)
+        std::cout << " " << cat << "=" << kami::obs::json_number(cycles);
+      std::cout << "\n";
+    }
+    std::cout << "\n";
+  }
+
+  const Json& metrics = run.metrics();
+  if (metrics.is_object()) {
+    std::cout << "== Metrics ==\n";
+    for (const char* section : {"counters", "gauges"}) {
+      if (const Json* values = metrics.find(section)) {
+        for (const auto& [name, v] : values->as_object())
+          std::cout << "  " << name << " = " << kami::obs::json_number(v.as_number())
+                    << "\n";
+      }
+    }
+    if (const Json* hists = metrics.find("histograms")) {
+      for (const auto& [name, h] : hists->as_object()) {
+        std::cout << "  " << name << ": n=" << kami::obs::json_number(h.at("count").as_number())
+                  << " mean="
+                  << kami::obs::json_number(h.at("count").as_number() > 0
+                                                ? h.at("sum").as_number() /
+                                                      h.at("count").as_number()
+                                                : 0.0)
+                  << " p50=" << kami::obs::json_number(h.at("p50").as_number())
+                  << " p99=" << kami::obs::json_number(h.at("p99").as_number()) << "\n";
+      }
+    }
+    std::cout << "\n";
+  }
+
+  if (run.regions().is_object()) {
+    std::cout << "== Regions (total/self cycles) ==\n";
+    print_region_tree(run.regions(), -1);
+    std::cout << "\n";
+  }
+
+  if (run.utilization()) {
+    const auto& u = *run.utilization();
+    std::cout << "== Utilization (wall " << kami::obs::json_number(u.wall_cycles)
+              << " cycles) ==\n";
+    for (std::size_t r = 0; r < u.resources.size(); ++r) {
+      const double busy = u.busy_cycles(r);
+      const double pct = u.wall_cycles > 0.0 ? 100.0 * busy / u.wall_cycles : 0.0;
+      std::cout << "  " << u.resources[r] << ": busy "
+                << kami::obs::json_number(std::round(busy)) << " cyc ("
+                << kami::fmt_double(pct, 1) << "%)\n";
+    }
+  }
+}
+
+int cmd_diff(const RunReport& a, const RunReport& b) {
+  int differences = 0;
+  for (const auto& ta : a.tables()) {
+    const kami::obs::ReportTable* tb = nullptr;
+    for (const auto& t : b.tables())
+      if (t.title == ta.title) {
+        tb = &t;
+        break;
+      }
+    if (tb == nullptr) {
+      std::cout << "only in " << a.name() << ": table \"" << ta.title << "\"\n";
+      ++differences;
+      continue;
+    }
+    if (ta.rows.size() != tb->rows.size() || ta.headers != tb->headers) {
+      std::cout << "table \"" << ta.title << "\": shape differs (" << ta.rows.size()
+                << " vs " << tb->rows.size() << " rows)\n";
+      ++differences;
+      continue;
+    }
+    for (std::size_t r = 0; r < ta.rows.size(); ++r) {
+      for (std::size_t c = 0; c < ta.rows[r].size() && c < tb->rows[r].size(); ++c) {
+        const std::string& ca = ta.rows[r][c];
+        const std::string& cb = tb->rows[r][c];
+        if (ca == cb) continue;
+        ++differences;
+        double va = 0.0, vb = 0.0;
+        std::cout << "table \"" << ta.title << "\" row " << r << " [" << ta.headers[c]
+                  << "]: " << ca << " -> " << cb;
+        if (cell_number(ca, &va) && cell_number(cb, &vb) && va != 0.0)
+          std::cout << "  (" << kami::fmt_double(100.0 * (vb - va) / va, 1) << "%)";
+        std::cout << "\n";
+      }
+    }
+  }
+  for (const auto& t : b.tables()) {
+    bool found = false;
+    for (const auto& ta : a.tables()) found = found || ta.title == t.title;
+    if (!found) {
+      std::cout << "only in " << b.name() << ": table \"" << t.title << "\"\n";
+      ++differences;
+    }
+  }
+
+  for (const auto& ba : a.breakdowns()) {
+    const auto* bb = b.find_breakdown(ba.name);
+    if (bb == nullptr) continue;
+    for (const auto& [cat, va] : ba.categories) {
+      const double* vb = bb->find(cat);
+      if (vb != nullptr && *vb != va) {
+        ++differences;
+        std::cout << "breakdown " << ba.name << " [" << cat
+                  << "]: " << kami::obs::json_number(va) << " -> "
+                  << kami::obs::json_number(*vb) << "\n";
+      }
+    }
+  }
+
+  const auto counters_of = [](const RunReport& run) {
+    std::vector<std::pair<std::string, double>> out;
+    if (const Json* c = run.metrics().find("counters"))
+      for (const auto& [name, v] : c->as_object()) out.emplace_back(name, v.as_number());
+    return out;
+  };
+  const auto cb = counters_of(b);
+  for (const auto& [name, va] : counters_of(a)) {
+    for (const auto& [nb, vb] : cb) {
+      if (nb == name && va != vb) {
+        ++differences;
+        std::cout << "counter " << name << ": " << kami::obs::json_number(va) << " -> "
+                  << kami::obs::json_number(vb) << "\n";
+      }
+    }
+  }
+
+  if (differences == 0) std::cout << "runs are identical\n";
+  else std::cout << differences << " difference(s)\n";
+  return 0;
+}
+
+int cmd_validate(const std::string& path, bool expect_fig15) {
+  const RunReport run = load_run(path);  // throws SchemaError on bad schema
+  std::cout << path << ": valid " << kami::obs::kRunSchemaName << " v"
+            << kami::obs::kRunSchemaVersion << " (name: " << run.name() << ", "
+            << run.tables().size() << " tables, " << run.breakdowns().size()
+            << " breakdowns)\n";
+  if (!expect_fig15) return 0;
+
+  if (run.breakdowns().empty()) {
+    std::cerr << "error: expected Fig 15 breakdowns, found none\n";
+    return 1;
+  }
+  for (const char* cat :
+       {"smem_comm", "gmem", "reg_copy", "compute", "sync_wait", "measured_total"}) {
+    for (const auto& b : run.breakdowns()) {
+      if (b.find(cat) == nullptr) {
+        std::cerr << "error: breakdown \"" << b.name << "\" lacks category \"" << cat
+                  << "\"\n";
+        return 1;
+      }
+    }
+  }
+  bool fig15_table = false;
+  for (const auto& t : run.tables())
+    fig15_table = fig15_table || t.title.find("Fig 15") != std::string::npos;
+  if (!fig15_table) {
+    std::cerr << "error: no table titled like Fig 15\n";
+    return 1;
+  }
+  std::cout << "Fig 15 categories present in all " << run.breakdowns().size()
+            << " breakdowns\n";
+  return 0;
+}
+
+int usage() {
+  std::cerr << "usage: kami_prof report <run.json>\n"
+               "       kami_prof diff <a.json> <b.json>\n"
+               "       kami_prof validate <run.json> [--expect-fig15]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "report") {
+      cmd_report(load_run(argv[2]));
+      return 0;
+    }
+    if (cmd == "diff") {
+      if (argc < 4) return usage();
+      return cmd_diff(load_run(argv[2]), load_run(argv[3]));
+    }
+    if (cmd == "validate") {
+      bool expect_fig15 = false;
+      for (int i = 3; i < argc; ++i)
+        if (std::string(argv[i]) == "--expect-fig15") expect_fig15 = true;
+      return cmd_validate(argv[2], expect_fig15);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "kami_prof: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}
