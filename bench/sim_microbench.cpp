@@ -1,13 +1,38 @@
-// google-benchmark microbenchmarks of the simulator substrate itself:
-// how fast the host can simulate KAMI kernels — useful when sizing sweeps
-// (a full Fig 8 reproduction simulates hundreds of blocks).
+// Microbenchmarks of the simulator substrate itself: how fast the host can
+// simulate KAMI kernels — useful when sizing sweeps (a full Fig 8
+// reproduction simulates hundreds of blocks).
+//
+// The default run is a wall-clock comparison harness for the execution-mode
+// split and the profile cache:
+//   * Full vs TimingOnly vs NumericsOnly per kernel (with bit-equivalence
+//     checks alongside the timings);
+//   * autotune: the pre-split path (one Full simulation per candidate on
+//     random operands) vs the cached TimingOnly path, cold and warm;
+//   * batched: the pre-split per-entry Full loop vs the fast path (one
+//     cached TimingOnly profile per distinct shape + NumericsOnly values);
+//   * ProfileCache cold miss vs warm hit.
+// It prints tables and exports a kami.obs.run report via --json (the
+// speedups also land in the report meta). --smoke shrinks repetitions and
+// batch sizes for ctest. `--gbench [args...]` instead runs the
+// google-benchmark kernel microbenchmarks.
 #include <benchmark/benchmark.h>
 
-#include "baselines/cublasdx_like.hpp"
-#include "core/kami.hpp"
+#include <chrono>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/autotune.hpp"
+#include "core/batched.hpp"
+#include "core/profile_cache.hpp"
 
 namespace kami {
 namespace {
+
+// ---------------------------------------------------------------------------
+// google-benchmark kernel microbenchmarks (--gbench)
+// ---------------------------------------------------------------------------
 
 template <Scalar T>
 void BM_Kami1dBlock(benchmark::State& state) {
@@ -19,11 +44,29 @@ void BM_Kami1dBlock(benchmark::State& state) {
     auto r = core::kami_1d_gemm(sim::gh200(), A, B);
     benchmark::DoNotOptimize(r.profile.latency);
   }
-  state.counters["sim_cycles"] = benchmark::Counter(0.0);
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_Kami1dBlock<fp16_t>)->Arg(16)->Arg(64)->Arg(128);
 BENCHMARK(BM_Kami1dBlock<double>)->Arg(64);
+
+/// One KAMI kernel at order 64 in each execution mode (Arg0 = algo index,
+/// Arg1 = mode index) — the host-cost ratio the mode split buys.
+void BM_KamiMode(benchmark::State& state) {
+  const auto algo = static_cast<Algo>(state.range(0));
+  const auto mode = static_cast<sim::ExecMode>(state.range(1));
+  Rng rng(64);
+  const auto A = random_matrix<fp16_t>(64, 64, rng);
+  const auto B = random_matrix<fp16_t>(64, 64, rng);
+  GemmOptions opt;
+  opt.mode = mode;
+  for (auto _ : state) {
+    auto r = gemm(algo, sim::gh200(), A, B, opt);
+    benchmark::DoNotOptimize(r.C.data());
+  }
+  state.SetLabel(std::string(algo_name(algo)) + "/" + sim::exec_mode_name(mode));
+}
+BENCHMARK(BM_KamiMode)
+    ->ArgsProduct({{0, 1, 2}, {0, 1, 2}});  // {1D,2D,3D} x {Full,Timing,Numerics}
 
 void BM_Kami2dBlock(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -74,7 +117,243 @@ void BM_Fp16Conversion(benchmark::State& state) {
 }
 BENCHMARK(BM_Fp16Conversion);
 
+// ---------------------------------------------------------------------------
+// Comparison harness (the default run)
+// ---------------------------------------------------------------------------
+
+/// Best-of-`reps` wall seconds of fn().
+template <typename F>
+double best_seconds(int reps, F&& fn) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
+    if (dt.count() < best) best = dt.count();
+  }
+  return best;
+}
+
+bool profiles_identical(const sim::KernelProfile& a, const sim::KernelProfile& b) {
+  return a.latency == b.latency && a.tc_busy == b.tc_busy &&
+         a.smem_busy == b.smem_busy && a.gmem_busy == b.gmem_busy &&
+         a.vector_busy == b.vector_busy && a.useful_flops == b.useful_flops &&
+         a.num_warps == b.num_warps;
+}
+
+template <Scalar T>
+bool bits_identical(const Matrix<T>& a, const Matrix<T>& b) {
+  return max_abs_diff(a, b) == 0.0;
+}
+
+std::string ms(double seconds) { return fmt_double(seconds * 1e3, 3); }
+std::string ratio(double base, double fast) {
+  return fast > 0.0 ? fmt_double(base / fast, 1) + "x" : "-";
+}
+
+void record_speedup(const std::string& key, double base, double fast) {
+  if (fast > 0.0) bench::run_report().set_meta(key, fmt_double(base / fast, 2));
+}
+
+/// Full vs TimingOnly vs NumericsOnly per kernel, with the equivalence
+/// checks the fast paths rely on.
+void mode_comparison(int reps) {
+  TablePrinter table({"kernel", "full (ms)", "timing (ms)", "numerics (ms)",
+                      "timing speedup", "numerics speedup", "profile==full",
+                      "C==full"});
+  for (const Algo algo : {Algo::OneD, Algo::TwoD, Algo::ThreeD}) {
+    Rng rng(64);
+    const auto A = random_matrix<fp16_t>(64, 64, rng);
+    const auto B = random_matrix<fp16_t>(64, 64, rng);
+    GemmOptions full_opt, timing_opt, numerics_opt;
+    timing_opt.mode = sim::ExecMode::TimingOnly;
+    numerics_opt.mode = sim::ExecMode::NumericsOnly;
+    const auto& dev = sim::gh200();
+
+    const auto full = gemm(algo, dev, A, B, full_opt);
+    const auto timing = gemm(algo, dev, A, B, timing_opt);
+    const auto numer = gemm(algo, dev, A, B, numerics_opt);
+
+    const double t_full = best_seconds(reps, [&] {
+      benchmark::DoNotOptimize(gemm(algo, dev, A, B, full_opt).profile.latency);
+    });
+    const double t_timing = best_seconds(reps, [&] {
+      benchmark::DoNotOptimize(gemm(algo, dev, A, B, timing_opt).profile.latency);
+    });
+    const double t_numer = best_seconds(reps, [&] {
+      benchmark::DoNotOptimize(gemm(algo, dev, A, B, numerics_opt).C.data());
+    });
+
+    table.add_row({std::string(algo_name(algo)) + " fp16 64", ms(t_full), ms(t_timing),
+                   ms(t_numer), ratio(t_full, t_timing), ratio(t_full, t_numer),
+                   profiles_identical(timing.profile, full.profile) ? "yes" : "NO",
+                   bits_identical(numer.C, full.C) ? "yes" : "NO"});
+  }
+  bench::emit_table(table, "Execution modes, host cost per simulated block");
+}
+
+/// Pre-split autotune (per-candidate Full on random operands) vs the cached
+/// TimingOnly path.
+void autotune_comparison(int reps) {
+  const auto& dev = sim::gh200();
+  const std::size_t n = 64;
+
+  // The pre-split path: every candidate runs a Full simulation, arithmetic
+  // included, on random operands.
+  const auto legacy = [&] {
+    Rng rng(42);
+    const auto A = random_matrix<fp16_t>(n, n, rng);
+    const auto B = random_matrix<fp16_t>(n, n, rng);
+    double best = 0.0;
+    for (const auto& cand : core::default_candidates()) {
+      GemmOptions opt;
+      opt.warps = cand.warps;
+      opt.smem_ratio = cand.smem_ratio;
+      try {
+        const auto r = gemm(cand.algo, dev, A, B, opt);
+        const double t = sim::throughput_tflops(dev, r.profile, bench::kBlocks);
+        if (t > best) best = t;
+      } catch (const PreconditionError&) {
+      }
+    }
+    return best;
+  };
+
+  const double legacy_tflops = legacy();
+  const double t_legacy = best_seconds(reps, [&] { benchmark::DoNotOptimize(legacy()); });
+  const double t_cold = best_seconds(reps, [&] {
+    core::ProfileCache::global().clear();
+    benchmark::DoNotOptimize(core::autotune_gemm<fp16_t>(dev, n, n, n).tflops);
+  });
+  const auto tuned = core::autotune_gemm<fp16_t>(dev, n, n, n);  // prime the cache
+  const double t_warm = best_seconds(reps, [&] {
+    benchmark::DoNotOptimize(core::autotune_gemm<fp16_t>(dev, n, n, n).tflops);
+  });
+
+  TablePrinter table({"path", "time (ms)", "speedup vs pre-split", "winner TFLOPS"});
+  table.add_row({"pre-split (Full per candidate)", ms(t_legacy), "1.0x",
+                 fmt_double(legacy_tflops, 2)});
+  table.add_row({"cached TimingOnly, cold", ms(t_cold), ratio(t_legacy, t_cold),
+                 fmt_double(tuned.tflops, 2)});
+  table.add_row({"cached TimingOnly, warm", ms(t_warm), ratio(t_legacy, t_warm),
+                 fmt_double(tuned.tflops, 2)});
+  bench::emit_table(table, "Autotune (fp16 64x64x64, full candidate grid)");
+  record_speedup("autotune_cold_speedup", t_legacy, t_cold);
+  record_speedup("autotune_warm_speedup", t_legacy, t_warm);
+  if (tuned.tflops != legacy_tflops)
+    std::cout << "WARNING: cached winner " << tuned.tflops << " != pre-split winner "
+              << legacy_tflops << "\n";
+}
+
+/// Pre-split batched execution (per-entry Full) vs the fast path.
+void batched_comparison(int reps, std::size_t batch) {
+  const auto& dev = sim::gh200();
+  const std::size_t orders[] = {16, 32, 48};  // 3 distinct shapes in the batch
+  std::vector<Matrix<fp16_t>> As, Bs;
+  Rng rng(7);
+  for (std::size_t i = 0; i < batch; ++i) {
+    const std::size_t o = orders[i % 3];
+    As.push_back(random_matrix<fp16_t>(o, o, rng));
+    Bs.push_back(random_matrix<fp16_t>(o, o, rng));
+  }
+
+  // The pre-split loop: one Full simulation per entry, I/O charged.
+  const auto legacy = [&] {
+    GemmOptions opt;
+    opt.charge_global_io = true;
+    std::vector<Matrix<fp16_t>> Cs;
+    Cs.reserve(As.size());
+    for (std::size_t i = 0; i < As.size(); ++i)
+      Cs.push_back(gemm(Algo::OneD, dev, As[i], Bs[i], opt).C);
+    return Cs;
+  };
+
+  const auto legacy_C = legacy();
+  const auto fast = core::kami_batched_gemm<fp16_t>(dev, As, Bs);
+  bool identical = fast.C.size() == legacy_C.size();
+  for (std::size_t i = 0; identical && i < legacy_C.size(); ++i)
+    identical = bits_identical(fast.C[i], legacy_C[i]);
+
+  const double t_legacy =
+      best_seconds(reps, [&] { benchmark::DoNotOptimize(legacy().size()); });
+  const double t_cold = best_seconds(reps, [&] {
+    core::ProfileCache::global().clear();
+    benchmark::DoNotOptimize(core::kami_batched_gemm<fp16_t>(dev, As, Bs).C.size());
+  });
+  const double t_warm = best_seconds(reps, [&] {
+    benchmark::DoNotOptimize(core::kami_batched_gemm<fp16_t>(dev, As, Bs).C.size());
+  });
+
+  TablePrinter table({"path", "time (ms)", "speedup vs pre-split", "C bit-identical"});
+  table.add_row({"pre-split (Full per entry)", ms(t_legacy), "1.0x", "-"});
+  table.add_row({"fast path, cold cache", ms(t_cold), ratio(t_legacy, t_cold),
+                 identical ? "yes" : "NO"});
+  table.add_row({"fast path, warm cache", ms(t_warm), ratio(t_legacy, t_warm),
+                 identical ? "yes" : "NO"});
+  bench::emit_table(table, "Batched GEMM, batch=" + std::to_string(batch) +
+                               " (fp16 orders 16/32/48)");
+  record_speedup("batched_cold_speedup", t_legacy, t_cold);
+  record_speedup("batched_warm_speedup", t_legacy, t_warm);
+}
+
+/// Raw cache lookup cost: one TimingOnly simulation vs a hit.
+void cache_comparison(int reps) {
+  const auto& dev = sim::gh200();
+  auto& cache = core::ProfileCache::global();
+  const double t_cold = best_seconds(reps, [&] {
+    cache.clear();
+    benchmark::DoNotOptimize(
+        core::timing_profile<fp16_t>(cache, Algo::OneD, dev, 64, 64, 64).profile.latency);
+  });
+  (void)core::timing_profile<fp16_t>(cache, Algo::OneD, dev, 64, 64, 64);
+  const double t_warm = best_seconds(reps, [&] {
+    benchmark::DoNotOptimize(
+        core::timing_profile<fp16_t>(cache, Algo::OneD, dev, 64, 64, 64).profile.latency);
+  });
+
+  TablePrinter table({"lookup", "time (ms)", "speedup"});
+  table.add_row({"cold (TimingOnly simulation + insert)", ms(t_cold), "1.0x"});
+  table.add_row({"warm (LRU hit)", ms(t_warm), ratio(t_cold, t_warm)});
+  bench::emit_table(table, "ProfileCache, 1D fp16 64x64x64");
+}
+
+void run_harness(bool smoke) {
+  const int reps = smoke ? 1 : 5;
+  const std::size_t batch = smoke ? 12 : 120;
+  bench::run_report().set_meta("smoke", smoke ? "1" : "0");
+  mode_comparison(reps);
+  autotune_comparison(reps);
+  batched_comparison(reps, batch);
+  cache_comparison(reps);
+}
+
 }  // namespace
 }  // namespace kami
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // `--gbench [args...]` hands the rest of the command line to
+  // google-benchmark and runs the kernel microbenchmarks instead.
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--gbench") {
+      std::vector<char*> bargv{argv[0]};
+      for (int j = i + 1; j < argc; ++j) bargv.push_back(argv[j]);
+      int bargc = static_cast<int>(bargv.size());
+      benchmark::Initialize(&bargc, bargv.data());
+      if (benchmark::ReportUnrecognizedArguments(bargc, bargv.data())) return 1;
+      benchmark::RunSpecifiedBenchmarks();
+      return 0;
+    }
+  }
+
+  bool smoke = false;
+  std::vector<char*> fargv{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke")
+      smoke = true;
+    else
+      fargv.push_back(argv[i]);
+  }
+  return kami::bench::bench_main(static_cast<int>(fargv.size()), fargv.data(),
+                                 "sim_microbench",
+                                 [&] { kami::run_harness(smoke); });
+}

@@ -21,7 +21,6 @@
 #include <cmath>
 
 #include "baselines/cutlass_like.hpp"
-#include "util/rng.hpp"
 
 namespace kami::baselines {
 
@@ -60,12 +59,13 @@ HostPerf cublas_square_gemm_perf(const sim::DeviceSpec& dev, std::size_t n) {
   const CutlassTile tile = cutlass_tile(num_traits<T>::precision);
   const std::size_t sim_k = n < 8 * tile.k ? n : 8 * tile.k;
 
-  Rng rng(n * 7 + 3);
+  // Only the cycle profile is consumed: TimingOnly on zero-filled operands.
   const std::size_t bm = n < tile.m ? n : tile.m;
   const std::size_t bn = n < tile.n ? n : tile.n;
-  const auto A = random_matrix<T>(bm, sim_k, rng);
-  const auto B = random_matrix<T>(sim_k, bn, rng);
-  auto r = cutlass_gemm(dev, A, B, /*charge_global_io=*/true);
+  const Matrix<T> A(bm, sim_k);
+  const Matrix<T> B(sim_k, bn);
+  auto r = cutlass_gemm(dev, A, B, /*charge_global_io=*/true, nullptr,
+                        sim::ExecMode::TimingOnly);
   if (!r.feasible) {
     out.feasible = false;
     out.note = r.note;
@@ -109,10 +109,10 @@ HostPerf cublas_square_gemm_perf(const sim::DeviceSpec& dev, std::size_t n) {
 inline HostPerf cublas_batched_fp64_perf(const sim::DeviceSpec& dev, std::size_t n,
                                          std::size_t batch) {
   HostPerf out;
-  Rng rng(n * 13 + 1);
-  const auto A = random_matrix<double>(n, n, rng);
-  const auto B = random_matrix<double>(n, n, rng);
-  auto r = cutlass_gemm(dev, A, B, /*charge_global_io=*/true);
+  const Matrix<double> A(n, n);
+  const Matrix<double> B(n, n);
+  auto r = cutlass_gemm(dev, A, B, /*charge_global_io=*/true, nullptr,
+                        sim::ExecMode::TimingOnly);
   if (!r.feasible) {
     out.feasible = false;
     out.note = r.note;

@@ -30,7 +30,8 @@ inline std::size_t cublasdx_kstep(std::size_t k) { return k < 16 ? k : 16; }
 template <Scalar T>
 BaselineResult<T> cublasdx_gemm(const sim::DeviceSpec& dev, const Matrix<T>& A,
                                 const Matrix<T>& B, int warps = 4,
-                                bool charge_global_io = false) {
+                                bool charge_global_io = false,
+                                sim::ExecMode mode = sim::ExecMode::Full) {
   using Acc = typename num_traits<T>::acc_t;
   const std::size_t m = A.rows(), k = A.cols(), n = B.cols();
   KAMI_REQUIRE(B.rows() == k, "inner dimensions must agree");
@@ -59,7 +60,7 @@ BaselineResult<T> cublasdx_gemm(const sim::DeviceSpec& dev, const Matrix<T>& A,
     return out;
   }
 
-  sim::ThreadBlock blk(dev, warps);
+  sim::ThreadBlock blk(dev, warps, mode);
   auto SmA = blk.smem().alloc<T>(m, k);
   auto SmB = blk.smem().alloc<T>(k, n);
   auto SmC = blk.smem().alloc<T>(m, n);
@@ -111,14 +112,17 @@ BaselineResult<T> cublasdx_gemm(const sim::DeviceSpec& dev, const Matrix<T>& A,
       // The A column slice is k-strided inside SmA, so the cost is charged
       // explicitly while the values come from the staged copy's source.
       w.charge_smem_read_traffic(a_slice.bytes());
-      for (std::size_t r = 0; r < row_chunk; ++r)
-        for (std::size_t c = 0; c < kw; ++c) a_slice(r, c) = A(i * row_chunk + r, k0 + c);
+      if (w.numerics_enabled())
+        for (std::size_t r = 0; r < row_chunk; ++r)
+          for (std::size_t c = 0; c < kw; ++c)
+            a_slice(r, c) = A(i * row_chunk + r, k0 + c);
       for (std::size_t c0 = 0; c0 < n; c0 += nt) {
         const std::size_t cw = (c0 + nt <= n) ? nt : n - c0;
         auto b_chunk = w.alloc_fragment<T>(kw, cw);
         w.charge_smem_read_traffic(b_chunk.bytes());
-        for (std::size_t r = 0; r < kw; ++r)
-          for (std::size_t c = 0; c < cw; ++c) b_chunk(r, c) = B(k0 + r, c0 + c);
+        if (w.numerics_enabled())
+          for (std::size_t r = 0; r < kw; ++r)
+            for (std::size_t c = 0; c < cw; ++c) b_chunk(r, c) = B(k0 + r, c0 + c);
         w.mma(Ci[i], 0, c0, a_slice.view(), b_chunk.view());
       }
     });

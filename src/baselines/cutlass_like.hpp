@@ -39,7 +39,8 @@ inline CutlassTile cutlass_tile(Precision prec) {
 template <Scalar T>
 BaselineResult<T> cutlass_gemm(const sim::DeviceSpec& dev, const Matrix<T>& A,
                                const Matrix<T>& B, bool charge_global_io = false,
-                               const CutlassTile* tile_override = nullptr) {
+                               const CutlassTile* tile_override = nullptr,
+                               sim::ExecMode mode = sim::ExecMode::Full) {
   using Acc = typename num_traits<T>::acc_t;
   const std::size_t m = A.rows(), k = A.cols(), n = B.cols();
   KAMI_REQUIRE(B.rows() == k, "inner dimensions must agree");
@@ -59,7 +60,7 @@ BaselineResult<T> cutlass_gemm(const sim::DeviceSpec& dev, const Matrix<T>& A,
   // 2x2 warp grid over the tile, each warp owning a (tile.m/2 x tile.n/2)
   // accumulator — CUTLASS's 96 regs/thread at FP16 (§5.6.1).
   constexpr int kWarps = 4;
-  sim::ThreadBlock blk(dev, kWarps);
+  sim::ThreadBlock blk(dev, kWarps, mode);
   const std::size_t wm = tile.m / 2, wn = tile.n / 2;
 
   auto SmA = blk.smem().alloc<T>(tile.m, tile.k);
@@ -89,11 +90,12 @@ BaselineResult<T> cutlass_gemm(const sim::DeviceSpec& dev, const Matrix<T>& A,
           const auto i = static_cast<std::size_t>(w.id());
           const std::size_t a_rows = tile.m / kWarps;
           auto a_part = w.alloc_fragment<T>(a_rows, tile.k);
-          for (std::size_t r = 0; r < a_rows; ++r)
-            for (std::size_t c = 0; c < tile.k; ++c) {
-              const std::size_t gr = rbase + i * a_rows + r, gc = k0 + c;
-              a_part(r, c) = (gr < m && gc < k) ? A(gr, gc) : T{};
-            }
+          if (w.numerics_enabled())
+            for (std::size_t r = 0; r < a_rows; ++r)
+              for (std::size_t c = 0; c < tile.k; ++c) {
+                const std::size_t gr = rbase + i * a_rows + r, gc = k0 + c;
+                a_part(r, c) = (gr < m && gc < k) ? A(gr, gc) : T{};
+              }
           w.charge_global_traffic_async(a_part.bytes());
           sim::SmemTile<T> a_dst{SmA.byte_offset + i * a_rows * tile.k * sizeof(T),
                                  a_rows, tile.k};
@@ -101,11 +103,12 @@ BaselineResult<T> cutlass_gemm(const sim::DeviceSpec& dev, const Matrix<T>& A,
 
           const std::size_t b_rows = tile.k / kWarps;
           auto b_part = w.alloc_fragment<T>(b_rows, tile.n);
-          for (std::size_t r = 0; r < b_rows; ++r)
-            for (std::size_t c = 0; c < tile.n; ++c) {
-              const std::size_t gr = k0 + i * b_rows + r, gc = cbase + c;
-              b_part(r, c) = (gr < k && gc < n) ? B(gr, gc) : T{};
-            }
+          if (w.numerics_enabled())
+            for (std::size_t r = 0; r < b_rows; ++r)
+              for (std::size_t c = 0; c < tile.n; ++c) {
+                const std::size_t gr = k0 + i * b_rows + r, gc = cbase + c;
+                b_part(r, c) = (gr < k && gc < n) ? B(gr, gc) : T{};
+              }
           w.charge_global_traffic_async(b_part.bytes());
           sim::SmemTile<T> b_dst{SmB.byte_offset + i * b_rows * tile.n * sizeof(T),
                                  b_rows, tile.n};
@@ -122,16 +125,18 @@ BaselineResult<T> cutlass_gemm(const sim::DeviceSpec& dev, const Matrix<T>& A,
           auto b_half = w.alloc_fragment<T>(tile.k, wn);
           w.charge_smem_read_traffic(a_half.bytes());
           w.charge_smem_read_traffic(b_half.bytes());
-          for (std::size_t r = 0; r < wm; ++r)
-            for (std::size_t c = 0; c < tile.k; ++c) {
-              const std::size_t gr = rbase + wr * wm + r, gc = k0 + c;
-              a_half(r, c) = (gr < m && gc < k) ? A(gr, gc) : T{};
-            }
-          for (std::size_t r = 0; r < tile.k; ++r)
-            for (std::size_t c = 0; c < wn; ++c) {
-              const std::size_t gr = k0 + r, gc = cbase + wc * wn + c;
-              b_half(r, c) = (gr < k && gc < n) ? B(gr, gc) : T{};
-            }
+          if (w.numerics_enabled()) {
+            for (std::size_t r = 0; r < wm; ++r)
+              for (std::size_t c = 0; c < tile.k; ++c) {
+                const std::size_t gr = rbase + wr * wm + r, gc = k0 + c;
+                a_half(r, c) = (gr < m && gc < k) ? A(gr, gc) : T{};
+              }
+            for (std::size_t r = 0; r < tile.k; ++r)
+              for (std::size_t c = 0; c < wn; ++c) {
+                const std::size_t gr = k0 + r, gc = cbase + wc * wn + c;
+                b_half(r, c) = (gr < k && gc < n) ? B(gr, gc) : T{};
+              }
+          }
           w.mma(Cw[i], a_half.view(), b_half.view());
         });
         blk.sync();

@@ -19,11 +19,11 @@ inline constexpr double kMagmaSetupPerMatrix = 5e-9;
 inline HostPerf magma_batched_fp64_perf(const sim::DeviceSpec& dev, std::size_t n,
                                         std::size_t batch) {
   HostPerf out;
-  Rng rng(n * 17 + 5);
-  const auto A = random_matrix<double>(n, n, rng);
-  const auto B = random_matrix<double>(n, n, rng);
+  const Matrix<double> A(n, n);
+  const Matrix<double> B(n, n);
   const CutlassTile magma_tile{32, 32, 8, 1};
-  auto r = cutlass_gemm(dev, A, B, /*charge_global_io=*/true, &magma_tile);
+  auto r = cutlass_gemm(dev, A, B, /*charge_global_io=*/true, &magma_tile,
+                        sim::ExecMode::TimingOnly);
   if (!r.feasible) {
     out.feasible = false;
     out.note = r.note;

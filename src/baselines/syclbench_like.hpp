@@ -18,7 +18,8 @@ namespace kami::baselines {
 template <Scalar T>
 BaselineResult<T> syclbench_gemm(const sim::DeviceSpec& dev, const Matrix<T>& A,
                                  const Matrix<T>& B, int warps = 4,
-                                 bool charge_global_io = false) {
+                                 bool charge_global_io = false,
+                                 sim::ExecMode mode = sim::ExecMode::Full) {
   using Acc = typename num_traits<T>::acc_t;
   const std::size_t m = A.rows(), k = A.cols(), n = B.cols();
   KAMI_REQUIRE(B.rows() == k, "inner dimensions must agree");
@@ -33,7 +34,7 @@ BaselineResult<T> syclbench_gemm(const sim::DeviceSpec& dev, const Matrix<T>& A,
     return out;
   }
 
-  sim::ThreadBlock blk(dev, warps);
+  sim::ThreadBlock blk(dev, warps, mode);
   auto SmA = blk.smem().alloc<T>(m, k);
   auto SmB = blk.smem().alloc<T>(k, n);
   const std::size_t row_chunk = m / p;
@@ -73,10 +74,13 @@ BaselineResult<T> syclbench_gemm(const sim::DeviceSpec& dev, const Matrix<T>& A,
       auto b_panel = w.alloc_fragment<T>(kw, n);
       w.charge_smem_read_traffic(a_slice.bytes());
       w.charge_smem_read_traffic(b_panel.bytes());
-      for (std::size_t r = 0; r < row_chunk; ++r)
-        for (std::size_t c = 0; c < kw; ++c) a_slice(r, c) = A(i * row_chunk + r, k0 + c);
-      for (std::size_t r = 0; r < kw; ++r)
-        for (std::size_t c = 0; c < n; ++c) b_panel(r, c) = B(k0 + r, c);
+      if (w.numerics_enabled()) {
+        for (std::size_t r = 0; r < row_chunk; ++r)
+          for (std::size_t c = 0; c < kw; ++c)
+            a_slice(r, c) = A(i * row_chunk + r, k0 + c);
+        for (std::size_t r = 0; r < kw; ++r)
+          for (std::size_t c = 0; c < n; ++c) b_panel(r, c) = B(k0 + r, c);
+      }
       // The defining difference: scalar FMAs on the vector pipe, no MMA.
       w.fma_scalar(Ci[i], a_slice.view(), b_panel.view());
     });

@@ -1,16 +1,20 @@
 // Auto-tuning (§4.7: "we preset ratios in our implementation and allow user
 // tuning to balance generality and specialization").
 //
-// The simulator makes exhaustive tuning cheap: autotune_gemm simulates every
-// candidate (algorithm, warp count, spill ratio) for a shape and returns the
+// The simulator makes exhaustive tuning cheap: autotune_gemm evaluates every
+// candidate (algorithm, warp count, spill ratio) in TimingOnly mode through
+// the ProfileCache — no operands are generated and no arithmetic runs, and
+// repeated tuning of the same shape is a pure cache hit — then returns the
 // configuration with the highest device throughput under the paper's
-// 16384-block launch. best_gemm runs the winner on real data.
+// 16384-block launch. best_gemm runs the winner's numerics exactly once and
+// reuses the tuned profile.
 #pragma once
 
 #include <optional>
 #include <vector>
 
 #include "core/kami.hpp"
+#include "core/profile_cache.hpp"
 #include "obs/metrics.hpp"
 
 namespace kami::core {
@@ -25,6 +29,8 @@ struct TuneResult {
   TuneCandidate config;
   double tflops = 0.0;
   sim::KernelProfile profile;
+  int warps = 0;           ///< the p the winner actually used
+  double smem_ratio = 0.0; ///< the spill ratio the winner actually used
   int evaluated = 0;  ///< candidates that ran (infeasible ones are skipped)
 };
 
@@ -38,14 +44,11 @@ TuneResult autotune_gemm(const sim::DeviceSpec& dev, std::size_t m, std::size_t 
                          const std::vector<TuneCandidate>& candidates =
                              default_candidates()) {
   KAMI_REQUIRE(m > 0 && n > 0 && k > 0);
-  Rng rng(m * 131 + n * 17 + k);
-  const auto A = random_matrix<T>(m, k, rng);
-  const auto B = random_matrix<T>(k, n, rng);
-
   auto& metrics = obs::MetricRegistry::global();
   metrics.counter("autotune.runs").increment();
   obs::Counter& evaluated = metrics.counter("autotune.candidates_evaluated");
   obs::Counter& infeasible = metrics.counter("autotune.candidates_infeasible");
+  ProfileCache& cache = ProfileCache::global();
 
   TuneResult best;
   for (const auto& cand : candidates) {
@@ -53,15 +56,19 @@ TuneResult autotune_gemm(const sim::DeviceSpec& dev, std::size_t m, std::size_t 
     opt.warps = cand.warps;
     opt.smem_ratio = cand.smem_ratio;
     try {
-      const auto r = gemm(cand.algo, dev, A, B, opt);
-      const double t = sim::throughput_tflops(dev, r.profile, blocks);
+      // TimingOnly through the cache: no operands, no arithmetic.
+      // Infeasible configurations throw here exactly as a Full run would.
+      const CachedProfile prof = timing_profile<T>(cache, cand.algo, dev, m, n, k, opt);
+      const double t = sim::throughput_tflops(dev, prof.profile, blocks);
       ++best.evaluated;
       evaluated.increment();
       metrics.histogram("autotune.candidate_tflops").observe(t);
       if (t > best.tflops) {
         best.tflops = t;
         best.config = cand;
-        best.profile = r.profile;
+        best.profile = prof.profile;
+        best.warps = prof.warps;
+        best.smem_ratio = prof.smem_ratio;
       }
     } catch (const PreconditionError&) {
       // Candidate infeasible for this shape (grid mismatch or registers).
@@ -72,7 +79,9 @@ TuneResult autotune_gemm(const sim::DeviceSpec& dev, std::size_t m, std::size_t 
   return best;
 }
 
-/// Tune, then run the winning configuration on the given operands.
+/// Tune, then run the winning configuration on the given operands. Tuning
+/// already produced the winner's profile, so the operands run through the
+/// NumericsOnly fast path — the numerics execute exactly once.
 template <Scalar T>
 GemmResult<T> best_gemm(const sim::DeviceSpec& dev, const Matrix<T>& A,
                         const Matrix<T>& B, std::size_t blocks = 16384) {
@@ -81,7 +90,10 @@ GemmResult<T> best_gemm(const sim::DeviceSpec& dev, const Matrix<T>& A,
   GemmOptions opt;
   opt.warps = tuned.config.warps;
   opt.smem_ratio = tuned.config.smem_ratio;
-  return gemm(tuned.config.algo, dev, A, B, opt);
+  opt.mode = sim::ExecMode::NumericsOnly;
+  GemmResult<T> r = gemm(tuned.config.algo, dev, A, B, opt);
+  r.profile = tuned.profile;
+  return r;
 }
 
 }  // namespace kami::core

@@ -6,6 +6,7 @@
 
 #include "model/registers.hpp"
 #include "obs/region.hpp"
+#include "sim/exec_mode.hpp"
 #include "sim/throughput.hpp"
 #include "types/matrix.hpp"
 
@@ -36,6 +37,12 @@ struct GemmOptions {
   /// Bank-conflict factors (Table 2); KAMI's layouts are conflict-free.
   double theta_r = 1.0;
   double theta_w = 1.0;
+
+  /// What the kernel executes (sim/exec_mode.hpp). TimingOnly skips all
+  /// element arithmetic but produces the exact profile Full would;
+  /// NumericsOnly computes the exact C Full would and leaves the profile
+  /// zero. Trace/region recording require a timed mode.
+  sim::ExecMode mode = sim::ExecMode::Full;
 
   /// Record an op-level timeline (sim/trace.hpp) into GemmResult::trace.
   bool record_trace = false;

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "core/gemm.hpp"
+#include "core/numeric_path.hpp"
 #include "core/planner.hpp"
 #include "core/sliced_operand.hpp"
 #include "model/cost_model.hpp"
@@ -41,13 +42,19 @@ GemmResult<T> kami_1d_gemm(const sim::DeviceSpec& dev, const Matrix<T>& A,
   KAMI_REQUIRE(B.rows() == k, "inner dimensions must agree");
 
   const Plan plan = plan_gemm(Algo::OneD, dev, num_traits<T>::precision, m, n, k, opt);
+
+  // NumericsOnly: the 1D accumulation order equals the plain sequential-k
+  // chain (see core/numeric_path.hpp), so skip the simulator entirely.
+  if (opt.mode == sim::ExecMode::NumericsOnly)
+    return {numeric_gemm(A, B), {}, plan.p, plan.smem_ratio, nullptr, nullptr};
+
   const auto p = static_cast<std::size_t>(plan.p);
   const std::size_t row_chunk = m / p;            // rows of A_i / C_i
   const std::size_t sw = plan.slice_w;            // stripe width along k
   const std::size_t stripes = k / sw;             // broadcast stages
   const std::size_t q = (stripes + p - 1) / p;    // stripes per owner warp
 
-  sim::ThreadBlock blk(dev, plan.p);
+  sim::ThreadBlock blk(dev, plan.p, opt.mode);
   if (opt.record_trace) blk.enable_trace();
 
   // Optional phase profile keyed to the block's simulated clock. The

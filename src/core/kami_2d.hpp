@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/gemm.hpp"
+#include "core/numeric_path.hpp"
 #include "core/planner.hpp"
 #include "core/sliced_operand.hpp"
 #include "model/cost_model.hpp"
@@ -27,12 +28,18 @@ GemmResult<T> kami_2d_gemm(const sim::DeviceSpec& dev, const Matrix<T>& A,
   KAMI_REQUIRE(B.rows() == k, "inner dimensions must agree");
 
   const Plan plan = plan_gemm(Algo::TwoD, dev, num_traits<T>::precision, m, n, k, opt);
+
+  // NumericsOnly: SUMMA stages cover k in ascending order, so each element
+  // is one sequential-k chain — same as the plain numeric path.
+  if (opt.mode == sim::ExecMode::NumericsOnly)
+    return {numeric_gemm(A, B), {}, plan.p, plan.smem_ratio, nullptr, nullptr};
+
   const auto p = static_cast<std::size_t>(plan.p);
   const auto q = static_cast<std::size_t>(plan.grid);
   const std::size_t mb = m / q, nb = n / q, kb = k / q;
   const std::size_t slices = kb / plan.slice_w;
 
-  sim::ThreadBlock blk(dev, plan.p);
+  sim::ThreadBlock blk(dev, plan.p, opt.mode);
   if (opt.record_trace) blk.enable_trace();
 
   std::shared_ptr<obs::RegionProfiler> regions;

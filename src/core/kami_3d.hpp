@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "core/gemm.hpp"
+#include "core/numeric_path.hpp"
 #include "core/planner.hpp"
 #include "core/sliced_operand.hpp"
 #include "model/cost_model.hpp"
@@ -44,13 +45,21 @@ GemmResult<T> kami_3d_gemm(const sim::DeviceSpec& dev, const Matrix<T>& A,
   KAMI_REQUIRE(B.rows() == k, "inner dimensions must agree");
 
   const Plan plan = plan_gemm(Algo::ThreeD, dev, num_traits<T>::precision, m, n, k, opt);
+
+  // NumericsOnly: layer l is the exact partial over the l-th k-segment and
+  // layers reduce in ascending order, which is precisely what the layered
+  // numeric path computes.
+  if (opt.mode == sim::ExecMode::NumericsOnly)
+    return {numeric_gemm(A, B, static_cast<std::size_t>(plan.grid)), {}, plan.p,
+            plan.smem_ratio, nullptr, nullptr};
+
   const auto p = static_cast<std::size_t>(plan.p);
   const auto c = static_cast<std::size_t>(plan.grid);
   const std::size_t mb = m / c, nb = n / c, kb = k / c;
   const std::size_t slices = kb / plan.slice_w;
   const std::size_t nc = plan.n_chunk == 0 ? nb : plan.n_chunk;  // C chunk width
 
-  sim::ThreadBlock blk(dev, plan.p);
+  sim::ThreadBlock blk(dev, plan.p, opt.mode);
   if (opt.record_trace) blk.enable_trace();
 
   std::shared_ptr<obs::RegionProfiler> regions;
@@ -135,10 +144,11 @@ GemmResult<T> kami_3d_gemm(const sim::DeviceSpec& dev, const Matrix<T>& A,
           } else {
             // Spilled slice: pull the chunk columns from the spill region.
             w.charge_smem_read_traffic(plan.b.slice_rows() * nc * sizeof(T), opt.theta_r);
-            for (std::size_t rr = 0; rr < plan.b.slice_rows(); ++rr)
-              for (std::size_t cc = 0; cc < nc; ++cc)
-                BRecv[id](rr, cc) =
-                    B(l * kb + s * plan.slice_w + rr, col_of(id) * nb + n0 + cc);
+            if (w.numerics_enabled())
+              for (std::size_t rr = 0; rr < plan.b.slice_rows(); ++rr)
+                for (std::size_t cc = 0; cc < nc; ++cc)
+                  BRecv[id](rr, cc) =
+                      B(l * kb + s * plan.slice_w + rr, col_of(id) * nb + n0 + cc);
           }
         }
       });
@@ -165,10 +175,11 @@ GemmResult<T> kami_3d_gemm(const sim::DeviceSpec& dev, const Matrix<T>& A,
           } else {
             // Chunk columns straight from the owner's spill region.
             w.charge_smem_read_traffic(plan.b.slice_rows() * nc * sizeof(T), opt.theta_r);
-            for (std::size_t rr = 0; rr < plan.b.slice_rows(); ++rr)
-              for (std::size_t cc = 0; cc < nc; ++cc)
-                BRecv[id](rr, cc) =
-                    B(l * kb + s * plan.slice_w + rr, j * nb + n0 + cc);
+            if (w.numerics_enabled())
+              for (std::size_t rr = 0; rr < plan.b.slice_rows(); ++rr)
+                for (std::size_t cc = 0; cc < nc; ++cc)
+                  BRecv[id](rr, cc) =
+                      B(l * kb + s * plan.slice_w + rr, j * nb + n0 + cc);
           }
         }
       });

@@ -1,0 +1,70 @@
+// The NumericsOnly fast path: C = A x B in the kernels' exact rounding
+// model, with the cycle simulator bypassed entirely.
+//
+// Why this is bit-identical to the simulated kernels:
+//   * Every KAMI kernel accumulates each C element as a single sequential
+//     chain in accumulator precision over ascending k (1D stripes, 2D
+//     stages, and each 3D layer all cover k in order), then narrows once
+//     at writeback. Shared-memory and fragment transits copy bits
+//     unchanged, so only the arithmetic chain matters.
+//   * KAMI-3D re-associates across its `c` depth layers: layer l computes
+//     the partial sum over its k-segment, and layers are reduced in order
+//     ((S0 + S1) + S2)... in accumulator precision. `layers` replicates
+//     exactly that association; 1D/2D use layers = 1.
+//   * Both the simulated mma and this loop accumulate with the same
+//     `acc += to_acc(a) * to_acc(b)` expression, so any FP contraction the
+//     compiler applies is applied identically.
+//
+// Host cost: m*k + k*n decodes (instead of 2*m*n*k) plus a vectorizable
+// ikj product — this is what makes batched repeats and best_gemm cheap.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "types/matrix.hpp"
+
+namespace kami::core {
+
+template <Scalar T>
+Matrix<T> numeric_gemm(const Matrix<T>& A, const Matrix<T>& B, std::size_t layers = 1) {
+  using Acc = typename num_traits<T>::acc_t;
+  const std::size_t m = A.rows(), k = A.cols(), n = B.cols();
+  KAMI_REQUIRE(B.rows() == k, "inner dimensions must agree");
+  KAMI_REQUIRE(layers >= 1 && k % layers == 0, "layers must evenly split k");
+
+  // Decode operands to accumulator precision once.
+  std::vector<Acc> Af(m * k), Bf(k * n);
+  const T* a = A.data();
+  const T* b = B.data();
+  for (std::size_t i = 0; i < m * k; ++i) Af[i] = num_traits<T>::to_acc(a[i]);
+  for (std::size_t i = 0; i < k * n; ++i) Bf[i] = num_traits<T>::to_acc(b[i]);
+
+  std::vector<Acc> Cacc(m * n, Acc{});
+  std::vector<Acc> Pacc;
+  if (layers > 1) Pacc.resize(m * n);
+  const std::size_t kb = k / layers;
+  for (std::size_t l = 0; l < layers; ++l) {
+    Acc* dst = l == 0 ? Cacc.data() : Pacc.data();
+    if (l > 0) std::fill(Pacc.begin(), Pacc.end(), Acc{});
+    const std::size_t k0 = l * kb;
+    for (std::size_t i = 0; i < m; ++i) {
+      const Acc* arow = Af.data() + i * k;
+      Acc* crow = dst + i * n;
+      for (std::size_t kk = k0; kk < k0 + kb; ++kk) {
+        const Acc av = arow[kk];
+        const Acc* brow = Bf.data() + kk * n;
+        for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+    if (l > 0)
+      for (std::size_t e = 0; e < m * n; ++e) Cacc[e] += Pacc[e];
+  }
+
+  Matrix<T> C(m, n);
+  T* c = C.data();
+  for (std::size_t e = 0; e < m * n; ++e) c[e] = num_traits<T>::from_acc(Cacc[e]);
+  return C;
+}
+
+}  // namespace kami::core

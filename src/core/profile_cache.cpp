@@ -1,0 +1,55 @@
+#include "core/profile_cache.hpp"
+
+namespace kami::core {
+
+ProfileCache::ProfileCache(std::size_t capacity)
+    : capacity_(capacity),
+      hits_(obs::MetricRegistry::global().counter("profile_cache.hits")),
+      misses_(obs::MetricRegistry::global().counter("profile_cache.misses")),
+      inserts_(obs::MetricRegistry::global().counter("profile_cache.inserts")),
+      evictions_(obs::MetricRegistry::global().counter("profile_cache.evictions")),
+      size_gauge_(obs::MetricRegistry::global().gauge("profile_cache.size")) {
+  KAMI_REQUIRE(capacity_ >= 1, "cache capacity must be positive");
+}
+
+const CachedProfile* ProfileCache::find(const ProfileKey& key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    misses_.increment();
+    return nullptr;
+  }
+  hits_.increment();
+  lru_.splice(lru_.begin(), lru_, it->second);  // promote to MRU
+  return &it->second->second;
+}
+
+void ProfileCache::insert(const ProfileKey& key, const CachedProfile& value) {
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = value;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (index_.size() >= capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    evictions_.increment();
+  }
+  lru_.emplace_front(key, value);
+  index_.emplace(key, lru_.begin());
+  inserts_.increment();
+  size_gauge_.set(static_cast<double>(index_.size()));
+}
+
+void ProfileCache::clear() {
+  lru_.clear();
+  index_.clear();
+  size_gauge_.set(0.0);
+}
+
+ProfileCache& ProfileCache::global() {
+  static ProfileCache cache;
+  return cache;
+}
+
+}  // namespace kami::core

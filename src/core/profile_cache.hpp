@@ -1,0 +1,108 @@
+// ProfileCache: memoized TimingOnly kernel profiles.
+//
+// A block's cycle profile depends only on (device, precision, shape, algo,
+// tuning options) — never on operand values — so one TimingOnly simulation
+// per distinct key serves every later consumer: autotune candidates,
+// batched sweep points, and the bench binaries' repeated shapes. The cache
+// is a small LRU keyed by that fingerprint and instrumented with
+// profile_cache.{hits,misses,inserts,evictions} counters plus a size gauge.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <map>
+
+#include "core/kami.hpp"
+#include "obs/metrics.hpp"
+
+namespace kami::core {
+
+/// Everything that can change a kernel's cycle profile. Options fields that
+/// only affect reporting (record_trace/record_regions/mode) are excluded.
+struct ProfileKey {
+  std::string device;
+  Precision precision = Precision::FP16;
+  Algo algo = Algo::OneD;
+  std::size_t m = 0, n = 0, k = 0;
+  int warps = 0;              ///< as requested (0 = auto)
+  double smem_ratio = -1.0;   ///< as requested (negative = auto)
+  std::size_t slice_pref = 16;
+  bool charge_global_io = false;
+  double theta_r = 1.0;
+  double theta_w = 1.0;
+
+  friend auto operator<=>(const ProfileKey&, const ProfileKey&) = default;
+
+  static ProfileKey make(Algo algo, const sim::DeviceSpec& dev, Precision prec,
+                         std::size_t m, std::size_t n, std::size_t k,
+                         const GemmOptions& opt) {
+    return ProfileKey{dev.name,  prec,           algo,
+                      m,         n,              k,
+                      opt.warps, opt.smem_ratio, opt.slice_pref,
+                      opt.charge_global_io,      opt.theta_r,
+                      opt.theta_w};
+  }
+};
+
+/// A cached simulation outcome: the profile plus the resolved tuning
+/// parameters (the planner's answers for warps=0 / smem_ratio<0 requests).
+struct CachedProfile {
+  sim::KernelProfile profile;
+  int warps = 0;
+  double smem_ratio = 0.0;
+};
+
+class ProfileCache {
+ public:
+  explicit ProfileCache(std::size_t capacity = 4096);
+
+  /// Lookup; counts a hit or miss, promotes hits to most-recently-used.
+  /// The pointer is valid until the next insert()/clear().
+  const CachedProfile* find(const ProfileKey& key);
+
+  /// Insert (or overwrite) an entry, evicting the least-recently-used entry
+  /// when at capacity.
+  void insert(const ProfileKey& key, const CachedProfile& value);
+
+  std::size_t size() const noexcept { return index_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+  void clear();
+
+  /// The process-wide cache the library-level consumers share.
+  static ProfileCache& global();
+
+ private:
+  using Entry = std::pair<ProfileKey, CachedProfile>;
+
+  std::size_t capacity_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::map<ProfileKey, std::list<Entry>::iterator> index_;
+  obs::Counter& hits_;
+  obs::Counter& misses_;
+  obs::Counter& inserts_;
+  obs::Counter& evictions_;
+  obs::Gauge& size_gauge_;
+};
+
+/// Cycle profile of (algo, dev, m, n, k, opt), served from `cache` or
+/// produced by one TimingOnly simulation on zero-filled operands (values
+/// cannot affect timing). Throws PreconditionError for infeasible
+/// configurations, exactly as the Full kernel would.
+template <Scalar T>
+CachedProfile timing_profile(ProfileCache& cache, Algo algo, const sim::DeviceSpec& dev,
+                             std::size_t m, std::size_t n, std::size_t k,
+                             GemmOptions opt = {}) {
+  opt.mode = sim::ExecMode::TimingOnly;
+  opt.record_trace = false;
+  opt.record_regions = false;
+  const ProfileKey key =
+      ProfileKey::make(algo, dev, num_traits<T>::precision, m, n, k, opt);
+  if (const CachedProfile* hit = cache.find(key)) return *hit;
+  const Matrix<T> A(m, k), B(k, n);
+  const GemmResult<T> r = kami::gemm(algo, dev, A, B, opt);
+  const CachedProfile entry{r.profile, r.warps, r.smem_ratio};
+  cache.insert(key, entry);
+  return entry;
+}
+
+}  // namespace kami::core

@@ -79,21 +79,27 @@ class SlicedOperand {
       const auto [sr, sc] = slice_origin(s);
       if (lay_.is_resident(s)) {
         // Pack into the resident fragment at the resident index.
-        const std::size_t off = lay_.resident_index(s) * lay_.slice_w;
-        for (std::size_t r = 0; r < lay_.slice_rows(); ++r)
-          for (std::size_t c = 0; c < lay_.slice_cols(); ++c) {
-            const std::size_t fr = lay_.axis == SliceAxis::Rows ? off + r : r;
-            const std::size_t fc = lay_.axis == SliceAxis::Cols ? off + c : c;
-            frag_(fr, fc) = src(r0 + sr + r, c0 + sc + c);
-          }
+        if (w.numerics_enabled()) {
+          const std::size_t off = lay_.resident_index(s) * lay_.slice_w;
+          for (std::size_t r = 0; r < lay_.slice_rows(); ++r)
+            for (std::size_t c = 0; c < lay_.slice_cols(); ++c) {
+              const std::size_t fr = lay_.axis == SliceAxis::Rows ? off + r : r;
+              const std::size_t fc = lay_.axis == SliceAxis::Cols ? off + c : c;
+              frag_(fr, fc) = src(r0 + sr + r, c0 + sc + c);
+            }
+        }
         w.charge_global_traffic(slice_bytes);
       } else {
+        // The tile is allocated in every mode so smem feasibility (and the
+        // overflow error) is mode-independent; only the byte fill is skipped.
         auto tile = smem.alloc<T>(lay_.slice_rows(), lay_.slice_cols());
-        std::vector<T> linear(lay_.slice_elems());
-        for (std::size_t r = 0; r < lay_.slice_rows(); ++r)
-          for (std::size_t c = 0; c < lay_.slice_cols(); ++c)
-            linear[r * lay_.slice_cols() + c] = src(r0 + sr + r, c0 + sc + c);
-        smem.write(tile, linear.data(), linear.size());
+        if (w.numerics_enabled()) {
+          std::vector<T> linear(lay_.slice_elems());
+          for (std::size_t r = 0; r < lay_.slice_rows(); ++r)
+            for (std::size_t c = 0; c < lay_.slice_cols(); ++c)
+              linear[r * lay_.slice_cols() + c] = src(r0 + sr + r, c0 + sc + c);
+          smem.write(tile, linear.data(), linear.size());
+        }
         if (w.gmem_charging()) {
           w.charge_global_traffic(slice_bytes);
           w.charge_smem_write_traffic(slice_bytes);

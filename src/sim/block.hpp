@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "sim/device.hpp"
+#include "sim/exec_mode.hpp"
 #include "sim/resources.hpp"
 #include "sim/shared_memory.hpp"
 #include "sim/trace.hpp"
@@ -22,18 +23,22 @@ namespace kami::sim {
 
 class ThreadBlock {
  public:
-  ThreadBlock(const DeviceSpec& dev, int num_warps)
+  ThreadBlock(const DeviceSpec& dev, int num_warps, ExecMode mode = ExecMode::Full)
       : dev_(&dev),
+        mode_(mode),
         smem_(dev.smem_bytes_per_block, dev.smem_bytes_per_cycle(), dev.smem_latency_cycles),
         tc_(static_cast<std::size_t>(dev.tensor_cores_per_sm)) {
     KAMI_REQUIRE(num_warps >= 1 && num_warps <= 64, "warp count out of range");
     warps_.reserve(static_cast<std::size_t>(num_warps));
-    for (int w = 0; w < num_warps; ++w)
+    for (int w = 0; w < num_warps; ++w) {
       warps_.push_back(
           std::make_unique<Warp>(w, dev, smem_, tc_, gmem_port_, vector_pipe_));
+      warps_.back()->set_mode(mode);
+    }
   }
 
   const DeviceSpec& device() const noexcept { return *dev_; }
+  ExecMode mode() const noexcept { return mode_; }
   int num_warps() const noexcept { return static_cast<int>(warps_.size()); }
   SharedMemory& smem() noexcept { return smem_; }
   Warp& warp(int i) { return *warps_.at(static_cast<std::size_t>(i)); }
@@ -46,6 +51,7 @@ class ThreadBlock {
   /// __syncthreads: advance every warp to the block-wide maximum clock plus
   /// the barrier's own latency.
   void sync() {
+    if (!mode_times(mode_)) return;
     Cycles t = 0.0;
     for (const auto& w : warps_)
       if (w->clock() > t) t = w->clock();
@@ -106,6 +112,7 @@ class ThreadBlock {
 
  private:
   const DeviceSpec* dev_;
+  ExecMode mode_;
   SharedMemory smem_;
   UnitPool tc_;
   PortTimeline gmem_port_;

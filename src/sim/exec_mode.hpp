@@ -1,0 +1,36 @@
+// Execution modes decouple the two jobs every simulated op performs: moving
+// real element data (numerics) and charging cycles on the block's resource
+// timelines (timing).
+//
+//   Full        — both, today's behavior.
+//   TimingOnly  — cycle accounting on shape metadata only; element loops and
+//                 smem/fragment byte movement are skipped. Profiles are
+//                 bit-identical to Full because every charge depends only on
+//                 shapes, byte counts, and phase structure — never on values.
+//   NumericsOnly— arithmetic only; clocks, port arbitration, metrics, and
+//                 trace recording are all skipped, so results are
+//                 bit-identical to Full at a fraction of the host cost.
+#pragma once
+
+#include <cstdint>
+
+namespace kami::sim {
+
+enum class ExecMode : std::uint8_t { Full, TimingOnly, NumericsOnly };
+
+/// Does this mode execute element arithmetic and data movement?
+constexpr bool mode_computes(ExecMode m) noexcept { return m != ExecMode::TimingOnly; }
+
+/// Does this mode charge cycles / record traces / publish sim metrics?
+constexpr bool mode_times(ExecMode m) noexcept { return m != ExecMode::NumericsOnly; }
+
+constexpr const char* exec_mode_name(ExecMode m) noexcept {
+  switch (m) {
+    case ExecMode::Full: return "full";
+    case ExecMode::TimingOnly: return "timing_only";
+    case ExecMode::NumericsOnly: return "numerics_only";
+  }
+  return "?";
+}
+
+}  // namespace kami::sim

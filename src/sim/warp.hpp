@@ -22,6 +22,7 @@
 
 #include "obs/metrics.hpp"
 #include "sim/device.hpp"
+#include "sim/exec_mode.hpp"
 #include "sim/fragment.hpp"
 #include "sim/register_file.hpp"
 #include "sim/resources.hpp"
@@ -77,6 +78,17 @@ class Warp {
         regs_(dev.reg_bytes_per_warp()) {}
 
   int id() const noexcept { return id_; }
+
+  /// Select which halves of each op run (see sim/exec_mode.hpp). Shape
+  /// checks and fragment/smem allocations stay active in every mode so
+  /// feasibility errors are mode-independent.
+  void set_mode(ExecMode mode) noexcept {
+    numerics_ = mode_computes(mode);
+    timing_ = mode_times(mode);
+  }
+  bool numerics_enabled() const noexcept { return numerics_; }
+  bool timing_enabled() const noexcept { return timing_; }
+
   Cycles clock() const noexcept { return clock_; }
   RegisterFile& regs() noexcept { return regs_; }
   const RegisterFile& regs() const noexcept { return regs_; }
@@ -96,7 +108,8 @@ class Warp {
   void store_smem(const SmemTile<T>& dst, const FragView<T>& src, double theta_w = 1.0) {
     KAMI_REQUIRE(src.rows() == dst.rows && src.cols() == dst.cols,
                  "smem tile shape mismatch");
-    copy_view_to_smem(dst, src);
+    if (numerics_) copy_view_to_smem(dst, src);
+    if (!timing_) return;
     const Cycles occ = smem_->transfer_occupancy(src.bytes(), theta_w) +
                        dev_->smem_transaction_overhead_cycles;
     const Cycles issue = clock_;
@@ -112,7 +125,8 @@ class Warp {
   void load_smem(Fragment<T>& dst, const SmemTile<T>& src, double theta_r = 1.0) {
     KAMI_REQUIRE(dst.rows() == src.rows && dst.cols() == src.cols,
                  "smem tile shape mismatch");
-    smem_->read(src, dst.data(), dst.rows() * dst.cols());
+    if (numerics_) smem_->read(src, dst.data(), dst.rows() * dst.cols());
+    if (!timing_) return;
     const Cycles occ = smem_->transfer_occupancy(dst.bytes(), theta_r) +
                        dev_->smem_transaction_overhead_cycles;
     const Cycles issue = clock_;
@@ -129,8 +143,10 @@ class Warp {
   template <Scalar T>
   void copy_reg(Fragment<T>& dst, const FragView<T>& src) {
     KAMI_REQUIRE(dst.rows() == src.rows() && dst.cols() == src.cols());
-    for (std::size_t r = 0; r < src.rows(); ++r)
-      for (std::size_t c = 0; c < src.cols(); ++c) dst(r, c) = src(r, c);
+    if (numerics_)
+      for (std::size_t r = 0; r < src.rows(); ++r)
+        for (std::size_t c = 0; c < src.cols(); ++c) dst(r, c) = src(r, c);
+    if (!timing_) return;
     const Cycles issue = clock_;
     advance(clock_ + 1.0 + static_cast<double>(src.bytes()) / dev_->reg_bytes_per_cycle,
             bd_.reg_copy);
@@ -147,12 +163,14 @@ class Warp {
     using Acc = typename num_traits<T>::acc_t;
     KAMI_REQUIRE(A.cols() == B.rows(), "mma inner dimensions must agree");
     KAMI_REQUIRE(cr0 + A.rows() <= C.rows() && cc0 + B.cols() <= C.cols());
-    for (std::size_t i = 0; i < A.rows(); ++i) {
-      for (std::size_t j = 0; j < B.cols(); ++j) {
-        Acc acc = C(cr0 + i, cc0 + j);
-        for (std::size_t k = 0; k < A.cols(); ++k)
-          acc += num_traits<T>::to_acc(A(i, k)) * num_traits<T>::to_acc(B(k, j));
-        C(cr0 + i, cc0 + j) = acc;
+    if (numerics_) {
+      for (std::size_t i = 0; i < A.rows(); ++i) {
+        for (std::size_t j = 0; j < B.cols(); ++j) {
+          Acc acc = C(cr0 + i, cc0 + j);
+          for (std::size_t k = 0; k < A.cols(); ++k)
+            acc += num_traits<T>::to_acc(A(i, k)) * num_traits<T>::to_acc(B(k, j));
+          C(cr0 + i, cc0 + j) = acc;
+        }
       }
     }
     charge_mma(num_traits<T>::precision, A.rows(), B.cols(), A.cols());
@@ -169,10 +187,11 @@ class Warp {
   template <Scalar T>
   void add_inplace(Fragment<T>& C, const FragView<T>& P) {
     KAMI_REQUIRE(C.rows() == P.rows() && C.cols() == P.cols());
-    for (std::size_t r = 0; r < C.rows(); ++r)
-      for (std::size_t c = 0; c < C.cols(); ++c)
-        C(r, c) = num_traits<T>::from_acc(num_traits<T>::to_acc(C(r, c)) +
-                                          num_traits<T>::to_acc(P(r, c)));
+    if (numerics_)
+      for (std::size_t r = 0; r < C.rows(); ++r)
+        for (std::size_t c = 0; c < C.cols(); ++c)
+          C(r, c) = num_traits<T>::from_acc(num_traits<T>::to_acc(C(r, c)) +
+                                            num_traits<T>::to_acc(P(r, c)));
     charge_vector_flops(static_cast<double>(C.rows() * C.cols()), num_traits<T>::precision);
   }
 
@@ -182,10 +201,11 @@ class Warp {
   void add_inplace_at(Fragment<T>& C, std::size_t r0, std::size_t c0,
                       const FragView<T>& P) {
     KAMI_REQUIRE(r0 + P.rows() <= C.rows() && c0 + P.cols() <= C.cols());
-    for (std::size_t r = 0; r < P.rows(); ++r)
-      for (std::size_t c = 0; c < P.cols(); ++c)
-        C(r0 + r, c0 + c) = num_traits<T>::from_acc(
-            num_traits<T>::to_acc(C(r0 + r, c0 + c)) + num_traits<T>::to_acc(P(r, c)));
+    if (numerics_)
+      for (std::size_t r = 0; r < P.rows(); ++r)
+        for (std::size_t c = 0; c < P.cols(); ++c)
+          C(r0 + r, c0 + c) = num_traits<T>::from_acc(
+              num_traits<T>::to_acc(C(r0 + r, c0 + c)) + num_traits<T>::to_acc(P(r, c)));
     charge_vector_flops(static_cast<double>(P.rows() * P.cols()), num_traits<T>::precision);
   }
 
@@ -197,13 +217,14 @@ class Warp {
     using Acc = typename num_traits<T>::acc_t;
     KAMI_REQUIRE(A.cols() == B.rows());
     KAMI_REQUIRE(A.rows() <= C.rows() && B.cols() <= C.cols());
-    for (std::size_t i = 0; i < A.rows(); ++i)
-      for (std::size_t j = 0; j < B.cols(); ++j) {
-        Acc acc = C(i, j);
-        for (std::size_t k = 0; k < A.cols(); ++k)
-          acc += num_traits<T>::to_acc(A(i, k)) * num_traits<T>::to_acc(B(k, j));
-        C(i, j) = acc;
-      }
+    if (numerics_)
+      for (std::size_t i = 0; i < A.rows(); ++i)
+        for (std::size_t j = 0; j < B.cols(); ++j) {
+          Acc acc = C(i, j);
+          for (std::size_t k = 0; k < A.cols(); ++k)
+            acc += num_traits<T>::to_acc(A(i, k)) * num_traits<T>::to_acc(B(k, j));
+          C(i, j) = acc;
+        }
     charge_vector_flops(2.0 * static_cast<double>(A.rows() * B.cols() * A.cols()),
                         num_traits<T>::precision);
   }
@@ -214,8 +235,9 @@ class Warp {
   template <Scalar T>
   void load_global(Fragment<T>& dst, const Matrix<T>& src, std::size_t r0, std::size_t c0) {
     KAMI_REQUIRE(r0 + dst.rows() <= src.rows() && c0 + dst.cols() <= src.cols());
-    for (std::size_t r = 0; r < dst.rows(); ++r)
-      for (std::size_t c = 0; c < dst.cols(); ++c) dst(r, c) = src(r0 + r, c0 + c);
+    if (numerics_)
+      for (std::size_t r = 0; r < dst.rows(); ++r)
+        for (std::size_t c = 0; c < dst.cols(); ++c) dst(r, c) = src(r0 + r, c0 + c);
     charge_gmem(dst.bytes(), OpKind::GmemLoad);
   }
 
@@ -223,8 +245,9 @@ class Warp {
   template <Scalar T>
   void store_global(Matrix<T>& dst, const FragView<T>& src, std::size_t r0, std::size_t c0) {
     KAMI_REQUIRE(r0 + src.rows() <= dst.rows() && c0 + src.cols() <= dst.cols());
-    for (std::size_t r = 0; r < src.rows(); ++r)
-      for (std::size_t c = 0; c < src.cols(); ++c) dst(r0 + r, c0 + c) = src(r, c);
+    if (numerics_)
+      for (std::size_t r = 0; r < src.rows(); ++r)
+        for (std::size_t c = 0; c < src.cols(); ++c) dst(r0 + r, c0 + c) = src(r, c);
     charge_gmem(src.bytes(), OpKind::GmemStore);
   }
 
@@ -246,9 +269,10 @@ class Warp {
                              std::size_t sc0, std::size_t rows, std::size_t cols) {
     KAMI_REQUIRE(sr0 + rows <= src.rows() && sc0 + cols <= src.cols());
     KAMI_REQUIRE(r0 + rows <= dst.rows() && c0 + cols <= dst.cols());
-    for (std::size_t r = 0; r < rows; ++r)
-      for (std::size_t c = 0; c < cols; ++c)
-        dst(r0 + r, c0 + c) = num_traits<T>::from_acc(src(sr0 + r, sc0 + c));
+    if (numerics_)
+      for (std::size_t r = 0; r < rows; ++r)
+        for (std::size_t c = 0; c < cols; ++c)
+          dst(r0 + r, c0 + c) = num_traits<T>::from_acc(src(sr0 + r, sc0 + c));
     charge_gmem(rows * cols * sizeof(T), OpKind::GmemStore);
   }
 
@@ -256,6 +280,7 @@ class Warp {
   /// addressing in sparse kernels); accounted under compute.
   void charge_overhead(Cycles cycles) {
     KAMI_ASSERT(cycles >= 0.0);
+    if (!timing_) return;
     const Cycles issue = clock_;
     advance(clock_ + cycles, bd_.compute);
     record(OpKind::Overhead, issue, issue, cycles);
@@ -278,7 +303,7 @@ class Warp {
   /// but hides the access latency behind the software pipeline, as
   /// multi-stage mainloops do. Honors the gmem-charging flag.
   void charge_global_traffic_async(std::size_t bytes) {
-    if (!gmem_charging_) return;
+    if (!timing_ || !gmem_charging_) return;
     const Cycles occ = static_cast<double>(bytes) / dev_->gmem_bytes_per_cycle_per_sm;
     const Cycles start = gmem_port_->acquire(clock_, occ);
     advance(start + occ, bd_.gmem);
@@ -287,6 +312,7 @@ class Warp {
 
   /// Account a shared-memory write without a fragment source.
   void charge_smem_write_traffic(std::size_t bytes, double theta_w = 1.0) {
+    if (!timing_) return;
     const Cycles occ = smem_->transfer_occupancy(bytes, theta_w) +
                        dev_->smem_transaction_overhead_cycles;
     const Cycles start = smem_->port().acquire(clock_, occ);
@@ -299,6 +325,7 @@ class Warp {
   /// tile — used by baseline kernels whose strided smem views the tile
   /// abstraction does not model.
   void charge_smem_read_traffic(std::size_t bytes, double theta_r = 1.0) {
+    if (!timing_) return;
     const Cycles occ = smem_->transfer_occupancy(bytes, theta_r) +
                        dev_->smem_transaction_overhead_cycles;
     const Cycles start = smem_->port().acquire(clock_, occ);
@@ -310,6 +337,7 @@ class Warp {
   // -- used by ThreadBlock ------------------------------------------------------
 
   void wait_until(Cycles t) {
+    if (!timing_) return;
     if (t > clock_) {
       const Cycles issue = clock_;
       bd_.sync_wait += t - clock_;
@@ -339,6 +367,7 @@ class Warp {
   }
 
   void charge_mma(Precision p, std::size_t fm, std::size_t fn, std::size_t fk) {
+    if (!timing_) return;
     const MmaShape s = dev_->mma_shape(p);
     const auto ceil_div = [](std::size_t a, std::size_t b) { return (a + b - 1) / b; };
     const double instrs = static_cast<double>(ceil_div(fm, static_cast<std::size_t>(s.m)) *
@@ -355,6 +384,7 @@ class Warp {
   }
 
   void charge_vector_flops(double flops, Precision p = Precision::FP32) {
+    if (!timing_) return;
     // The vector pipe is one shared timeline at the per-SM aggregate rate.
     const double rate = dev_->vector_flops_per_cycle(p);
     KAMI_REQUIRE(rate > 0.0, "device has no vector pipe for this precision");
@@ -367,7 +397,7 @@ class Warp {
   }
 
   void charge_gmem(std::size_t bytes, OpKind kind) {
-    if (!gmem_charging_) return;
+    if (!timing_ || !gmem_charging_) return;
     const Cycles occ = static_cast<double>(bytes) / dev_->gmem_bytes_per_cycle_per_sm;
     const Cycles issue = clock_;
     const Cycles start = gmem_port_->acquire(clock_, occ);
@@ -404,6 +434,8 @@ class Warp {
   WarpMetricHandles metrics_ = WarpMetricHandles::acquire();
   Cycles clock_ = 0.0;
   CycleBreakdown bd_;
+  bool numerics_ = true;
+  bool timing_ = true;
   bool gmem_charging_ = true;
   Trace* trace_ = nullptr;
 };

@@ -1,0 +1,166 @@
+// ProfileCache semantics: a hit must return exactly what a fresh simulation
+// would produce, keys must distinguish every option that can change a
+// profile, and the LRU bookkeeping (promotion, eviction, counters) must be
+// observable through the obs registry.
+#include <gtest/gtest.h>
+
+#include "core/profile_cache.hpp"
+#include "obs/metrics.hpp"
+
+namespace kami {
+namespace {
+
+using core::CachedProfile;
+using core::ProfileCache;
+using core::ProfileKey;
+using core::timing_profile;
+
+double counter(const char* name) {
+  return obs::MetricRegistry::global().counter(name).value();
+}
+
+void expect_profile_identical(const sim::KernelProfile& a,
+                              const sim::KernelProfile& b) {
+  EXPECT_EQ(a.latency, b.latency);
+  EXPECT_EQ(a.tc_busy, b.tc_busy);
+  EXPECT_EQ(a.smem_busy, b.smem_busy);
+  EXPECT_EQ(a.gmem_busy, b.gmem_busy);
+  EXPECT_EQ(a.vector_busy, b.vector_busy);
+  EXPECT_EQ(a.useful_flops, b.useful_flops);
+  EXPECT_EQ(a.num_warps, b.num_warps);
+}
+
+TEST(ProfileCache, HitReturnsFreshSimulationBitForBit) {
+  obs::ScopedMetricsReset reset;
+  ProfileCache cache(16);
+  const auto cold = timing_profile<fp16_t>(cache, Algo::OneD, sim::gh200(), 32, 32, 32);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(counter("profile_cache.misses"), 1.0);
+  EXPECT_EQ(counter("profile_cache.inserts"), 1.0);
+  EXPECT_EQ(counter("profile_cache.hits"), 0.0);
+
+  const auto warm = timing_profile<fp16_t>(cache, Algo::OneD, sim::gh200(), 32, 32, 32);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(counter("profile_cache.hits"), 1.0);
+  expect_profile_identical(warm.profile, cold.profile);
+  EXPECT_EQ(warm.warps, cold.warps);
+  EXPECT_EQ(warm.smem_ratio, cold.smem_ratio);
+
+  // The cached profile is the one a Full run of the same config produces.
+  const Matrix<fp16_t> A(32, 32), B(32, 32);
+  const auto full = gemm(Algo::OneD, sim::gh200(), A, B);
+  expect_profile_identical(warm.profile, full.profile);
+  EXPECT_EQ(warm.warps, full.warps);
+}
+
+TEST(ProfileCache, KeysDistinguishGemmOptions) {
+  const auto& dev = sim::gh200();
+  GemmOptions base;
+  const auto key = [&](const GemmOptions& o, Algo a = Algo::OneD,
+                       Precision p = Precision::FP16, std::size_t m = 32) {
+    return ProfileKey::make(a, dev, p, m, 32, 32, o);
+  };
+
+  EXPECT_EQ(key(base), key(base));
+
+  GemmOptions warps = base;
+  warps.warps = 8;
+  EXPECT_NE(key(base), key(warps));
+
+  GemmOptions ratio = base;
+  ratio.smem_ratio = 0.5;
+  EXPECT_NE(key(base), key(ratio));
+
+  GemmOptions io = base;
+  io.charge_global_io = true;
+  EXPECT_NE(key(base), key(io));
+
+  GemmOptions theta = base;
+  theta.theta_r = 0.5;
+  EXPECT_NE(key(base), key(theta));
+
+  GemmOptions slice = base;
+  slice.slice_pref = 8;
+  EXPECT_NE(key(base), key(slice));
+
+  EXPECT_NE(key(base), key(base, Algo::TwoD));
+  EXPECT_NE(key(base), key(base, Algo::OneD, Precision::BF16));
+  EXPECT_NE(key(base), key(base, Algo::OneD, Precision::FP16, 64));
+  EXPECT_NE(ProfileKey::make(Algo::OneD, sim::gh200(), Precision::FP16, 32, 32, 32, base),
+            ProfileKey::make(Algo::OneD, sim::rtx5090(), Precision::FP16, 32, 32, 32,
+                             base));
+
+  // Reporting-only options are deliberately NOT part of the key: the same
+  // entry serves Full, TimingOnly and trace-recording callers.
+  GemmOptions traced = base;
+  traced.record_trace = true;
+  traced.mode = sim::ExecMode::TimingOnly;
+  EXPECT_EQ(key(base), key(traced));
+}
+
+TEST(ProfileCache, DistinctOptionsProduceDistinctEntries) {
+  obs::ScopedMetricsReset reset;
+  ProfileCache cache(16);
+  GemmOptions four, eight;
+  four.warps = 4;
+  eight.warps = 8;
+  const auto p4 = timing_profile<fp16_t>(cache, Algo::OneD, sim::gh200(), 64, 64, 64,
+                                         four);
+  const auto p8 = timing_profile<fp16_t>(cache, Algo::OneD, sim::gh200(), 64, 64, 64,
+                                         eight);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(counter("profile_cache.misses"), 2.0);
+  EXPECT_EQ(p4.profile.num_warps, 4);
+  EXPECT_EQ(p8.profile.num_warps, 8);
+  EXPECT_NE(p4.profile.latency, p8.profile.latency);
+}
+
+TEST(ProfileCache, LruEvictionWithPromotion) {
+  obs::ScopedMetricsReset reset;
+  ProfileCache cache(2);
+  const auto key = [](std::size_t m) {
+    GemmOptions opt;
+    return ProfileKey::make(Algo::OneD, sim::gh200(), Precision::FP16, m, 32, 32, opt);
+  };
+  const auto entry = [](double latency) {
+    CachedProfile p;
+    p.profile.latency = latency;
+    return p;
+  };
+
+  cache.insert(key(1), entry(1.0));
+  cache.insert(key(2), entry(2.0));
+  EXPECT_EQ(cache.size(), 2u);
+
+  // Touch key 1 so key 2 becomes least-recently-used, then overflow.
+  ASSERT_NE(cache.find(key(1)), nullptr);
+  cache.insert(key(3), entry(3.0));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(counter("profile_cache.evictions"), 1.0);
+  EXPECT_EQ(cache.find(key(2)), nullptr);  // evicted
+  ASSERT_NE(cache.find(key(1)), nullptr);  // survived via promotion
+  ASSERT_NE(cache.find(key(3)), nullptr);
+  EXPECT_EQ(cache.find(key(3))->profile.latency, 3.0);
+
+  // Overwriting an existing key neither grows nor evicts.
+  cache.insert(key(3), entry(30.0));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(counter("profile_cache.evictions"), 1.0);
+  EXPECT_EQ(cache.find(key(3))->profile.latency, 30.0);
+
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.find(key(1)), nullptr);
+}
+
+TEST(ProfileCache, InfeasibleConfigurationsThrowAndAreNotCached) {
+  ProfileCache cache(16);
+  // 3D FP64 at order 128 exceeds GH200's register file (see DESIGN.md).
+  EXPECT_THROW((void)timing_profile<double>(cache, Algo::ThreeD, sim::gh200(), 128, 128,
+                                            128),
+               PreconditionError);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+}  // namespace
+}  // namespace kami
