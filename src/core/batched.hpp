@@ -108,15 +108,21 @@ BatchedResult<T> kami_batched_gemm(const sim::DeviceSpec& dev,
     }
   }
 
-  // Completion time: every block contributes its steady interval; the batch
-  // spreads round-robin over SMs.
-  double interval_sum = 0.0;
+  // Completion time: blocks spread round-robin over SMs (the same wave model
+  // as kami_batched_perf — for `batch` identical shapes the most-loaded SM
+  // carries ceil(batch / num_sms) blocks, i.e. one interval per wave). The
+  // batch can never finish before the longest single block's steady interval,
+  // so small batches no longer divide one block's time across idle SMs.
+  std::vector<double> sm_load(static_cast<std::size_t>(dev.num_sms), 0.0);
+  double completion = 0.0;
   for (std::size_t i = 0; i < As.size(); ++i) {
     const auto& prof = shape_profiles[{As[i].rows(), Bs[i].cols(), As[i].cols()}];
-    interval_sum += sim::steady_interval_cycles(dev, prof);
+    const double interval = sim::steady_interval_cycles(dev, prof);
+    double& load = sm_load[i % sm_load.size()];
+    load += interval;
+    completion = std::max({completion, interval, load});
   }
-  const double per_sm_cycles = interval_sum / static_cast<double>(dev.num_sms);
-  out.seconds = std::max(per_sm_cycles, sim::Cycles{1.0}) / (dev.boost_clock_ghz * 1e9) +
+  out.seconds = std::max(completion, sim::Cycles{1.0}) / (dev.boost_clock_ghz * 1e9) +
                 kKamiBatchSetupSeconds;
   out.tflops = total_flops / out.seconds / 1e12;
   return out;

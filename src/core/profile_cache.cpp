@@ -12,18 +12,20 @@ ProfileCache::ProfileCache(std::size_t capacity)
   KAMI_REQUIRE(capacity_ >= 1, "cache capacity must be positive");
 }
 
-const CachedProfile* ProfileCache::find(const ProfileKey& key) {
+std::optional<CachedProfile> ProfileCache::find(const ProfileKey& key) {
+  const std::scoped_lock lock(mu_);
   const auto it = index_.find(key);
   if (it == index_.end()) {
     misses_.increment();
-    return nullptr;
+    return std::nullopt;
   }
   hits_.increment();
   lru_.splice(lru_.begin(), lru_, it->second);  // promote to MRU
-  return &it->second->second;
+  return it->second->second;
 }
 
 void ProfileCache::insert(const ProfileKey& key, const CachedProfile& value) {
+  const std::scoped_lock lock(mu_);
   const auto it = index_.find(key);
   if (it != index_.end()) {
     it->second->second = value;
@@ -41,7 +43,13 @@ void ProfileCache::insert(const ProfileKey& key, const CachedProfile& value) {
   size_gauge_.set(static_cast<double>(index_.size()));
 }
 
+std::size_t ProfileCache::size() const {
+  const std::scoped_lock lock(mu_);
+  return index_.size();
+}
+
 void ProfileCache::clear() {
+  const std::scoped_lock lock(mu_);
   lru_.clear();
   index_.clear();
   size_gauge_.set(0.0);

@@ -6,41 +6,61 @@
 // batched sweep points, and the bench binaries' repeated shapes. The cache
 // is a small LRU keyed by that fingerprint and instrumented with
 // profile_cache.{hits,misses,inserts,evictions} counters plus a size gauge.
+//
+// Keys are canonicalized through the planner: the key stores the *resolved*
+// warp count, spill ratio, slice width and 3D chunk, so an auto request
+// (warps=0 / smem_ratio<0) and an explicit request that the planner maps to
+// the same configuration share one entry — profile_cache.inserts counts
+// distinct plans, not distinct request spellings.
+//
+// All public methods lock an internal mutex and find() copies the entry out,
+// so the cache is safe for concurrent drivers and a result can never be
+// invalidated by a later insert()/clear().
 #pragma once
 
 #include <cstddef>
 #include <list>
 #include <map>
+#include <mutex>
+#include <optional>
 
 #include "core/kami.hpp"
+#include "core/planner.hpp"
 #include "obs/metrics.hpp"
 
 namespace kami::core {
 
 /// Everything that can change a kernel's cycle profile. Options fields that
-/// only affect reporting (record_trace/record_regions/mode) are excluded.
+/// only affect reporting (record_trace/record_regions/mode) are excluded;
+/// tuning fields are stored planner-resolved (see ProfileKey::make).
 struct ProfileKey {
   std::string device;
   Precision precision = Precision::FP16;
   Algo algo = Algo::OneD;
   std::size_t m = 0, n = 0, k = 0;
-  int warps = 0;              ///< as requested (0 = auto)
-  double smem_ratio = -1.0;   ///< as requested (negative = auto)
-  std::size_t slice_pref = 16;
+  int warps = 0;             ///< planner-resolved warp count p (never 0)
+  double smem_ratio = 0.0;   ///< planner-resolved spill ratio (never negative)
+  std::size_t slice_w = 0;   ///< planner-resolved k-slice width
+  std::size_t n_chunk = 0;   ///< planner-resolved 3D C-chunk width (0 = whole)
   bool charge_global_io = false;
   double theta_r = 1.0;
   double theta_w = 1.0;
 
   friend auto operator<=>(const ProfileKey&, const ProfileKey&) = default;
 
+  /// Build the canonical key for a request: tuning fields come from the
+  /// resolved `plan`, timing knobs the planner does not see (global-IO
+  /// charging, bank-conflict factors) from the request itself.
   static ProfileKey make(Algo algo, const sim::DeviceSpec& dev, Precision prec,
                          std::size_t m, std::size_t n, std::size_t k,
-                         const GemmOptions& opt) {
-    return ProfileKey{dev.name,  prec,           algo,
-                      m,         n,              k,
-                      opt.warps, opt.smem_ratio, opt.slice_pref,
-                      opt.charge_global_io,      opt.theta_r,
-                      opt.theta_w};
+                         const GemmOptions& opt, const Plan& plan) {
+    return ProfileKey{dev.name,     prec,
+                      algo,         m,
+                      n,            k,
+                      plan.p,       plan.smem_ratio,
+                      plan.slice_w, plan.n_chunk,
+                      opt.charge_global_io,
+                      opt.theta_r,  opt.theta_w};
   }
 };
 
@@ -57,14 +77,14 @@ class ProfileCache {
   explicit ProfileCache(std::size_t capacity = 4096);
 
   /// Lookup; counts a hit or miss, promotes hits to most-recently-used.
-  /// The pointer is valid until the next insert()/clear().
-  const CachedProfile* find(const ProfileKey& key);
+  /// Copy-out: the returned value stays valid across later insert()/clear().
+  std::optional<CachedProfile> find(const ProfileKey& key);
 
   /// Insert (or overwrite) an entry, evicting the least-recently-used entry
   /// when at capacity.
   void insert(const ProfileKey& key, const CachedProfile& value);
 
-  std::size_t size() const noexcept { return index_.size(); }
+  std::size_t size() const;
   std::size_t capacity() const noexcept { return capacity_; }
   void clear();
 
@@ -75,6 +95,7 @@ class ProfileCache {
   using Entry = std::pair<ProfileKey, CachedProfile>;
 
   std::size_t capacity_;
+  mutable std::mutex mu_;
   std::list<Entry> lru_;  ///< front = most recently used
   std::map<ProfileKey, std::list<Entry>::iterator> index_;
   obs::Counter& hits_;
@@ -95,9 +116,13 @@ CachedProfile timing_profile(ProfileCache& cache, Algo algo, const sim::DeviceSp
   opt.mode = sim::ExecMode::TimingOnly;
   opt.record_trace = false;
   opt.record_regions = false;
+  // Resolve the plan first: the canonical key dedups requests that map to the
+  // same configuration, and infeasible requests throw here — before the cache
+  // is touched — exactly as the kernel itself would.
+  const Plan plan = plan_gemm(algo, dev, num_traits<T>::precision, m, n, k, opt);
   const ProfileKey key =
-      ProfileKey::make(algo, dev, num_traits<T>::precision, m, n, k, opt);
-  if (const CachedProfile* hit = cache.find(key)) return *hit;
+      ProfileKey::make(algo, dev, num_traits<T>::precision, m, n, k, opt, plan);
+  if (std::optional<CachedProfile> hit = cache.find(key)) return *hit;
   const Matrix<T> A(m, k), B(k, n);
   const GemmResult<T> r = kami::gemm(algo, dev, A, B, opt);
   const CachedProfile entry{r.profile, r.warps, r.smem_ratio};

@@ -18,6 +18,7 @@
 #include "sim/shared_memory.hpp"
 #include "sim/trace.hpp"
 #include "sim/warp.hpp"
+#include "verify/invariants.hpp"
 
 namespace kami::sim {
 
@@ -57,6 +58,10 @@ class ThreadBlock {
       if (w->clock() > t) t = w->clock();
     t += dev_->sync_latency_cycles;
     for (auto& w : warps_) w->wait_until(t);
+#if KAMI_CHECK_INVARIANTS
+    for (const auto& w : warps_)
+      KAMI_INVARIANT(w->clock() == t, "sync barrier must align every warp clock");
+#endif
     syncs_.increment();
   }
 

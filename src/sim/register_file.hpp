@@ -8,6 +8,7 @@
 #include <string>
 
 #include "util/require.hpp"
+#include "verify/invariants.hpp"
 
 namespace kami::sim {
 
@@ -28,6 +29,8 @@ class RegisterFile {
     }
     used_ += bytes;
     if (used_ > high_water_) high_water_ = used_;
+    KAMI_INVARIANT(used_ <= capacity_ && high_water_ <= capacity_,
+                   "register allocation exceeded file capacity");
   }
 
   void release(std::size_t bytes) noexcept {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "util/require.hpp"
+#include "verify/invariants.hpp"
 
 namespace kami::sim {
 
@@ -25,10 +26,17 @@ class PortTimeline {
   /// Reserve the port for `occupancy` cycles at the earliest point >= t.
   /// Returns the start time of the reservation.
   Cycles acquire(Cycles t, Cycles occupancy) {
-    KAMI_ASSERT(occupancy >= 0.0);
+    KAMI_INVARIANT(occupancy >= 0.0, "port occupancy must be non-negative");
+    KAMI_INVARIANT(t >= 0.0, "port acquired before cycle zero");
     const Cycles start = free_at_ > t ? free_at_ : t;
     free_at_ = start + occupancy;
-    busy_ += occupancy;
+    busy_ += KAMI_FAULT_SKEW(port_busy_skew, occupancy);
+    // Conservation: reservations are serial, so the cycles ever charged to
+    // busy_ can never exceed the end of the reserved timeline. Holds exactly
+    // in floating point (both sides accumulate the same occupancies and
+    // rounding is monotone), so a violation is real double-charging.
+    KAMI_INVARIANT(busy_ <= free_at_,
+                   "port busy accounting exceeds the reserved timeline");
     return start;
   }
 
@@ -58,11 +66,13 @@ class UnitPool {
   /// Reserve the earliest-available unit at >= t for `occupancy` cycles;
   /// ties break to the lowest unit index (deterministic).
   Cycles acquire(Cycles t, Cycles occupancy) {
-    KAMI_ASSERT(occupancy >= 0.0);
+    KAMI_INVARIANT(occupancy >= 0.0, "unit occupancy must be non-negative");
+    KAMI_INVARIANT(t >= 0.0, "unit acquired before cycle zero");
     std::size_t best = 0;
     for (std::size_t u = 1; u < free_at_.size(); ++u)
       if (free_at_[u] < free_at_[best]) best = u;
     const Cycles start = free_at_[best] > t ? free_at_[best] : t;
+    KAMI_INVARIANT(start >= t, "unit reservation cannot start before request");
     free_at_[best] = start + occupancy;
     busy_ += occupancy;
     return start;

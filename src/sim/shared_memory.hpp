@@ -14,6 +14,7 @@
 #include "obs/metrics.hpp"
 #include "sim/resources.hpp"
 #include "util/require.hpp"
+#include "verify/invariants.hpp"
 
 namespace kami::sim {
 
@@ -55,6 +56,8 @@ class SharedMemory {
     SmemTile<T> tile{top_, rows, cols};
     top_ += want;
     if (top_ > high_water_) high_water_ = top_;
+    KAMI_INVARIANT(top_ <= bytes_.size() && high_water_ <= bytes_.size(),
+                   "shared-memory allocator exceeded capacity");
     auto& reg = obs::MetricRegistry::global();
     reg.counter("sim.smem.tile_allocs").increment();
     reg.gauge("sim.smem.high_water_bytes").set_max(static_cast<double>(high_water_));
@@ -71,7 +74,9 @@ class SharedMemory {
   /// Port occupancy for moving `n` bytes with conflict factor theta.
   Cycles transfer_occupancy(std::size_t n, double theta) const {
     KAMI_REQUIRE(theta > 0.0 && theta <= 1.0, "bank conflict factor must be in (0,1]");
-    return static_cast<double>(n) / (theta * bytes_per_cycle_);
+    const Cycles occ = static_cast<double>(n) / (theta * bytes_per_cycle_);
+    KAMI_INVARIANT(occ >= 0.0, "smem transfer occupancy must be non-negative");
+    return occ;
   }
 
   Cycles latency() const noexcept { return latency_; }

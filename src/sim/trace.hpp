@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "sim/resources.hpp"
+#include "verify/invariants.hpp"
 
 namespace kami::sim {
 
@@ -44,11 +45,29 @@ struct TraceEvent {
 
 class Trace {
  public:
-  void record(TraceEvent ev) { events_.push_back(ev); }
+  void record(TraceEvent ev) {
+#if KAMI_CHECK_INVARIANTS
+    KAMI_INVARIANT(ev.warp >= 0, "trace event warp id must be non-negative");
+    KAMI_INVARIANT(ev.amount >= 0.0, "trace event amount must be non-negative");
+    KAMI_INVARIANT(0.0 <= ev.issue && ev.issue <= ev.start && ev.start <= ev.end,
+                   "trace event must satisfy 0 <= issue <= start <= end");
+    const auto w = static_cast<std::size_t>(ev.warp);
+    if (w >= last_issue_.size()) last_issue_.resize(w + 1, 0.0);
+    KAMI_INVARIANT(ev.issue >= last_issue_[w],
+                   "a warp's trace events must be issued in non-decreasing order");
+    last_issue_[w] = ev.issue;
+#endif
+    events_.push_back(ev);
+  }
 
   const std::vector<TraceEvent>& events() const noexcept { return events_; }
   std::size_t size() const noexcept { return events_.size(); }
-  void clear() noexcept { events_.clear(); }
+  void clear() noexcept {
+    events_.clear();
+#if KAMI_CHECK_INVARIANTS
+    last_issue_.clear();
+#endif
+  }
 
   /// Total `amount` across events of one kind.
   double total_amount(OpKind kind) const;
@@ -62,6 +81,9 @@ class Trace {
 
  private:
   std::vector<TraceEvent> events_;
+#if KAMI_CHECK_INVARIANTS
+  std::vector<Cycles> last_issue_;  ///< per-warp issue-ordering watermark
+#endif
 };
 
 }  // namespace kami::sim

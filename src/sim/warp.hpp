@@ -29,6 +29,7 @@
 #include "sim/shared_memory.hpp"
 #include "sim/trace.hpp"
 #include "types/matrix.hpp"
+#include "verify/invariants.hpp"
 
 namespace kami::sim {
 
@@ -356,7 +357,8 @@ class Warp {
 
  private:
   void advance(Cycles end, Cycles& bucket) {
-    KAMI_ASSERT(end >= clock_);
+    end = KAMI_FAULT_SKEW(warp_advance_skew, end);
+    KAMI_INVARIANT(end >= clock_, "warp clock must advance monotonically");
     bucket += end - clock_;
     clock_ = end;
   }

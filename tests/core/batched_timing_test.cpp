@@ -1,0 +1,112 @@
+// Regression tests for the batched completion-time model. The old model
+// divided the summed steady intervals by the SM count, so a batch of one
+// reported interval/132 — faster than the block itself can run. The model
+// now spreads blocks round-robin over SMs and completes when the most
+// loaded SM drains, never before the longest single block's interval.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/batched.hpp"
+
+namespace kami::core {
+namespace {
+
+const sim::DeviceSpec& dev() { return sim::gh200(); }
+
+std::vector<Matrix<fp16_t>> random_batch(std::size_t count, std::size_t order,
+                                         Rng& rng) {
+  std::vector<Matrix<fp16_t>> ms;
+  ms.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    ms.push_back(random_matrix<fp16_t>(order, order, rng));
+  return ms;
+}
+
+TEST(BatchedTiming, BatchOfOneMatchesSingleBlockInterval) {
+  // One block occupies one SM; its completion time is the block's own steady
+  // interval — exactly what kami_batched_perf reports for batch=1. The
+  // pre-fix model claimed interval/num_sms here.
+  Rng rng(31);
+  const std::vector<Matrix<fp16_t>> As = random_batch(1, 64, rng);
+  const std::vector<Matrix<fp16_t>> Bs = random_batch(1, 64, rng);
+  const auto batched = kami_batched_gemm<fp16_t>(dev(), As, Bs);
+  const auto single = kami_batched_perf<fp16_t>(dev(), 64, 64, 64, 1);
+  EXPECT_DOUBLE_EQ(batched.seconds, single.seconds);
+  EXPECT_DOUBLE_EQ(batched.tflops, single.tflops);
+}
+
+TEST(BatchedTiming, UniformBatchMatchesWaveExtrapolation) {
+  // num_sms + 3 identical blocks = two waves on three SMs, one on the rest;
+  // round-robin placement must reproduce kami_batched_perf's ceil-wave model
+  // bit for bit for identical shapes.
+  const std::size_t batch = static_cast<std::size_t>(dev().num_sms) + 3;
+  Rng rng(32);
+  std::vector<Matrix<fp16_t>> As, Bs;
+  As.reserve(batch);
+  Bs.reserve(batch);
+  const Matrix<fp16_t> A = random_matrix<fp16_t>(16, 16, rng);
+  const Matrix<fp16_t> B = random_matrix<fp16_t>(16, 16, rng);
+  for (std::size_t i = 0; i < batch; ++i) {
+    As.push_back(A);
+    Bs.push_back(B);
+  }
+  const auto batched = kami_batched_gemm<fp16_t>(dev(), As, Bs);
+  const auto perf = kami_batched_perf<fp16_t>(dev(), 16, 16, 16, batch);
+  EXPECT_DOUBLE_EQ(batched.seconds, perf.seconds);
+}
+
+TEST(BatchedTiming, MixedBatchNeverFinishesBeforeItsLongestBlock) {
+  // Three cheap 16^3 blocks plus one 64^3 block on 132 SMs: every SM holds
+  // at most one block, so completion is the 64^3 block's interval — the
+  // small blocks cannot dilute it.
+  Rng rng(33);
+  std::vector<Matrix<fp16_t>> As = random_batch(3, 16, rng);
+  std::vector<Matrix<fp16_t>> Bs = random_batch(3, 16, rng);
+  As.push_back(random_matrix<fp16_t>(64, 64, rng));
+  Bs.push_back(random_matrix<fp16_t>(64, 64, rng));
+  const auto batched = kami_batched_gemm<fp16_t>(dev(), As, Bs);
+  const auto longest = kami_batched_perf<fp16_t>(dev(), 64, 64, 64, 1);
+  EXPECT_DOUBLE_EQ(batched.seconds, longest.seconds);
+}
+
+TEST(BatchedTiming, MoreBlocksThanSmsTakesLongerThanOneWave) {
+  Rng rng(34);
+  const std::size_t batch = static_cast<std::size_t>(dev().num_sms) + 1;
+  const Matrix<fp16_t> A = random_matrix<fp16_t>(16, 16, rng);
+  const Matrix<fp16_t> B = random_matrix<fp16_t>(16, 16, rng);
+  const std::vector<Matrix<fp16_t>> As(batch, A), Bs(batch, B);
+  const auto two_waves = kami_batched_gemm<fp16_t>(dev(), As, Bs);
+  const auto one_wave = kami_batched_perf<fp16_t>(dev(), 16, 16, 16, 1);
+  EXPECT_GT(two_waves.seconds, one_wave.seconds);
+}
+
+TEST(StridedBatched, RejectsIndivisibleAStack) {
+  // 33 rows cannot split into 2 equal blocks.
+  Matrix<fp16_t> Astack(33, 16), Bstack(32, 16);
+  EXPECT_THROW((void)kami_gemm_strided_batched<fp16_t>(dev(), Astack, Bstack, 2),
+               PreconditionError);
+}
+
+TEST(StridedBatched, RejectsIndivisibleBStack) {
+  Matrix<fp16_t> Astack(32, 16), Bstack(33, 16);
+  EXPECT_THROW((void)kami_gemm_strided_batched<fp16_t>(dev(), Astack, Bstack, 2),
+               PreconditionError);
+}
+
+TEST(StridedBatched, RejectsInnerDimensionMismatch) {
+  // A blocks are 16x16 (k=16) but B blocks are 8x16: divisible, yet k
+  // disagrees.
+  Matrix<fp16_t> Astack(32, 16), Bstack(16, 16);
+  EXPECT_THROW((void)kami_gemm_strided_batched<fp16_t>(dev(), Astack, Bstack, 2),
+               PreconditionError);
+}
+
+TEST(StridedBatched, RejectsZeroBatch) {
+  Matrix<fp16_t> Astack(32, 16), Bstack(32, 16);
+  EXPECT_THROW((void)kami_gemm_strided_batched<fp16_t>(dev(), Astack, Bstack, 0),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace kami::core

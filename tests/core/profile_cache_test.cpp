@@ -1,8 +1,12 @@
 // ProfileCache semantics: a hit must return exactly what a fresh simulation
 // would produce, keys must distinguish every option that can change a
-// profile, and the LRU bookkeeping (promotion, eviction, counters) must be
-// observable through the obs registry.
+// profile (and canonicalize the ones that cannot — an auto request and an
+// explicit request resolving to the same plan share one entry), and the LRU
+// bookkeeping (promotion, eviction, counters) must be observable through the
+// obs registry.
 #include <gtest/gtest.h>
+
+#include <optional>
 
 #include "core/profile_cache.hpp"
 #include "obs/metrics.hpp"
@@ -28,6 +32,24 @@ void expect_profile_identical(const sim::KernelProfile& a,
   EXPECT_EQ(a.vector_busy, b.vector_busy);
   EXPECT_EQ(a.useful_flops, b.useful_flops);
   EXPECT_EQ(a.num_warps, b.num_warps);
+}
+
+/// A synthetic key for LRU-mechanics tests (no planner involved).
+ProfileKey synthetic_key(std::size_t m) {
+  ProfileKey k;
+  k.device = "GH200";
+  k.m = m;
+  k.n = 32;
+  k.k = 32;
+  k.warps = 4;
+  k.slice_w = 16;
+  return k;
+}
+
+CachedProfile synthetic_entry(double latency) {
+  CachedProfile p;
+  p.profile.latency = latency;
+  return p;
 }
 
 TEST(ProfileCache, HitReturnsFreshSimulationBitForBit) {
@@ -58,7 +80,8 @@ TEST(ProfileCache, KeysDistinguishGemmOptions) {
   GemmOptions base;
   const auto key = [&](const GemmOptions& o, Algo a = Algo::OneD,
                        Precision p = Precision::FP16, std::size_t m = 32) {
-    return ProfileKey::make(a, dev, p, m, 32, 32, o);
+    return ProfileKey::make(a, dev, p, m, 32, 32, o,
+                            core::plan_gemm(a, dev, p, m, 32, 32, o));
   };
 
   EXPECT_EQ(key(base), key(base));
@@ -86,9 +109,14 @@ TEST(ProfileCache, KeysDistinguishGemmOptions) {
   EXPECT_NE(key(base), key(base, Algo::TwoD));
   EXPECT_NE(key(base), key(base, Algo::OneD, Precision::BF16));
   EXPECT_NE(key(base), key(base, Algo::OneD, Precision::FP16, 64));
-  EXPECT_NE(ProfileKey::make(Algo::OneD, sim::gh200(), Precision::FP16, 32, 32, 32, base),
-            ProfileKey::make(Algo::OneD, sim::rtx5090(), Precision::FP16, 32, 32, 32,
-                             base));
+  const core::Plan gh = core::plan_gemm(Algo::OneD, sim::gh200(), Precision::FP16, 32,
+                                        32, 32, base);
+  const core::Plan rtx = core::plan_gemm(Algo::OneD, sim::rtx5090(), Precision::FP16,
+                                         32, 32, 32, base);
+  EXPECT_NE(
+      ProfileKey::make(Algo::OneD, sim::gh200(), Precision::FP16, 32, 32, 32, base, gh),
+      ProfileKey::make(Algo::OneD, sim::rtx5090(), Precision::FP16, 32, 32, 32, base,
+                       rtx));
 
   // Reporting-only options are deliberately NOT part of the key: the same
   // entry serves Full, TimingOnly and trace-recording callers.
@@ -96,6 +124,37 @@ TEST(ProfileCache, KeysDistinguishGemmOptions) {
   traced.record_trace = true;
   traced.mode = sim::ExecMode::TimingOnly;
   EXPECT_EQ(key(base), key(traced));
+
+  // Canonicalization: spelling out the planner's own resolution explicitly
+  // must produce the auto request's key.
+  const core::Plan resolved =
+      core::plan_gemm(Algo::OneD, dev, Precision::FP16, 32, 32, 32, base);
+  GemmOptions spelled = base;
+  spelled.warps = resolved.p;
+  spelled.smem_ratio = resolved.smem_ratio;
+  EXPECT_EQ(key(base), key(spelled));
+}
+
+TEST(ProfileCache, AutoAndExplicitRequestsShareOneEntry) {
+  obs::ScopedMetricsReset reset;
+  ProfileCache cache(16);
+  GemmOptions auto_opt;  // warps=0, smem_ratio<0: planner resolves both
+  const auto a =
+      timing_profile<fp16_t>(cache, Algo::OneD, sim::gh200(), 32, 32, 32, auto_opt);
+
+  GemmOptions explicit_opt;
+  explicit_opt.warps = a.warps;
+  explicit_opt.smem_ratio = a.smem_ratio;
+  const auto b =
+      timing_profile<fp16_t>(cache, Algo::OneD, sim::gh200(), 32, 32, 32, explicit_opt);
+
+  // The dedup shows up in the counters: one insert, one hit, one entry.
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(counter("profile_cache.inserts"), 1.0);
+  EXPECT_EQ(counter("profile_cache.hits"), 1.0);
+  expect_profile_identical(a.profile, b.profile);
+  EXPECT_EQ(a.warps, b.warps);
+  EXPECT_EQ(a.smem_ratio, b.smem_ratio);
 }
 
 TEST(ProfileCache, DistinctOptionsProduceDistinctEntries) {
@@ -118,39 +177,44 @@ TEST(ProfileCache, DistinctOptionsProduceDistinctEntries) {
 TEST(ProfileCache, LruEvictionWithPromotion) {
   obs::ScopedMetricsReset reset;
   ProfileCache cache(2);
-  const auto key = [](std::size_t m) {
-    GemmOptions opt;
-    return ProfileKey::make(Algo::OneD, sim::gh200(), Precision::FP16, m, 32, 32, opt);
-  };
-  const auto entry = [](double latency) {
-    CachedProfile p;
-    p.profile.latency = latency;
-    return p;
-  };
 
-  cache.insert(key(1), entry(1.0));
-  cache.insert(key(2), entry(2.0));
+  cache.insert(synthetic_key(1), synthetic_entry(1.0));
+  cache.insert(synthetic_key(2), synthetic_entry(2.0));
   EXPECT_EQ(cache.size(), 2u);
 
   // Touch key 1 so key 2 becomes least-recently-used, then overflow.
-  ASSERT_NE(cache.find(key(1)), nullptr);
-  cache.insert(key(3), entry(3.0));
+  ASSERT_TRUE(cache.find(synthetic_key(1)).has_value());
+  cache.insert(synthetic_key(3), synthetic_entry(3.0));
   EXPECT_EQ(cache.size(), 2u);
   EXPECT_EQ(counter("profile_cache.evictions"), 1.0);
-  EXPECT_EQ(cache.find(key(2)), nullptr);  // evicted
-  ASSERT_NE(cache.find(key(1)), nullptr);  // survived via promotion
-  ASSERT_NE(cache.find(key(3)), nullptr);
-  EXPECT_EQ(cache.find(key(3))->profile.latency, 3.0);
+  EXPECT_FALSE(cache.find(synthetic_key(2)).has_value());  // evicted
+  EXPECT_TRUE(cache.find(synthetic_key(1)).has_value());   // survived via promotion
+  ASSERT_TRUE(cache.find(synthetic_key(3)).has_value());
+  EXPECT_EQ(cache.find(synthetic_key(3))->profile.latency, 3.0);
 
   // Overwriting an existing key neither grows nor evicts.
-  cache.insert(key(3), entry(30.0));
+  cache.insert(synthetic_key(3), synthetic_entry(30.0));
   EXPECT_EQ(cache.size(), 2u);
   EXPECT_EQ(counter("profile_cache.evictions"), 1.0);
-  EXPECT_EQ(cache.find(key(3))->profile.latency, 30.0);
+  EXPECT_EQ(cache.find(synthetic_key(3))->profile.latency, 30.0);
 
   cache.clear();
   EXPECT_EQ(cache.size(), 0u);
-  EXPECT_EQ(cache.find(key(1)), nullptr);
+  EXPECT_FALSE(cache.find(synthetic_key(1)).has_value());
+}
+
+TEST(ProfileCache, FindCopySurvivesInsertAndClear) {
+  ProfileCache cache(2);
+  cache.insert(synthetic_key(1), synthetic_entry(1.0));
+  const std::optional<CachedProfile> hit = cache.find(synthetic_key(1));
+  ASSERT_TRUE(hit.has_value());
+
+  // Force eviction and a full clear; the copied-out value must be unaffected
+  // (the old pointer-returning API dangled here).
+  cache.insert(synthetic_key(2), synthetic_entry(2.0));
+  cache.insert(synthetic_key(3), synthetic_entry(3.0));
+  cache.clear();
+  EXPECT_EQ(hit->profile.latency, 1.0);
 }
 
 TEST(ProfileCache, InfeasibleConfigurationsThrowAndAreNotCached) {

@@ -2,10 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
 #include <cmath>
+#include <vector>
 
 #include "util/require.hpp"
+#include "util/rng.hpp"
 
 namespace kami {
 namespace {
@@ -49,6 +52,57 @@ TEST(Stats, EmptyInputRejected) {
 TEST(Stats, RelativeError) {
   EXPECT_NEAR(relative_error(101.0, 100.0), 0.01, 1e-12);
   EXPECT_NEAR(relative_error(0.0, 0.0), 0.0, 1e-12);
+}
+
+TEST(Stats, StddevRequiresTwoSamples) {
+  // Sample standard deviation divides by n-1; a single observation has no
+  // spread and must be rejected, not return 0/0.
+  const std::array<double, 1> one{5.0};
+  EXPECT_THROW((void)stddev(one), PreconditionError);
+}
+
+TEST(Stats, MedianIsPermutationInvariant) {
+  Rng rng(91);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + rng.uniform_index(12);
+    std::vector<double> xs(n);
+    for (double& x : xs) x = rng.uniform(-100.0, 100.0);
+    const double expected = median(xs);
+    for (int shuffle = 0; shuffle < 4; ++shuffle) {
+      for (std::size_t i = n; i > 1; --i)
+        std::swap(xs[i - 1], xs[rng.uniform_index(i)]);
+      EXPECT_DOUBLE_EQ(median(xs), expected) << "n=" << n;
+    }
+  }
+}
+
+TEST(Stats, MedianSplitsSortedOrder) {
+  // Property over random inputs: odd n picks the middle order statistic,
+  // even n averages the two middle ones.
+  Rng rng(92);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + rng.uniform_index(15);
+    std::vector<double> xs(n);
+    for (double& x : xs) x = rng.uniform(-10.0, 10.0);
+    std::vector<double> sorted = xs;
+    std::sort(sorted.begin(), sorted.end());
+    const double expected = (n % 2 == 1)
+                                ? sorted[n / 2]
+                                : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+    EXPECT_DOUBLE_EQ(median(xs), expected) << "n=" << n;
+  }
+}
+
+TEST(Stats, RelativeErrorClampsNearZeroDenominator) {
+  // The denominator is max(|b|, 1e-300): errors against a (near-)zero
+  // reference stay finite instead of dividing by zero.
+  EXPECT_FALSE(std::isinf(relative_error(1.0, 0.0)));
+  EXPECT_FALSE(std::isnan(relative_error(0.0, 0.0)));
+  EXPECT_DOUBLE_EQ(relative_error(1e-300, 0.0), 1.0);
+  // A subnormal reference clamps to the same 1e-300 denominator as zero.
+  EXPECT_NEAR(relative_error(2.5e-300, 1e-310), 2.5, 1e-9);
+  // Above the clamp the usual definition applies.
+  EXPECT_DOUBLE_EQ(relative_error(2e-200, 1e-200), 1.0);
 }
 
 }  // namespace

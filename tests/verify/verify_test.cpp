@@ -1,0 +1,162 @@
+// The verify subsystem's own tests: point serialization round-trips, the
+// curated smoke suite passes, fuzzing is deterministic (so `kami_verify
+// repro <seed>` really replays a failure), and injected cycle-accounting
+// faults are caught by the invariant layer — the acceptance test that the
+// checks fire, not just compile.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/kami.hpp"
+#include "sim/trace.hpp"
+#include "verify/differential.hpp"
+#include "verify/invariants.hpp"
+
+namespace kami::verify {
+namespace {
+
+TEST(CheckPointSpec, RoundTripsThroughString) {
+  for (const CheckPoint& p : smoke_points()) {
+    const std::string spec = to_string(p);
+    EXPECT_EQ(to_string(point_from_string(spec)), spec);
+  }
+  for (std::uint64_t seed : {1ull, 7ull, 99ull, 123456789ull}) {
+    const CheckPoint p = random_point(seed);
+    const std::string spec = to_string(p);
+    EXPECT_EQ(to_string(point_from_string(spec)), spec);
+  }
+}
+
+TEST(CheckPointSpec, EncodesDeviceNameSpaces) {
+  CheckPoint p;
+  p.device = "RTX 5090";
+  const std::string spec = to_string(p);
+  EXPECT_EQ(spec.find(' '), spec.find(" prec="));  // no space inside the name
+  EXPECT_EQ(point_from_string(spec).device, "RTX 5090");
+}
+
+TEST(CheckPointSpec, RejectsMalformedSpecs) {
+  EXPECT_THROW((void)point_from_string("device=GH200 bogus_key=1"),
+               PreconditionError);
+  EXPECT_THROW((void)point_from_string("device=GH200 m"), PreconditionError);
+}
+
+TEST(Differential, SmokeSuitePasses) {
+  for (const CheckPoint& p : smoke_points()) {
+    const CheckResult r = check_point(p);
+    EXPECT_TRUE(r.ok) << to_string(p) << ": " << r.detail;
+  }
+}
+
+TEST(Differential, UnsupportedPrecisionIsASkipNotAFailure) {
+  CheckPoint p;
+  p.device = "RTX 5090";  // no FP64 tensor path
+  p.precision = Precision::FP64;
+  const CheckResult r = check_point(p);
+  EXPECT_TRUE(r.ok);
+  EXPECT_TRUE(r.skipped);
+}
+
+TEST(Differential, InfeasiblePointIsASkipNotAFailure) {
+  CheckPoint p;
+  p.algo = core::Algo::ThreeD;
+  p.options.warps = 27;  // 3x3x3 grid cannot divide 64^3
+  const CheckResult r = check_point(p);
+  EXPECT_TRUE(r.ok);
+  EXPECT_TRUE(r.skipped) << r.detail;
+}
+
+TEST(Fuzz, SameSeedSameOutcome) {
+  const FuzzReport a = run_fuzz(5, 8);
+  const FuzzReport b = run_fuzz(5, 8);
+  EXPECT_EQ(a.ran, b.ran);
+  EXPECT_EQ(a.passed, b.passed);
+  EXPECT_EQ(a.skipped, b.skipped);
+  ASSERT_EQ(a.failures.size(), b.failures.size());
+  for (std::size_t i = 0; i < a.failures.size(); ++i) {
+    EXPECT_EQ(a.failures[i].seed, b.failures[i].seed);
+    EXPECT_EQ(a.failures[i].detail, b.failures[i].detail);
+  }
+  // And the generator itself is stable, which is what repro relies on.
+  EXPECT_EQ(to_string(random_point(5)), to_string(random_point(5)));
+}
+
+TEST(Fuzz, ShortRunIsClean) {
+  const FuzzReport rep = run_fuzz(1, 10);
+  EXPECT_EQ(rep.ran, 10u);
+  EXPECT_TRUE(rep.failures.empty())
+      << rep.failures.front().seed << ": " << rep.failures.front().detail;
+}
+
+#if KAMI_CHECK_INVARIANTS
+
+GemmResult<fp16_t> small_gemm() {
+  const Matrix<fp16_t> A(32, 32), B(32, 32);
+  return gemm(core::Algo::OneD, sim::gh200(), A, B);
+}
+
+TEST(Invariants, WarpClockRewindIsCaught) {
+  // A huge negative skew makes some op's end time precede the warp clock;
+  // the monotonicity invariant must fire as InvariantViolation (never as
+  // PreconditionError, which callers treat as "infeasible").
+  FaultHooks hooks;
+  hooks.warp_advance_skew = -1e9;
+  const ScopedFault fault(hooks);
+  EXPECT_THROW((void)small_gemm(), InvariantViolation);
+}
+
+TEST(Invariants, PortBusyOverchargeIsCaught) {
+  // Charging more busy cycles than the timeline reserved breaks the
+  // conservation invariant busy <= free_at.
+  FaultHooks hooks;
+  hooks.port_busy_skew = 1e6;
+  const ScopedFault fault(hooks);
+  EXPECT_THROW((void)small_gemm(), InvariantViolation);
+}
+
+TEST(Invariants, ScopedFaultRestoresCleanState) {
+  {
+    FaultHooks hooks;
+    hooks.warp_advance_skew = -1e9;
+    const ScopedFault fault(hooks);
+    EXPECT_THROW((void)small_gemm(), InvariantViolation);
+  }
+  EXPECT_NO_THROW((void)small_gemm());  // hooks restored on unwind
+}
+
+TEST(Invariants, SelftestReportsClean) { EXPECT_EQ(invariant_selftest(), ""); }
+
+TEST(Invariants, MalformedTraceEventsAreRejected) {
+  sim::Trace trace;
+  sim::TraceEvent ok;
+  ok.warp = 0;
+  ok.issue = 1.0;
+  ok.start = 2.0;
+  ok.end = 3.0;
+  EXPECT_NO_THROW(trace.record(ok));
+
+  sim::TraceEvent negative_warp = ok;
+  negative_warp.warp = -1;
+  EXPECT_THROW(trace.record(negative_warp), InvariantViolation);
+
+  sim::TraceEvent inverted = ok;
+  inverted.start = 4.0;  // start > end
+  EXPECT_THROW(trace.record(inverted), InvariantViolation);
+
+  sim::TraceEvent out_of_order = ok;
+  out_of_order.issue = 0.5;  // earlier than warp 0's last issue (1.0)
+  out_of_order.start = 1.0;
+  out_of_order.end = 1.0;
+  EXPECT_THROW(trace.record(out_of_order), InvariantViolation);
+
+  // A different warp keeps its own watermark.
+  sim::TraceEvent other_warp = out_of_order;
+  other_warp.warp = 3;
+  EXPECT_NO_THROW(trace.record(other_warp));
+}
+
+#endif  // KAMI_CHECK_INVARIANTS
+
+}  // namespace
+}  // namespace kami::verify
