@@ -43,7 +43,9 @@ TuneResult autotune_gemm(const sim::DeviceSpec& dev, std::size_t m, std::size_t 
                          std::size_t k, std::size_t blocks = 16384,
                          const std::vector<TuneCandidate>& candidates =
                              default_candidates()) {
-  KAMI_REQUIRE(m > 0 && n > 0 && k > 0);
+  KAMI_REQUIRE(m > 0 && n > 0 && k > 0,
+               "matrix dimensions must be positive, got m=" + std::to_string(m) +
+                   " n=" + std::to_string(n) + " k=" + std::to_string(k));
   auto& metrics = obs::MetricRegistry::global();
   metrics.counter("autotune.runs").increment();
   obs::Counter& evaluated = metrics.counter("autotune.candidates_evaluated");
@@ -75,7 +77,10 @@ TuneResult autotune_gemm(const sim::DeviceSpec& dev, std::size_t m, std::size_t 
       infeasible.increment();
     }
   }
-  KAMI_REQUIRE(best.evaluated > 0, "no feasible configuration for this shape");
+  KAMI_REQUIRE(best.evaluated > 0,
+               "no feasible configuration for m=" + std::to_string(m) + " n=" +
+                   std::to_string(n) + " k=" + std::to_string(k) + " on " + dev.name +
+                   " (" + std::to_string(candidates.size()) + " candidates tried)");
   return best;
 }
 

@@ -18,6 +18,7 @@
 #include <cmath>
 #include <map>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/kami.hpp"
@@ -45,7 +46,7 @@ template <Scalar T>
 BatchedPerf kami_batched_perf(const sim::DeviceSpec& dev, std::size_t m, std::size_t n,
                               std::size_t k, std::size_t batch, Algo algo = Algo::OneD,
                               GemmOptions opt = {}) {
-  KAMI_REQUIRE(batch >= 1);
+  KAMI_REQUIRE(batch >= 1, "perf extrapolation needs at least one block, got batch=0");
   opt.charge_global_io = true;
   // Only the cycle profile is consumed, so one TimingOnly simulation —
   // served by the profile cache across sweep points — replaces the old
@@ -70,8 +71,12 @@ BatchedResult<T> kami_batched_gemm(const sim::DeviceSpec& dev,
                                    std::span<const Matrix<T>> As,
                                    std::span<const Matrix<T>> Bs,
                                    Algo algo = Algo::OneD, GemmOptions opt = {}) {
-  KAMI_REQUIRE(As.size() == Bs.size(), "batch lists must have equal length");
-  KAMI_REQUIRE(!As.empty());
+  KAMI_REQUIRE(As.size() == Bs.size(),
+               "batch lists must have equal length, got " + std::to_string(As.size()) +
+                   " A matrices and " + std::to_string(Bs.size()) + " B matrices");
+  // An empty batch is a well-defined no-op (no products, only launch setup),
+  // identically in every execution mode — not an error.
+  if (As.empty()) return BatchedResult<T>{{}, kKamiBatchSetupSeconds, 0.0};
   opt.charge_global_io = true;
 
   BatchedResult<T> out;
@@ -136,13 +141,20 @@ template <Scalar T>
 Matrix<T> kami_gemm_strided_batched(const sim::DeviceSpec& dev, const Matrix<T>& Astack,
                                     const Matrix<T>& Bstack, std::size_t batch,
                                     Algo algo = Algo::OneD, GemmOptions opt = {}) {
-  KAMI_REQUIRE(batch >= 1);
+  KAMI_REQUIRE(batch >= 1, "strided batch must be non-empty, got batch=0 (stacked "
+                           "operands cannot define a block shape)");
   KAMI_REQUIRE(Astack.rows() % batch == 0 && Bstack.rows() % batch == 0,
-               "stacked operand heights must be multiples of the batch size");
+               "stacked operand heights must be multiples of the batch size: A is " +
+                   std::to_string(Astack.rows()) + " rows, B is " +
+                   std::to_string(Bstack.rows()) + " rows, batch=" +
+                   std::to_string(batch));
   const std::size_t m = Astack.rows() / batch;
   const std::size_t k = Astack.cols();
   const std::size_t n = Bstack.cols();
-  KAMI_REQUIRE(Bstack.rows() / batch == k, "inner dimensions must agree");
+  KAMI_REQUIRE(Bstack.rows() / batch == k,
+               "inner dimensions must agree: A blocks are " + std::to_string(m) + "x" +
+                   std::to_string(k) + " but B blocks are " +
+                   std::to_string(Bstack.rows() / batch) + "x" + std::to_string(n));
 
   // Matrices are row-major and contiguous, so each stacked block is one
   // contiguous range: stack/unstack are single bulk copies per matrix.

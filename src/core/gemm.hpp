@@ -50,6 +50,15 @@ struct GemmOptions {
   /// Record a hierarchical phase profile (obs/region.hpp) keyed to simulated
   /// cycles into GemmResult::regions.
   bool record_regions = false;
+
+  /// Simulated-cycle budget for the whole kernel (0 = unlimited). The op
+  /// that pushes any warp's clock past the budget throws
+  /// sim::DeadlineExceeded at a deterministic point — the serving layer's
+  /// watchdog against runaway simulations. Only timed modes can trip it
+  /// (NumericsOnly never advances a clock), and it is excluded from the
+  /// ProfileKey: a run that finishes under its deadline has exactly the
+  /// profile an unbounded run would.
+  double deadline_cycles = 0.0;
 };
 
 template <Scalar T>

@@ -12,6 +12,8 @@
 // sparse kernels in sparse/.
 #pragma once
 
+#include <string>
+
 #include "core/gemm.hpp"
 #include "core/kami_1d.hpp"
 #include "core/kami_2d.hpp"
@@ -32,7 +34,9 @@ GemmResult<T> gemm(Algo algo, const sim::DeviceSpec& dev, const Matrix<T>& A,
     case Algo::TwoD: return core::kami_2d_gemm(dev, A, B, opt);
     case Algo::ThreeD: return core::kami_3d_gemm(dev, A, B, opt);
   }
-  throw PreconditionError("unknown algorithm");
+  throw PreconditionError("unknown algorithm: " +
+                          std::to_string(static_cast<int>(algo)) +
+                          " is not one of Algo::OneD(0)/TwoD(1)/ThreeD(2)");
 }
 
 const char* algo_name(Algo algo) noexcept;

@@ -55,6 +55,7 @@ GemmResult<T> kami_1d_gemm(const sim::DeviceSpec& dev, const Matrix<T>& A,
   const std::size_t q = (stripes + p - 1) / p;    // stripes per owner warp
 
   sim::ThreadBlock blk(dev, plan.p, opt.mode);
+  blk.set_deadline(opt.deadline_cycles);
   if (opt.record_trace) blk.enable_trace();
 
   // Optional phase profile keyed to the block's simulated clock. The

@@ -40,6 +40,7 @@ GemmResult<T> kami_2d_gemm(const sim::DeviceSpec& dev, const Matrix<T>& A,
   const std::size_t slices = kb / plan.slice_w;
 
   sim::ThreadBlock blk(dev, plan.p, opt.mode);
+  blk.set_deadline(opt.deadline_cycles);
   if (opt.record_trace) blk.enable_trace();
 
   std::shared_ptr<obs::RegionProfiler> regions;

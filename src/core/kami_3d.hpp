@@ -60,6 +60,7 @@ GemmResult<T> kami_3d_gemm(const sim::DeviceSpec& dev, const Matrix<T>& A,
   const std::size_t nc = plan.n_chunk == 0 ? nb : plan.n_chunk;  // C chunk width
 
   sim::ThreadBlock blk(dev, plan.p, opt.mode);
+  blk.set_deadline(opt.deadline_cycles);
   if (opt.record_trace) blk.enable_trace();
 
   std::shared_ptr<obs::RegionProfiler> regions;

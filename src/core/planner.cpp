@@ -19,12 +19,14 @@ int grid_of(Algo algo, int p) {
     case Algo::OneD: return p;
     case Algo::TwoD: {
       const int q = static_cast<int>(std::lround(std::sqrt(static_cast<double>(p))));
-      KAMI_REQUIRE(q * q == p, "2D algorithm requires a perfect-square warp count");
+      KAMI_REQUIRE(q * q == p, "2D algorithm requires a perfect-square warp count, got p=" +
+                                   std::to_string(p));
       return q;
     }
     case Algo::ThreeD: {
       const int c = static_cast<int>(std::lround(std::cbrt(static_cast<double>(p))));
-      KAMI_REQUIRE(c * c * c == p, "3D algorithm requires a perfect-cube warp count");
+      KAMI_REQUIRE(c * c * c == p, "3D algorithm requires a perfect-cube warp count, got p=" +
+                                       std::to_string(p));
       return c;
     }
   }
@@ -147,7 +149,9 @@ std::size_t register_demand_bytes(const Plan& plan, Precision prec, std::size_t 
 
 Plan plan_gemm(Algo algo, const sim::DeviceSpec& dev, Precision prec, std::size_t m,
                std::size_t n, std::size_t k, const GemmOptions& opt) {
-  KAMI_REQUIRE(m > 0 && n > 0 && k > 0, "matrix dimensions must be positive");
+  KAMI_REQUIRE(m > 0 && n > 0 && k > 0,
+               "matrix dimensions must be positive, got m=" + std::to_string(m) +
+                   " n=" + std::to_string(n) + " k=" + std::to_string(k));
   KAMI_REQUIRE(dev.supports(prec),
                std::string(precision_name(prec)) + " not supported on " + dev.name);
 
@@ -175,7 +179,13 @@ Plan plan_gemm(Algo algo, const sim::DeviceSpec& dev, Precision prec, std::size_
   for (std::size_t s = opt.slice_pref / 2; s >= 4; s /= 2) slice_prefs.push_back(s);
 
   const std::size_t capacity = dev.reg_bytes_per_warp();
-  std::string last_error = "no warp candidate divides the problem shape";
+  std::string last_error =
+      opt.warps > 0
+          ? "warp count p=" + std::to_string(opt.warps) +
+                " does not divide the problem shape (1D needs m % grid == 0; "
+                "2D/3D need m, n, k % grid == 0)"
+          : "no warp candidate divides the problem shape (1D needs m % grid == 0; "
+            "2D/3D need m, n, k % grid == 0)";
   std::vector<std::size_t> chunk_candidates{0};
   if (algo == Algo::ThreeD) chunk_candidates.push_back(16);
 
@@ -224,7 +234,13 @@ Plan plan_gemm(Algo algo, const sim::DeviceSpec& dev, Precision prec, std::size_
     }
   }
   metrics.counter("planner.infeasible").increment();
-  throw sim::RegisterOverflow("no feasible launch plan: " + last_error);
+  // Name the request alongside the failed constraint so callers (and chaos
+  // logs) can reproduce the rejection without a debugger.
+  const char* algo_tag = algo == Algo::OneD ? "1d" : (algo == Algo::TwoD ? "2d" : "3d");
+  throw sim::RegisterOverflow(
+      "no feasible launch plan for algo=" + std::string(algo_tag) + " prec=" +
+      precision_name(prec) + " m=" + std::to_string(m) + " n=" + std::to_string(n) +
+      " k=" + std::to_string(k) + " on " + dev.name + ": " + last_error);
 }
 
 }  // namespace kami::core

@@ -31,8 +31,11 @@
 namespace kami::core {
 
 /// Everything that can change a kernel's cycle profile. Options fields that
-/// only affect reporting (record_trace/record_regions/mode) are excluded;
-/// tuning fields are stored planner-resolved (see ProfileKey::make).
+/// only affect reporting (record_trace/record_regions/mode) are excluded, as
+/// is deadline_cycles: a run that finishes under its deadline produces
+/// exactly the profile an unbounded run would, and a run that does not never
+/// reaches insert() below. Tuning fields are stored planner-resolved (see
+/// ProfileKey::make).
 struct ProfileKey {
   std::string device;
   Precision precision = Precision::FP16;
@@ -109,6 +112,12 @@ class ProfileCache {
 /// produced by one TimingOnly simulation on zero-filled operands (values
 /// cannot affect timing). Throws PreconditionError for infeasible
 /// configurations, exactly as the Full kernel would.
+///
+/// Exception safety: the simulation runs to completion *before* insert(), so
+/// a run that throws mid-execution (planner rejection, injected fault,
+/// deadline abort) leaves the cache untouched — there is no partial or
+/// poisoned entry to serve later callers (regression-tested in
+/// tests/core/profile_cache_test.cpp).
 template <Scalar T>
 CachedProfile timing_profile(ProfileCache& cache, Algo algo, const sim::DeviceSpec& dev,
                              std::size_t m, std::size_t n, std::size_t k,

@@ -1,0 +1,268 @@
+#include "serve/chaos.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <iomanip>
+#include <sstream>
+
+#include "baselines/reference.hpp"
+#include "util/rng.hpp"
+
+namespace kami::serve {
+namespace {
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os << std::setprecision(17) << v;
+  return os.str();
+}
+
+template <Scalar T>
+bool bits_equal(const Matrix<T>& a, const Matrix<T>& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(T)) == 0;
+}
+
+/// Same table as verify::check_point's KAMI-3D comparison (scaled by k).
+double reference_tolerance(Precision p) {
+  switch (p) {
+    case Precision::FP64: return 1e-12;
+    case Precision::FP32: return 1e-5;
+    case Precision::TF32: return 1e-2;
+    case Precision::FP16: return 1e-2;
+    case Precision::BF16: return 1e-1;
+    case Precision::FP8E4M3: return 8e-2;
+  }
+  return 1e-2;
+}
+
+verify::FaultHooks hooks_for(const ChaosPoint& p) {
+  verify::FaultHooks hooks;
+  hooks.armed_runs = 0;  // start disarmed; each case arms exactly its fault
+  switch (p.fault) {
+    case ChaosFault::None:
+      break;
+    case ChaosFault::TransientWarpSkew:
+      hooks.warp_advance_skew = -1e9;
+      hooks.armed_runs = 1;
+      break;
+    case ChaosFault::TransientPortSkew:
+      hooks.port_busy_skew = 1.0;
+      hooks.armed_runs = 1;
+      break;
+    case ChaosFault::PermanentWarpSkew:
+      hooks.warp_advance_skew = -1e9;
+      hooks.armed_runs = -1;
+      break;
+    case ChaosFault::AllocFailure:
+      hooks.alloc_fail_countdown = p.alloc_countdown;
+      break;
+  }
+  return hooks;
+}
+
+template <Scalar T>
+ChaosOutcome run_impl(GemmServer& server, const ChaosPoint& p) {
+  ChaosOutcome out;
+  const sim::DeviceSpec& dev = sim::device_by_name(p.base.device);
+  if (!dev.supports(num_traits<T>::precision)) {
+    out.rung_label = "skipped_unsupported";
+    return out;  // random_point never produces these; belt and braces
+  }
+
+  Rng rng(p.base.data_seed);
+  const Matrix<T> A = random_matrix<T>(p.base.m, p.base.k, rng);
+  const Matrix<T> B = random_matrix<T>(p.base.k, p.base.n, rng);
+
+  core::GemmOptions opt = p.base.options;
+  opt.mode = p.mode;
+  opt.record_trace = false;
+  opt.record_regions = false;
+  opt.deadline_cycles = p.deadline_cycles;
+
+  ServeResult<T> res;
+  {
+    const verify::ScopedFault guard(hooks_for(p));
+    try {
+      res = server.serve<T>(p.base.algo, dev, A, B, opt);
+    } catch (const std::exception& e) {
+      out.violation = true;
+      out.detail = std::string("exception escaped serve(): ") + e.what();
+      out.rung_label = "crash";
+      return out;
+    } catch (...) {
+      out.violation = true;
+      out.detail = "non-std exception escaped serve()";
+      out.rung_label = "crash";
+      return out;
+    }
+  }
+  out.code = res.code;
+  out.message = res.message;
+
+  if (res.ok()) {
+    out.rung_label = res.rung_label;
+    // Bit-correctness: a degraded or fault-retried result must be exactly
+    // what a clean run would have produced. TimingOnly KAMI rungs carry no
+    // numerics to check; the reference rung always computes.
+    const bool computed = res.from_reference || sim::mode_computes(p.mode);
+    if (!computed) return out;
+    if (res.from_reference || res.served != core::Algo::ThreeD) {
+      const Matrix<T> ref = baselines::reference_gemm(A, B);
+      if (!bits_equal(res.C, ref)) {
+        out.violation = true;
+        out.detail = "silent corruption: " + res.rung_label +
+                     " result does not match the reference rounding model bit-for-bit";
+      }
+    } else {
+      const Matrix<double> ref = baselines::reference_gemm_fp64(A, B);
+      const double bound =
+          reference_tolerance(num_traits<T>::precision) * static_cast<double>(p.base.k);
+      const double err = max_abs_diff(res.C, ref);
+      if (!(err <= bound)) {
+        out.violation = true;
+        out.detail = "silent corruption: kami_3d deviates from the FP64 reference "
+                     "(max |delta| = " + fmt(err) + " > " + fmt(bound) + ")";
+      }
+    }
+    return out;
+  }
+
+  // Typed-failure contract.
+  out.rung_label = "error";
+  if (res.message.empty()) {
+    out.violation = true;
+    out.detail = std::string("typed error ") + error_code_name(res.code) +
+                 " carries an empty message";
+    return out;
+  }
+  if (res.code == ErrorCode::InternalInvariant) {
+    out.violation = true;
+    out.detail = "injected fault misclassified as a simulator bug: " + res.message;
+    return out;
+  }
+  if (res.code == ErrorCode::DeadlineExceeded && p.deadline_cycles <= 0.0) {
+    out.violation = true;
+    out.detail = "deadline error without a deadline: " + res.message;
+    return out;
+  }
+  return out;
+}
+
+ChaosOutcome dispatch(GemmServer& server, const ChaosPoint& p) {
+  switch (p.base.precision) {
+    case Precision::FP64: return run_impl<double>(server, p);
+    case Precision::FP32: return run_impl<float>(server, p);
+    case Precision::TF32: return run_impl<tf32_t>(server, p);
+    case Precision::FP16: return run_impl<fp16_t>(server, p);
+    case Precision::BF16: return run_impl<bf16_t>(server, p);
+    case Precision::FP8E4M3: return run_impl<fp8_e4m3_t>(server, p);
+  }
+  ChaosOutcome out;
+  out.violation = true;
+  out.detail = "unknown precision in chaos point";
+  out.rung_label = "crash";
+  return out;
+}
+
+}  // namespace
+
+const char* chaos_fault_name(ChaosFault f) noexcept {
+  switch (f) {
+    case ChaosFault::None: return "none";
+    case ChaosFault::TransientWarpSkew: return "transient_warp_skew";
+    case ChaosFault::TransientPortSkew: return "transient_port_skew";
+    case ChaosFault::PermanentWarpSkew: return "permanent_warp_skew";
+    case ChaosFault::AllocFailure: return "alloc_failure";
+  }
+  return "unknown";
+}
+
+ChaosPoint chaos_point(std::uint64_t seed) {
+  ChaosPoint p;
+  p.base = verify::random_point(seed);
+  // Independent stream for the chaos conditions so the underlying verify
+  // point is exactly the one `kami_verify repro <seed>` rebuilds.
+  Rng rng(seed ^ 0xC4A05C4A05ull);
+
+  const double fault_roll = rng.uniform();
+  if (fault_roll < 0.45) {
+    p.fault = ChaosFault::None;
+  } else if (fault_roll < 0.60) {
+    p.fault = ChaosFault::TransientWarpSkew;
+  } else if (fault_roll < 0.70) {
+    p.fault = ChaosFault::TransientPortSkew;
+  } else if (fault_roll < 0.82) {
+    p.fault = ChaosFault::PermanentWarpSkew;
+  } else {
+    p.fault = ChaosFault::AllocFailure;
+    p.alloc_countdown = static_cast<long long>(rng.uniform_index(4));
+  }
+
+  // Log-uniform deadlines straddle typical kernel latencies, so the campaign
+  // sees both deadline aborts and under-budget completions.
+  if (rng.bernoulli(0.3))
+    p.deadline_cycles = std::exp(rng.uniform(std::log(100.0), std::log(1e6)));
+
+  const double mode_roll = rng.uniform();
+  p.mode = mode_roll < 0.70  ? sim::ExecMode::Full
+           : mode_roll < 0.85 ? sim::ExecMode::TimingOnly
+                               : sim::ExecMode::NumericsOnly;
+  return p;
+}
+
+std::string to_string(const ChaosPoint& p) {
+  std::ostringstream os;
+  os << verify::to_string(p.base) << " fault=" << chaos_fault_name(p.fault);
+  if (p.fault == ChaosFault::AllocFailure) os << " alloc_countdown=" << p.alloc_countdown;
+  os << " deadline=" << fmt(p.deadline_cycles)
+     << " exec=" << sim::exec_mode_name(p.mode);
+  return os.str();
+}
+
+ChaosOutcome run_chaos_point(GemmServer& server, const ChaosPoint& p) {
+  ChaosOutcome out = dispatch(server, p);
+  if (out.violation || out.code != ErrorCode::DeadlineExceeded) return out;
+
+  // Deadline determinism: two fresh-server replays (no breaker state carried
+  // in from the campaign) must abort identically — same code, same abort
+  // point, byte-identical message.
+  ChaosOutcome replays[2];
+  for (int i = 0; i < 2; ++i) {
+    GemmServer fresh;
+    replays[i] = dispatch(fresh, p);
+  }
+  if (replays[0].code != replays[1].code || replays[0].message != replays[1].message) {
+    out.violation = true;
+    out.detail = "nondeterministic deadline abort: replays differ (" +
+                 std::string(error_code_name(replays[0].code)) + " \"" +
+                 replays[0].message + "\" vs " +
+                 std::string(error_code_name(replays[1].code)) + " \"" +
+                 replays[1].message + "\")";
+  }
+  return out;
+}
+
+ChaosReport run_chaos(std::uint64_t base_seed, std::size_t points) {
+  ChaosReport report;
+  GemmServer server;
+  for (std::size_t i = 0; i < points; ++i) {
+    const std::uint64_t seed = base_seed + i;
+    const ChaosPoint p = chaos_point(seed);
+    const ChaosOutcome o = run_chaos_point(server, p);
+    ++report.ran;
+    ++report.by_fault[chaos_fault_name(p.fault)];
+    ++report.by_rung[o.rung_label];
+    if (o.code == ErrorCode::Ok && !o.violation) ++report.served_ok;
+    if (o.code != ErrorCode::Ok) {
+      ++report.typed_errors;
+      ++report.by_code[error_code_name(o.code)];
+      if (o.code == ErrorCode::DeadlineExceeded) ++report.deadline_replays;
+    }
+    if (o.violation)
+      report.violations.push_back(ChaosViolation{seed, to_string(p), o.detail});
+  }
+  return report;
+}
+
+}  // namespace kami::serve

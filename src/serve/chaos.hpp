@@ -1,0 +1,96 @@
+// Chaos campaign: randomized resilience fuzzing of the serving layer.
+//
+// Each chaos point is a verify::CheckPoint (device, precision, algorithm,
+// shape, tuning, data seed) plus adversarial conditions: an injected fault
+// (transient or permanent cycle-accounting skew, a one-shot register
+// allocation failure), a randomized cycle deadline, and a randomized
+// execution mode. run_chaos_point() serves the point through a GemmServer
+// and checks the campaign's contract:
+//
+//   * no exception ever escapes serve() — typed ServeResult or nothing;
+//   * a successful result is bit-correct (KAMI-1D/2D and the reference rung
+//     match the reference rounding model bit-for-bit; KAMI-3D stays inside
+//     the precision tolerance vs the FP64 reference) — faults may slow or
+//     degrade a request but can never corrupt it;
+//   * a failed result carries a non-Ok code with a non-empty message, is
+//     never InternalInvariant (chaos injects faults only through armed
+//     sources, which classify as transient), and is DeadlineExceeded only
+//     when the point actually set a deadline;
+//   * deadline aborts are deterministic: two fresh-server replays of the
+//     same point abort at the same point with byte-identical messages.
+//
+// Points are generated from a seed (chaos_point), so every violation is
+// replayable: `kami_chaos --seed <s> --points 1`.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "serve/serve.hpp"
+#include "verify/differential.hpp"
+
+namespace kami::serve {
+
+enum class ChaosFault {
+  None,               ///< no injection: the point must serve on its merits
+  TransientWarpSkew,  ///< clock-rewind skew that clears after one failing run
+  TransientPortSkew,  ///< port double-charge skew that clears after one run
+  PermanentWarpSkew,  ///< clock-rewind skew on every run: only reference serves
+  AllocFailure,       ///< one-shot injected register-allocation failure
+};
+
+const char* chaos_fault_name(ChaosFault f) noexcept;
+
+struct ChaosPoint {
+  verify::CheckPoint base;
+  ChaosFault fault = ChaosFault::None;
+  long long alloc_countdown = -1;  ///< AllocFailure: which allocation fails
+  double deadline_cycles = 0.0;    ///< 0 = no deadline
+  sim::ExecMode mode = sim::ExecMode::Full;
+};
+
+/// Deterministic seed -> point generation (replays exactly).
+ChaosPoint chaos_point(std::uint64_t seed);
+
+/// One-line human-readable spec (verify spec + chaos fields).
+std::string to_string(const ChaosPoint& p);
+
+struct ChaosOutcome {
+  bool violation = false;  ///< contract broken (crash, corruption, bad typing)
+  std::string detail;      ///< violation description when violation
+  ErrorCode code = ErrorCode::Ok;
+  std::string message;     ///< the ServeResult's error message (typed failures)
+  std::string rung_label;  ///< rung that served, or "error"
+};
+
+/// Serve one point under its chaos conditions and check the contract.
+ChaosOutcome run_chaos_point(GemmServer& server, const ChaosPoint& p);
+
+struct ChaosViolation {
+  std::uint64_t seed = 0;
+  std::string point;   ///< to_string of the generated point
+  std::string detail;
+};
+
+struct ChaosReport {
+  std::size_t ran = 0;
+  std::size_t served_ok = 0;
+  std::size_t typed_errors = 0;
+  std::size_t deadline_replays = 0;  ///< determinism re-checks performed
+  std::map<std::string, std::size_t> by_code;   ///< error_code_name -> count
+  std::map<std::string, std::size_t> by_rung;   ///< rung label -> count
+  std::map<std::string, std::size_t> by_fault;  ///< injected fault -> count
+  std::vector<ChaosViolation> violations;
+
+  bool clean() const noexcept { return violations.empty(); }
+};
+
+/// Run points seeded base_seed, base_seed+1, ... through one shared server
+/// (so points interact through its circuit breakers, exactly like a real
+/// serving process under sustained faults).
+ChaosReport run_chaos(std::uint64_t base_seed, std::size_t points);
+
+}  // namespace kami::serve

@@ -1,0 +1,40 @@
+// Structured error taxonomy for the resilient serving layer.
+//
+// Every failure the library can produce collapses into one of these codes,
+// so callers route on an enum instead of string-matching exception text.
+// classify_exception() is the single mapping point from the exception
+// hierarchy (PreconditionError, sim::RegisterOverflow, sim::DeadlineExceeded,
+// verify::InvariantViolation, std::bad_alloc) into the taxonomy; the
+// GemmServer in serve/serve.hpp is the only component that should need it.
+#pragma once
+
+#include <exception>
+#include <string>
+
+namespace kami::serve {
+
+enum class ErrorCode {
+  Ok,                 ///< request served (possibly on a degraded rung)
+  InvalidRequest,     ///< malformed call: mismatched inner dimensions, unknown algo
+  InfeasiblePlan,     ///< no legal launch plan (divisibility / grid constraints)
+  ResourceExhausted,  ///< register file, shared memory, or host allocation failed
+  DeadlineExceeded,   ///< GemmOptions::deadline_cycles budget blown
+  TransientFault,     ///< injected/transient simulator fault; retryable
+  InternalInvariant,  ///< invariant violated with no fault source: a simulator bug
+};
+
+const char* error_code_name(ErrorCode code) noexcept;
+
+/// Map an in-flight exception to the taxonomy. Order matters: the most
+/// derived types are tested first (RegisterOverflow is a PreconditionError;
+/// an InvariantViolation only counts as transient while verify::FaultHooks
+/// has an armed fault source — otherwise it is a simulator bug).
+ErrorCode classify_exception(const std::exception_ptr& ep) noexcept;
+
+/// A typed error: the code plus the originating exception's message.
+struct ServeError {
+  ErrorCode code = ErrorCode::Ok;
+  std::string message;
+};
+
+}  // namespace kami::serve

@@ -1,0 +1,288 @@
+// GemmServer: the resilient execution layer around the KAMI kernels.
+//
+// A production caller cannot afford throw-on-first-error semantics: an
+// infeasible plan, an injected fault, or a runaway simulation must degrade,
+// retry, or fail *typed* — never crash, hang, or silently corrupt. serve()
+// wraps kami::gemm with four policies, generalizing the paper's §4.7
+// register -> shared-memory fallback into a system-wide discipline:
+//
+//   * degradation ladder — on infeasible or resource-exhausted plans the
+//     request walks KAMI-3D -> KAMI-2D -> KAMI-1D -> host reference GEMM
+//     (starting at the requested algorithm; tuning overrides are relaxed to
+//     planner-auto on degraded rungs). The rung that served is recorded in
+//     the returned ServeResult and in serve.served.* counters.
+//   * retry with bounded exponential backoff — transient faults (injected
+//     through verify::FaultHooks, the chaos campaign's fault source) are
+//     retried up to max_attempts_per_rung times per rung.
+//   * cycle-budget watchdog — GemmOptions::deadline_cycles aborts runaway
+//     simulations deterministically; deadline errors are terminal (the
+//     budget is spent — degrading would spend more) and surface as
+//     ErrorCode::DeadlineExceeded.
+//   * circuit breaker — per (device, precision, shape, algorithm) rung:
+//     after breaker_failure_threshold consecutive failures the rung is
+//     skipped outright (straight to the next rung) for
+//     breaker_cooldown_requests requests, then a half-open probe decides
+//     whether to close it again.
+//
+// Everything is deterministic: same request + same fault state => same
+// result, same rung, same error message.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "baselines/reference.hpp"
+#include "core/kami.hpp"
+#include "obs/metrics.hpp"
+#include "serve/error.hpp"
+#include "sim/device.hpp"
+#include "verify/invariants.hpp"
+
+namespace kami::serve {
+
+struct ServeConfig {
+  bool allow_degradation = true;        ///< walk lower rungs on plan failures
+  bool allow_reference_fallback = true; ///< host reference GEMM as the last rung
+  int max_attempts_per_rung = 3;        ///< 1 initial try + 2 transient-fault retries
+  /// Host-side exponential backoff between transient-fault retries:
+  /// min(backoff_base_ms * 2^(attempt-1), backoff_max_ms), published to the
+  /// serve.backoff_ms counter. 0 (the default — simulated faults clear
+  /// instantly) disables the wait entirely.
+  double backoff_base_ms = 0.0;
+  double backoff_max_ms = 8.0;
+  int breaker_failure_threshold = 3;    ///< consecutive failures that trip a rung
+  int breaker_cooldown_requests = 8;    ///< open requests before a half-open probe
+};
+
+enum class BreakerState { Closed, Open, HalfOpen };
+
+const char* breaker_state_name(BreakerState s) noexcept;
+
+template <Scalar T>
+struct ServeResult {
+  ErrorCode code = ErrorCode::InternalInvariant;
+  std::string message;       ///< empty on success, failure detail otherwise
+  Matrix<T> C;               ///< valid when ok()
+  sim::KernelProfile profile;  ///< zero when served by reference or degenerate
+  core::Algo requested = core::Algo::OneD;
+  core::Algo served = core::Algo::OneD;  ///< meaningful when ok() && !from_reference
+  std::string rung_label;    ///< "kami_3d" / "kami_2d" / "kami_1d" / "reference" / "degenerate"
+  bool from_reference = false;
+  bool degenerate = false;   ///< zero-dimension request served trivially
+  bool degraded = false;     ///< served below the requested rung
+  int rung = -1;             ///< ladder index that served (0 = requested algo)
+  int attempts = 0;          ///< kernel attempts across all rungs
+  int warps = 0;
+  double smem_ratio = 0.0;
+
+  bool ok() const noexcept { return code == ErrorCode::Ok; }
+};
+
+class GemmServer {
+ public:
+  explicit GemmServer(ServeConfig cfg = {}) : cfg_(cfg) {}
+
+  template <Scalar T>
+  ServeResult<T> serve(core::Algo algo, const sim::DeviceSpec& dev, const Matrix<T>& A,
+                       const Matrix<T>& B, core::GemmOptions opt = {});
+
+  const ServeConfig& config() const noexcept { return cfg_; }
+
+  /// Breaker state for one rung key (for tests and dashboards).
+  BreakerState breaker_state(const std::string& device, core::Algo algo, Precision prec,
+                             std::size_t m, std::size_t n, std::size_t k) const;
+
+  /// Drop all breaker state (e.g. between chaos campaign phases).
+  void reset_breakers();
+
+  /// The process-wide server library-level callers share.
+  static GemmServer& global();
+
+ private:
+  struct RungKey {
+    std::string device;
+    core::Algo algo = core::Algo::OneD;
+    Precision prec = Precision::FP16;
+    std::size_t m = 0, n = 0, k = 0;
+    friend auto operator<=>(const RungKey&, const RungKey&) = default;
+  };
+  struct Breaker {
+    BreakerState state = BreakerState::Closed;
+    int consecutive_failures = 0;
+    int cooldown_remaining = 0;
+    ErrorCode last_code = ErrorCode::InfeasiblePlan;  ///< reported on short-circuit
+    std::string last_message;
+  };
+
+  /// One rung of the degradation ladder.
+  struct Rung {
+    bool reference = false;
+    core::Algo algo = core::Algo::OneD;
+    const char* label = "";
+  };
+
+  static std::vector<Rung> build_ladder(core::Algo requested, const ServeConfig& cfg);
+
+  /// Admission decision: true = run the rung (Closed, or Open whose cooldown
+  /// just expired — the half-open probe). False = short-circuit; *out gets
+  /// the breaker's stored failure for the typed error.
+  bool breaker_admit(const RungKey& key, ServeError* out);
+  void breaker_record(const RungKey& key, bool success, ErrorCode code,
+                      const std::string& message);
+
+  /// Sleep (when configured) and publish the bounded exponential backoff for
+  /// retry number `attempt` (1-based count of the attempt that just failed).
+  void backoff(int attempt) const;
+
+  ServeConfig cfg_;
+  mutable std::mutex mu_;
+  std::map<RungKey, Breaker> breakers_;
+};
+
+// ---------------------------------------------------------------------------
+// implementation
+
+template <Scalar T>
+ServeResult<T> GemmServer::serve(core::Algo algo, const sim::DeviceSpec& dev,
+                                 const Matrix<T>& A, const Matrix<T>& B,
+                                 core::GemmOptions opt) {
+  auto& metrics = obs::MetricRegistry::global();
+  metrics.counter("serve.requests").increment();
+
+  ServeResult<T> out;
+  out.requested = algo;
+
+  const auto fail = [&](ErrorCode code, const std::string& message) {
+    out.code = code;
+    out.message = message;
+    metrics.counter("serve.errors").increment();
+    metrics.counter(std::string("serve.error.") + error_code_name(code)).increment();
+    return out;
+  };
+
+  // -- request validation: typed errors, never exceptions.
+  if (algo != core::Algo::OneD && algo != core::Algo::TwoD && algo != core::Algo::ThreeD)
+    return fail(ErrorCode::InvalidRequest,
+                "unknown algorithm: " + std::to_string(static_cast<int>(algo)));
+  if (A.cols() != B.rows())
+    return fail(ErrorCode::InvalidRequest,
+                "inner dimensions disagree: A is " + std::to_string(A.rows()) + "x" +
+                    std::to_string(A.cols()) + " but B is " + std::to_string(B.rows()) +
+                    "x" + std::to_string(B.cols()));
+
+  const std::size_t m = A.rows(), k = A.cols(), n = B.cols();
+
+  // -- degenerate shapes are well-defined, mode-independent no-ops: an empty
+  // product (m or n zero) or an empty reduction (k zero, C = 0).
+  if (m == 0 || n == 0 || k == 0) {
+    out.code = ErrorCode::Ok;
+    out.C = Matrix<T>(m, n);  // zero-filled
+    out.degenerate = true;
+    out.rung_label = "degenerate";
+    out.rung = 0;
+    metrics.counter("serve.ok").increment();
+    metrics.counter("serve.served.degenerate").increment();
+    return out;
+  }
+
+  const std::vector<Rung> ladder = build_ladder(algo, cfg_);
+  ServeError last{ErrorCode::InfeasiblePlan, "no rung admitted the request"};
+
+  for (std::size_t r = 0; r < ladder.size(); ++r) {
+    const Rung& rung = ladder[r];
+    const RungKey key{dev.name, rung.algo, num_traits<T>::precision, m, n, k};
+
+    if (!rung.reference) {
+      ServeError short_circuit;
+      if (!breaker_admit(key, &short_circuit)) {
+        last = short_circuit;
+        continue;  // breaker open: route straight to the next rung
+      }
+    }
+
+    // Tuning overrides were chosen for the requested configuration; degraded
+    // rungs fall back to the planner's auto selection.
+    core::GemmOptions ropt = opt;
+    if (r > 0) {
+      ropt.warps = 0;
+      ropt.smem_ratio = -1.0;
+    }
+
+    if (rung.reference) {
+      ++out.attempts;
+      out.code = ErrorCode::Ok;
+      out.C = baselines::reference_gemm(A, B);
+      out.from_reference = true;
+      out.degraded = true;
+      out.rung = static_cast<int>(r);
+      out.rung_label = rung.label;
+      metrics.counter("serve.ok").increment();
+      metrics.counter("serve.degraded").increment();
+      metrics.counter("serve.served.reference").increment();
+      metrics.histogram("serve.rung").observe(static_cast<double>(r));
+      return out;
+    }
+
+    for (int attempt = 1; attempt <= cfg_.max_attempts_per_rung; ++attempt) {
+      ++out.attempts;
+      try {
+        core::GemmResult<T> res = kami::gemm(rung.algo, dev, A, B, ropt);
+        breaker_record(key, true, ErrorCode::Ok, "");
+        out.code = ErrorCode::Ok;
+        out.C = std::move(res.C);
+        out.profile = res.profile;
+        out.served = rung.algo;
+        out.degraded = r > 0;
+        out.rung = static_cast<int>(r);
+        out.rung_label = rung.label;
+        out.warps = res.warps;
+        out.smem_ratio = res.smem_ratio;
+        metrics.counter("serve.ok").increment();
+        if (out.degraded) metrics.counter("serve.degraded").increment();
+        metrics.counter(std::string("serve.served.") + rung.label).increment();
+        metrics.histogram("serve.rung").observe(static_cast<double>(r));
+        return out;
+      } catch (...) {
+        const ErrorCode code = classify_exception(std::current_exception());
+        std::string message = "(unknown failure)";
+        try {
+          throw;
+        } catch (const std::exception& e) {
+          message = e.what();
+        } catch (...) {
+        }
+
+        if (code == ErrorCode::DeadlineExceeded) {
+          // The cycle budget is spent; a lower rung would spend more. Typed,
+          // terminal, and deterministic (same request => same abort point).
+          return fail(code, message);
+        }
+        if (code == ErrorCode::InternalInvariant) {
+          // A simulator bug with no fault source must never be masked by
+          // degradation — surface it immediately.
+          breaker_record(key, false, code, message);
+          return fail(code, message);
+        }
+        if (code == ErrorCode::TransientFault && attempt < cfg_.max_attempts_per_rung) {
+          // The injected fault cleared if its armed_runs budget ran out; a
+          // positive budget models "goes away when retried".
+          if (auto& hooks = verify::fault_hooks(); hooks.armed_runs > 0)
+            --hooks.armed_runs;
+          metrics.counter("serve.retries").increment();
+          backoff(attempt);
+          continue;
+        }
+        // Infeasible plan, exhausted resources, or a transient fault that
+        // outlived its retries: count it against the breaker, degrade.
+        breaker_record(key, false, code, message);
+        last = ServeError{code, message};
+        break;
+      }
+    }
+  }
+  return fail(last.code, last.message);
+}
+
+}  // namespace kami::serve

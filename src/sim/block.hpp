@@ -40,6 +40,12 @@ class ThreadBlock {
 
   const DeviceSpec& device() const noexcept { return *dev_; }
   ExecMode mode() const noexcept { return mode_; }
+
+  /// Arm every warp's cycle-budget watchdog (GemmOptions::deadline_cycles);
+  /// 0 disarms. See sim/deadline.hpp.
+  void set_deadline(Cycles cycles) noexcept {
+    for (auto& w : warps_) w->set_deadline(cycles);
+  }
   int num_warps() const noexcept { return static_cast<int>(warps_.size()); }
   SharedMemory& smem() noexcept { return smem_; }
   Warp& warp(int i) { return *warps_.at(static_cast<std::size_t>(i)); }

@@ -1,0 +1,28 @@
+// Simulated-cycle deadline watchdog.
+//
+// A runaway simulation (a pathological plan, an injected fault that distorts
+// cycle accounting, a shape far larger than intended) used to hang its caller
+// until the host gave up. GemmOptions::deadline_cycles arms a per-warp budget:
+// the moment any warp's clock passes the budget, the op that crossed it throws
+// DeadlineExceeded. Because warp clocks advance deterministically, the abort
+// happens at exactly the same op — and with exactly the same message — on
+// every run of the same configuration (tested in tests/serve/serve_test.cpp).
+//
+// DeadlineExceeded is deliberately neither a PreconditionError (the request
+// was not malformed, it just ran out of budget) nor an InvariantViolation
+// (the simulator is healthy); the serving layer maps it to
+// serve::ErrorCode::DeadlineExceeded.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace kami::sim {
+
+/// Thrown by Warp when its clock passes GemmOptions::deadline_cycles.
+class DeadlineExceeded : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace kami::sim

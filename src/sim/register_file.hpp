@@ -22,6 +22,18 @@ class RegisterFile {
   explicit RegisterFile(std::size_t capacity_bytes) : capacity_(capacity_bytes) {}
 
   void allocate(std::size_t bytes) {
+#if KAMI_CHECK_INVARIANTS
+    // Chaos/test hook: the countdown-th allocation fails as if the register
+    // file were exhausted, then the hook disarms (one-shot transient fault).
+    if (auto& hooks = verify::fault_hooks(); hooks.alloc_fail_countdown >= 0) {
+      if (hooks.alloc_fail_countdown == 0) {
+        hooks.alloc_fail_countdown = -1;
+        throw RegisterOverflow("injected allocation failure (verify::FaultHooks): " +
+                               std::to_string(bytes) + " B request denied");
+      }
+      --hooks.alloc_fail_countdown;
+    }
+#endif
     if (used_ + bytes > capacity_) {
       throw RegisterOverflow("register file exhausted: need " + std::to_string(bytes) +
                              " B, used " + std::to_string(used_) + " of " +

@@ -19,8 +19,10 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 
 #include "obs/metrics.hpp"
+#include "sim/deadline.hpp"
 #include "sim/device.hpp"
 #include "sim/exec_mode.hpp"
 #include "sim/fragment.hpp"
@@ -89,6 +91,12 @@ class Warp {
   }
   bool numerics_enabled() const noexcept { return numerics_; }
   bool timing_enabled() const noexcept { return timing_; }
+
+  /// Arm the cycle-budget watchdog: once this warp's clock passes `cycles`,
+  /// the op that crossed it throws sim::DeadlineExceeded. 0 disarms. Clock
+  /// advances are deterministic, so the abort point (and message) is too.
+  void set_deadline(Cycles cycles) noexcept { deadline_ = cycles; }
+  Cycles deadline() const noexcept { return deadline_; }
 
   Cycles clock() const noexcept { return clock_; }
   RegisterFile& regs() noexcept { return regs_; }
@@ -345,6 +353,7 @@ class Warp {
       clock_ = t;
       metrics_.sync_wait_cycles.add(t - issue);
       record(OpKind::SyncWait, issue, issue, t - issue);
+      check_deadline();
     }
   }
   void reset_clock() noexcept {
@@ -361,6 +370,16 @@ class Warp {
     KAMI_INVARIANT(end >= clock_, "warp clock must advance monotonically");
     bucket += end - clock_;
     clock_ = end;
+    check_deadline();
+  }
+
+  void check_deadline() const {
+    if (deadline_ > 0.0 && clock_ > deadline_) [[unlikely]] {
+      throw DeadlineExceeded("simulated-cycle deadline exceeded: warp " +
+                             std::to_string(id_) + " reached cycle " +
+                             std::to_string(clock_) + " with a budget of " +
+                             std::to_string(deadline_) + " cycles");
+    }
   }
 
   void record(OpKind kind, Cycles issue, Cycles start, double amount) {
@@ -435,6 +454,7 @@ class Warp {
   RegisterFile regs_;
   WarpMetricHandles metrics_ = WarpMetricHandles::acquire();
   Cycles clock_ = 0.0;
+  Cycles deadline_ = 0.0;  ///< 0 = no cycle budget
   CycleBreakdown bd_;
   bool numerics_ = true;
   bool timing_ = true;

@@ -47,8 +47,10 @@ namespace detail {
 }  // namespace detail
 
 /// Test-only fault injection into the cycle-accounting hot paths. All fields
-/// are zero in normal operation; tests set them through ScopedFault to verify
-/// that the invariant layer catches the corresponding class of bug.
+/// are zero/disarmed in normal operation; tests set them through ScopedFault
+/// to verify that the invariant layer catches the corresponding class of bug,
+/// and the serving layer's chaos campaign (src/serve/chaos.hpp) uses them as
+/// its transient-fault source.
 struct FaultHooks {
   /// Added to every warp op's end time before the clock-monotonicity check;
   /// a negative value emulates an op that rewinds the warp clock.
@@ -56,12 +58,34 @@ struct FaultHooks {
   /// Added to the occupancy a PortTimeline charges to its busy counter (but
   /// not to its reservation), emulating double-charged port cycles.
   double port_busy_skew = 0.0;
+  /// How many more *runs* the skews above stay live: negative = every run
+  /// (a permanent fault, the pre-existing behavior), 0 = disarmed, positive =
+  /// a transient fault that clears after that many failing runs. The retry
+  /// loop in serve::GemmServer decrements a positive count each time it
+  /// catches an injected InvariantViolation, modeling a fault that goes away
+  /// when the request is retried.
+  int armed_runs = -1;
+  /// When >= 0, the countdown-th register-file allocation from now throws
+  /// RegisterOverflow ("injected allocation failure") and the hook disarms
+  /// itself (one-shot). Emulates a transient allocation failure that a
+  /// degradation rung or retry can recover from.
+  long long alloc_fail_countdown = -1;
 };
 
 /// The process-wide hook block (shared across translation units).
 inline FaultHooks& fault_hooks() {
   static FaultHooks hooks;
   return hooks;
+}
+
+/// Is any cycle-accounting skew currently live? The serving layer uses this
+/// to tell an injected (and therefore retryable) InvariantViolation from a
+/// genuine simulator bug: a violation with no armed fault source is always
+/// classified as an internal invariant failure.
+inline bool faults_armed() {
+  const FaultHooks& h = fault_hooks();
+  return h.armed_runs != 0 &&
+         (h.warp_advance_skew != 0.0 || h.port_busy_skew != 0.0);
 }
 
 /// RAII fault injection: installs `hooks` for the enclosing scope and always
@@ -89,9 +113,13 @@ class ScopedFault {
                                                ::std::source_location::current());  \
     }                                                                               \
   } while (false)
-/// Value pass-through that applies the named FaultHooks skew (identity when
-/// invariant checking — and with it fault injection — is compiled out).
-#define KAMI_FAULT_SKEW(field, value) ((value) + ::kami::verify::fault_hooks().field)
+/// Value pass-through that applies the named FaultHooks skew while the hooks
+/// are armed (identity when invariant checking — and with it fault
+/// injection — is compiled out, and while armed_runs == 0).
+#define KAMI_FAULT_SKEW(field, value)                                               \
+  ((value) + (::kami::verify::fault_hooks().armed_runs != 0                         \
+                  ? ::kami::verify::fault_hooks().field                             \
+                  : 0.0))
 #else
 #define KAMI_INVARIANT(expr, ...) ((void)0)
 #define KAMI_FAULT_SKEW(field, value) (value)

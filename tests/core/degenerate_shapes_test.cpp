@@ -1,0 +1,102 @@
+// Degenerate-shape contract (m, n, or k = 0; empty batches): every execution
+// mode must either throw the same typed error or return the same well-defined
+// empty result — never crash, and never disagree across modes.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/autotune.hpp"
+#include "core/batched.hpp"
+#include "core/kami.hpp"
+#include "util/rng.hpp"
+
+namespace kami {
+namespace {
+
+constexpr sim::ExecMode kModes[] = {sim::ExecMode::Full, sim::ExecMode::TimingOnly,
+                                    sim::ExecMode::NumericsOnly};
+constexpr Algo kAlgos[] = {Algo::OneD, Algo::TwoD, Algo::ThreeD};
+
+TEST(DegenerateShapes, ZeroDimensionsRejectTypedInEveryModeAndAlgo) {
+  const auto& dev = sim::gh200();
+  const struct { std::size_t m, n, k; } shapes[] = {{0, 32, 32}, {32, 0, 32},
+                                                    {32, 32, 0}, {0, 0, 0}};
+  for (const auto& s : shapes) {
+    const Matrix<fp16_t> A(s.m, s.k), B(s.k, s.n);
+    for (const Algo algo : kAlgos) {
+      std::string first_message;
+      for (const sim::ExecMode mode : kModes) {
+        GemmOptions opt;
+        opt.mode = mode;
+        try {
+          (void)gemm(algo, dev, A, B, opt);
+          FAIL() << "zero-dimension GEMM must throw (algo " << algo_name(algo)
+                 << ", mode " << sim::exec_mode_name(mode) << ")";
+        } catch (const PreconditionError& e) {
+          // The typed error names the offending shape...
+          const std::string what = e.what();
+          EXPECT_NE(what.find("m=" + std::to_string(s.m)), std::string::npos) << what;
+          // ...and is identical across execution modes (feasibility is
+          // mode-independent).
+          if (first_message.empty()) first_message = what;
+          else EXPECT_EQ(what, first_message);
+        }
+      }
+    }
+  }
+}
+
+TEST(DegenerateShapes, EmptyBatchIsAWellDefinedNoOpInEveryMode) {
+  const auto& dev = sim::gh200();
+  for (const sim::ExecMode mode : kModes) {
+    GemmOptions opt;
+    opt.mode = mode;
+    const std::vector<Matrix<fp16_t>> empty;
+    const auto r = core::kami_batched_gemm<fp16_t>(dev, empty, empty, Algo::OneD, opt);
+    EXPECT_TRUE(r.C.empty());
+    EXPECT_EQ(r.tflops, 0.0);
+    EXPECT_EQ(r.seconds, core::kKamiBatchSetupSeconds);  // setup cost only
+  }
+}
+
+TEST(DegenerateShapes, StridedBatchedRejectsZeroBatchWithShapeContext) {
+  const Matrix<fp16_t> Astack(64, 32), Bstack(64, 32);
+  try {
+    (void)core::kami_gemm_strided_batched<fp16_t>(sim::gh200(), Astack, Bstack, 0);
+    FAIL() << "batch=0 must throw";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("batch=0"), std::string::npos) << e.what();
+  }
+}
+
+TEST(DegenerateShapes, MismatchedBatchListsRejectWithCounts) {
+  Rng rng(3);
+  const std::vector<Matrix<fp16_t>> As{random_matrix<fp16_t>(32, 32, rng)};
+  const std::vector<Matrix<fp16_t>> Bs;
+  try {
+    (void)core::kami_batched_gemm<fp16_t>(sim::gh200(), As, Bs);
+    FAIL() << "mismatched batch lists must throw";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1"), std::string::npos) << what;
+    EXPECT_NE(what.find("0"), std::string::npos) << what;
+  }
+}
+
+TEST(DegenerateShapes, AutotuneRejectsZeroDimensionsWithShape) {
+  try {
+    (void)core::autotune_gemm<fp16_t>(sim::gh200(), 0, 32, 32);
+    FAIL() << "autotune of a zero dimension must throw";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("m=0"), std::string::npos) << e.what();
+  }
+}
+
+TEST(DegenerateShapes, PerfExtrapolationRejectsZeroBatch) {
+  EXPECT_THROW(
+      (void)core::kami_batched_perf<fp16_t>(sim::gh200(), 32, 32, 32, /*batch=*/0),
+      PreconditionError);
+}
+
+}  // namespace
+}  // namespace kami

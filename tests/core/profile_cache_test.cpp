@@ -10,6 +10,8 @@
 
 #include "core/profile_cache.hpp"
 #include "obs/metrics.hpp"
+#include "sim/deadline.hpp"
+#include "verify/invariants.hpp"
 
 namespace kami {
 namespace {
@@ -224,6 +226,75 @@ TEST(ProfileCache, InfeasibleConfigurationsThrowAndAreNotCached) {
                                             128),
                PreconditionError);
   EXPECT_EQ(cache.size(), 0u);
+}
+
+// Exception-safety audit: a simulation that dies mid-run — after the planner
+// accepted the key, while cycles are being charged — must leave the cache
+// byte-for-byte as it was: no partial entry, no poisoned profile, and a clean
+// rerun must produce exactly what an undisturbed cache would have.
+TEST(ProfileCache, MidRunFaultLeavesCacheUntouched) {
+  obs::ScopedMetricsReset reset;
+  ProfileCache cache(16);
+  {
+    verify::FaultHooks fault;
+    fault.warp_advance_skew = -1e9;  // every warp op violates clock monotonicity
+    const verify::ScopedFault guard(fault);
+    EXPECT_THROW(
+        (void)timing_profile<fp16_t>(cache, Algo::OneD, sim::gh200(), 64, 64, 64),
+        verify::InvariantViolation);
+  }
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(counter("profile_cache.inserts"), 0.0);
+
+  // The fault is gone; the same key must now miss, simulate cleanly, and
+  // match a fresh cache's answer bit for bit.
+  const auto after =
+      timing_profile<fp16_t>(cache, Algo::OneD, sim::gh200(), 64, 64, 64);
+  EXPECT_EQ(cache.size(), 1u);
+  ProfileCache fresh(16);
+  const auto clean =
+      timing_profile<fp16_t>(fresh, Algo::OneD, sim::gh200(), 64, 64, 64);
+  expect_profile_identical(after.profile, clean.profile);
+  EXPECT_EQ(after.warps, clean.warps);
+  EXPECT_EQ(after.smem_ratio, clean.smem_ratio);
+}
+
+TEST(ProfileCache, InjectedAllocationFailureLeavesCacheUntouched) {
+  ProfileCache cache(16);
+  {
+    verify::FaultHooks fault;
+    fault.alloc_fail_countdown = 0;  // first register allocation throws
+    const verify::ScopedFault guard(fault);
+    EXPECT_THROW(
+        (void)timing_profile<fp16_t>(cache, Algo::OneD, sim::gh200(), 64, 64, 64),
+        sim::RegisterOverflow);
+  }
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_TRUE(
+      timing_profile<fp16_t>(cache, Algo::OneD, sim::gh200(), 64, 64, 64).profile
+          .latency > 0.0);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ProfileCache, DeadlineAbortLeavesCacheUntouched) {
+  obs::ScopedMetricsReset reset;
+  ProfileCache cache(16);
+  GemmOptions opt;
+  opt.deadline_cycles = 10.0;  // far below the 64^3 kernel latency
+  EXPECT_THROW(
+      (void)timing_profile<fp16_t>(cache, Algo::OneD, sim::gh200(), 64, 64, 64, opt),
+      sim::DeadlineExceeded);
+  EXPECT_EQ(cache.size(), 0u);
+
+  // deadline_cycles is excluded from the key: an under-budget run and an
+  // unbounded run share one entry.
+  GemmOptions generous;
+  generous.deadline_cycles = 1e9;
+  (void)timing_profile<fp16_t>(cache, Algo::OneD, sim::gh200(), 64, 64, 64, generous);
+  EXPECT_EQ(cache.size(), 1u);
+  (void)timing_profile<fp16_t>(cache, Algo::OneD, sim::gh200(), 64, 64, 64);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(counter("profile_cache.hits"), 1.0);
 }
 
 }  // namespace

@@ -1,0 +1,49 @@
+// Chaos campaign invariants: point generation is deterministic and covers
+// every fault class, and a mini campaign completes with zero contract
+// violations (the 500-point campaign runs as the kami_chaos ctest job).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "serve/chaos.hpp"
+
+namespace kami {
+namespace {
+
+TEST(ChaosPoints, GenerationIsDeterministic) {
+  for (std::uint64_t seed : {0ull, 1ull, 42ull, 12345ull})
+    EXPECT_EQ(serve::to_string(serve::chaos_point(seed)),
+              serve::to_string(serve::chaos_point(seed)));
+}
+
+TEST(ChaosPoints, EveryFaultClassAndModeAppears) {
+  std::set<std::string> faults;
+  std::set<sim::ExecMode> modes;
+  std::size_t with_deadline = 0;
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    const serve::ChaosPoint p = serve::chaos_point(seed);
+    faults.insert(serve::chaos_fault_name(p.fault));
+    modes.insert(p.mode);
+    if (p.deadline_cycles > 0.0) ++with_deadline;
+  }
+  EXPECT_EQ(faults.size(), 5u);  // none + 2 transient + permanent + alloc
+  EXPECT_EQ(modes.size(), 3u);
+  EXPECT_GT(with_deadline, 20u);
+  EXPECT_LT(with_deadline, 180u);
+}
+
+TEST(ChaosCampaign, MiniCampaignHasZeroViolations) {
+  const serve::ChaosReport rep = serve::run_chaos(/*base_seed=*/1, /*points=*/40);
+  EXPECT_EQ(rep.ran, 40u);
+  EXPECT_TRUE(rep.clean()) << rep.violations.front().point << ": "
+                           << rep.violations.front().detail;
+  EXPECT_EQ(rep.served_ok + rep.typed_errors, rep.ran);
+  // Every typed error in a full-ladder campaign is a deadline abort, and each
+  // one was replayed for determinism.
+  for (const auto& [code, count] : rep.by_code) EXPECT_EQ(code, "deadline_exceeded");
+  EXPECT_EQ(rep.deadline_replays, rep.typed_errors);
+}
+
+}  // namespace
+}  // namespace kami

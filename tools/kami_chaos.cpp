@@ -1,0 +1,109 @@
+// kami_chaos: the serving layer's chaos campaign (src/serve/chaos.hpp) as a
+// CLI.
+//
+//   kami_chaos [--points N] [--seed S] [--json out.json]
+//   kami_chaos --smoke [--json out.json]     small fixed campaign for CI
+//
+// Each point serves a randomized GEMM request under randomized adversity
+// (injected transient/permanent faults, allocation failures, cycle deadlines,
+// execution modes) through a shared GemmServer and checks the resilience
+// contract: bit-correct result or typed error — never a crash, hang, or
+// silent corruption; deadline aborts replay deterministically. Exit status is
+// nonzero when any point violates the contract.
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "serve/chaos.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using kami::TablePrinter;
+
+int usage() {
+  std::cerr << "usage:\n"
+            << "  kami_chaos [--points N] [--seed S] [--json out.json]\n"
+            << "  kami_chaos --smoke [--json out.json]\n";
+  return 2;
+}
+
+void write_report(const kami::obs::RunReport& report, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw kami::PreconditionError("cannot open " + path + " for writing");
+  report.write_json(os);
+  std::cout << "wrote " << path << "\n";
+}
+
+TablePrinter count_table(const std::map<std::string, std::size_t>& counts) {
+  TablePrinter table({"key", "points"});
+  for (const auto& [key, count] : counts) table.add_row({key, std::to_string(count)});
+  return table;
+}
+
+int run(std::uint64_t seed, std::size_t points, const std::string& json_path) {
+  const kami::serve::ChaosReport rep = kami::serve::run_chaos(seed, points);
+
+  TablePrinter rungs = count_table(rep.by_rung);
+  rungs.print(std::cout, "served by rung");
+  if (!rep.by_code.empty()) {
+    TablePrinter codes = count_table(rep.by_code);
+    codes.print(std::cout, "typed errors by code");
+  }
+  TablePrinter faults = count_table(rep.by_fault);
+  faults.print(std::cout, "injected faults");
+
+  TablePrinter violations({"seed", "point", "detail"});
+  for (const auto& v : rep.violations)
+    violations.add_row({std::to_string(v.seed), v.point, v.detail});
+  if (!rep.violations.empty()) violations.print(std::cout, "contract violations");
+
+  if (!json_path.empty()) {
+    kami::obs::RunReport report("kami_chaos");
+    report.set_meta("base_seed", std::to_string(seed));
+    report.set_meta("ran", std::to_string(rep.ran));
+    report.set_meta("served_ok", std::to_string(rep.served_ok));
+    report.set_meta("typed_errors", std::to_string(rep.typed_errors));
+    report.set_meta("deadline_replays", std::to_string(rep.deadline_replays));
+    report.set_meta("violations", std::to_string(rep.violations.size()));
+    report.add_table("served by rung", rungs);
+    report.add_table("injected faults", faults);
+    report.add_table("contract violations", violations);
+    report.set_metrics(kami::obs::MetricRegistry::global());
+    write_report(report, json_path);
+  }
+
+  std::cout << (rep.clean() ? "OK" : "FAILED") << " (ran " << rep.ran << ", served "
+            << rep.served_ok << ", typed errors " << rep.typed_errors
+            << ", deadline replays " << rep.deadline_replays << ", violations "
+            << rep.violations.size() << ")\n"
+            << "replay any seed with: kami_chaos --seed <s> --points 1\n";
+  return rep.clean() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  std::uint64_t seed = 1;
+  std::size_t points = 500;
+  std::string json_path;
+  try {
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      if (args[i] == "--points" && i + 1 < args.size()) points = std::stoul(args[++i]);
+      else if (args[i] == "--seed" && i + 1 < args.size()) seed = std::stoull(args[++i]);
+      else if (args[i] == "--json" && i + 1 < args.size()) json_path = args[++i];
+      else if (args[i] == "--smoke") points = 60;
+      else return usage();
+    }
+    return run(seed, points, json_path);
+  } catch (const std::exception& e) {
+    std::cerr << "kami_chaos: " << e.what() << "\n";
+    return 1;
+  }
+}
