@@ -15,6 +15,7 @@
 
 #include "core/kami.hpp"
 #include "core/profile_cache.hpp"
+#include "exec/engine.hpp"
 #include "obs/metrics.hpp"
 
 namespace kami::core {
@@ -42,39 +43,69 @@ template <Scalar T>
 TuneResult autotune_gemm(const sim::DeviceSpec& dev, std::size_t m, std::size_t n,
                          std::size_t k, std::size_t blocks = 16384,
                          const std::vector<TuneCandidate>& candidates =
-                             default_candidates()) {
+                             default_candidates(),
+                         int threads = 0) {
   KAMI_REQUIRE(m > 0 && n > 0 && k > 0,
                "matrix dimensions must be positive, got m=" + std::to_string(m) +
                    " n=" + std::to_string(n) + " k=" + std::to_string(k));
-  auto& metrics = obs::MetricRegistry::global();
+  auto& metrics = obs::MetricRegistry::current();
   metrics.counter("autotune.runs").increment();
   obs::Counter& evaluated = metrics.counter("autotune.candidates_evaluated");
   obs::Counter& infeasible = metrics.counter("autotune.candidates_infeasible");
   ProfileCache& cache = ProfileCache::global();
 
+  // Candidates are independent TimingOnly simulations: sweep them across
+  // the execution engine (threads=0 defers to KAMI_THREADS; 1 == the
+  // historical serial sweep), then fold the outcomes serially in candidate
+  // order so metric updates and winner selection are identical for every
+  // worker count.
+  struct Outcome {
+    bool feasible = false;
+    double tflops = 0.0;
+    sim::KernelProfile profile;
+    int warps = 0;
+    double smem_ratio = 0.0;
+  };
+  const exec::ExecutionEngine engine(threads);
+  const auto outcomes =
+      engine.parallel_map<Outcome>(candidates.size(), [&](std::size_t i) {
+        const TuneCandidate& cand = candidates[i];
+        GemmOptions opt;
+        opt.warps = cand.warps;
+        opt.smem_ratio = cand.smem_ratio;
+        Outcome o;
+        try {
+          // TimingOnly through the cache: no operands, no arithmetic.
+          // Infeasible configurations throw here exactly as a Full run would.
+          const CachedProfile prof =
+              timing_profile<T>(cache, cand.algo, dev, m, n, k, opt);
+          o.feasible = true;
+          o.tflops = sim::throughput_tflops(dev, prof.profile, blocks);
+          o.profile = prof.profile;
+          o.warps = prof.warps;
+          o.smem_ratio = prof.smem_ratio;
+        } catch (const PreconditionError&) {
+          // Candidate infeasible for this shape (grid mismatch or registers).
+        }
+        return o;
+      });
+
   TuneResult best;
-  for (const auto& cand : candidates) {
-    GemmOptions opt;
-    opt.warps = cand.warps;
-    opt.smem_ratio = cand.smem_ratio;
-    try {
-      // TimingOnly through the cache: no operands, no arithmetic.
-      // Infeasible configurations throw here exactly as a Full run would.
-      const CachedProfile prof = timing_profile<T>(cache, cand.algo, dev, m, n, k, opt);
-      const double t = sim::throughput_tflops(dev, prof.profile, blocks);
-      ++best.evaluated;
-      evaluated.increment();
-      metrics.histogram("autotune.candidate_tflops").observe(t);
-      if (t > best.tflops) {
-        best.tflops = t;
-        best.config = cand;
-        best.profile = prof.profile;
-        best.warps = prof.warps;
-        best.smem_ratio = prof.smem_ratio;
-      }
-    } catch (const PreconditionError&) {
-      // Candidate infeasible for this shape (grid mismatch or registers).
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const Outcome& o = outcomes[i];
+    if (!o.feasible) {
       infeasible.increment();
+      continue;
+    }
+    ++best.evaluated;
+    evaluated.increment();
+    metrics.histogram("autotune.candidate_tflops").observe(o.tflops);
+    if (o.tflops > best.tflops) {
+      best.tflops = o.tflops;
+      best.config = candidates[i];
+      best.profile = o.profile;
+      best.warps = o.warps;
+      best.smem_ratio = o.smem_ratio;
     }
   }
   KAMI_REQUIRE(best.evaluated > 0,
@@ -89,9 +120,10 @@ TuneResult autotune_gemm(const sim::DeviceSpec& dev, std::size_t m, std::size_t 
 /// NumericsOnly fast path — the numerics execute exactly once.
 template <Scalar T>
 GemmResult<T> best_gemm(const sim::DeviceSpec& dev, const Matrix<T>& A,
-                        const Matrix<T>& B, std::size_t blocks = 16384) {
-  const auto tuned =
-      autotune_gemm<T>(dev, A.rows(), B.cols(), A.cols(), blocks);
+                        const Matrix<T>& B, std::size_t blocks = 16384,
+                        int threads = 0) {
+  const auto tuned = autotune_gemm<T>(dev, A.rows(), B.cols(), A.cols(), blocks,
+                                      default_candidates(), threads);
   GemmOptions opt;
   opt.warps = tuned.config.warps;
   opt.smem_ratio = tuned.config.smem_ratio;

@@ -23,6 +23,7 @@
 
 #include "core/kami.hpp"
 #include "core/profile_cache.hpp"
+#include "exec/engine.hpp"
 
 namespace kami::core {
 
@@ -79,8 +80,13 @@ BatchedResult<T> kami_batched_gemm(const sim::DeviceSpec& dev,
   if (As.empty()) return BatchedResult<T>{{}, kKamiBatchSetupSeconds, 0.0};
   opt.charge_global_io = true;
 
+  // Entries are independent: fan out across the execution engine
+  // (GemmOptions::threads / KAMI_THREADS; 1 == the historical serial loop).
+  // Results land in pre-sized slots indexed by entry, so the output is
+  // bit-identical for every worker count.
+  const exec::ExecutionEngine engine(opt.threads);
+
   BatchedResult<T> out;
-  out.C.reserve(As.size());
   // Blocks are independent; identical shapes share one simulated profile.
   std::map<std::array<std::size_t, 3>, sim::KernelProfile> shape_profiles;
   double total_flops = 0.0;
@@ -90,26 +96,44 @@ BatchedResult<T> kami_batched_gemm(const sim::DeviceSpec& dev,
     // the profile cache across calls), then every entry's values run the
     // NumericsOnly path. Results and profiles are bit-identical to the
     // per-entry Full loop (tested).
-    GemmOptions numeric = opt;
-    numeric.mode = sim::ExecMode::NumericsOnly;
+    //
+    // Profile phase: distinct shapes in first-appearance order, so an
+    // infeasible shape surfaces the same exception the per-entry loop
+    // would have hit first.
+    std::vector<std::array<std::size_t, 3>> distinct;
     for (std::size_t i = 0; i < As.size(); ++i) {
       const std::array<std::size_t, 3> key{As[i].rows(), Bs[i].cols(), As[i].cols()};
-      auto it = shape_profiles.find(key);
-      if (it == shape_profiles.end()) {
-        const CachedProfile prof = timing_profile<T>(ProfileCache::global(), algo, dev,
-                                                     key[0], key[1], key[2], opt);
-        it = shape_profiles.emplace(key, prof.profile).first;
-      }
-      auto r = gemm(algo, dev, As[i], Bs[i], numeric);
-      out.C.push_back(std::move(r.C));
-      total_flops += it->second.useful_flops;
+      if (shape_profiles.emplace(key, sim::KernelProfile{}).second)
+        distinct.push_back(key);
     }
+    const auto profiles = engine.parallel_map<sim::KernelProfile>(
+        distinct.size(), [&](std::size_t j) {
+          const auto& key = distinct[j];
+          return timing_profile<T>(ProfileCache::global(), algo, dev, key[0], key[1],
+                                   key[2], opt)
+              .profile;
+        });
+    for (std::size_t j = 0; j < distinct.size(); ++j)
+      shape_profiles[distinct[j]] = profiles[j];
+
+    // Numerics phase: every entry's values through the NumericsOnly path.
+    GemmOptions numeric = opt;
+    numeric.mode = sim::ExecMode::NumericsOnly;
+    out.C = engine.parallel_map<Matrix<T>>(As.size(), [&](std::size_t i) {
+      return gemm(algo, dev, As[i], Bs[i], numeric).C;
+    });
+    for (std::size_t i = 0; i < As.size(); ++i)
+      total_flops +=
+          shape_profiles[{As[i].rows(), Bs[i].cols(), As[i].cols()}].useful_flops;
   } else {
+    auto results = engine.parallel_map<GemmResult<T>>(As.size(), [&](std::size_t i) {
+      return gemm(algo, dev, As[i], Bs[i], opt);
+    });
+    out.C.reserve(As.size());
     for (std::size_t i = 0; i < As.size(); ++i) {
-      const auto r = gemm(algo, dev, As[i], Bs[i], opt);
-      out.C.push_back(std::move(r.C));
-      shape_profiles[{As[i].rows(), Bs[i].cols(), As[i].cols()}] = r.profile;
-      total_flops += r.profile.useful_flops;
+      shape_profiles[{As[i].rows(), Bs[i].cols(), As[i].cols()}] = results[i].profile;
+      total_flops += results[i].profile.useful_flops;
+      out.C.push_back(std::move(results[i].C));
     }
   }
 

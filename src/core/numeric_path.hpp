@@ -26,6 +26,13 @@
 
 namespace kami::core {
 
+/// k-tile width for the accumulate loops: a tile of B rows
+/// (kNumericKTile x n accumulators) stays cache-resident while every row of
+/// C sweeps it, instead of streaming the whole k extent per C row. Tiling
+/// only regroups the i/k loop nest — each (i, j) element still accumulates
+/// over ascending k, so results are bit-identical (differential-tested).
+inline constexpr std::size_t kNumericKTile = 64;
+
 template <Scalar T>
 Matrix<T> numeric_gemm(const Matrix<T>& A, const Matrix<T>& B, std::size_t layers = 1) {
   using Acc = typename num_traits<T>::acc_t;
@@ -33,28 +40,40 @@ Matrix<T> numeric_gemm(const Matrix<T>& A, const Matrix<T>& B, std::size_t layer
   KAMI_REQUIRE(B.rows() == k, "inner dimensions must agree");
   KAMI_REQUIRE(layers >= 1 && k % layers == 0, "layers must evenly split k");
 
-  // Decode operands to accumulator precision once.
-  std::vector<Acc> Af(m * k), Bf(k * n);
+  // Scratch reuse: batched drivers call this once per entry, so the decode
+  // and accumulator buffers are thread_local (one set per engine worker,
+  // never shared) and grow to the high-water shape instead of allocating
+  // three buffers per call. All of Af/Bf is overwritten below and Cacc is
+  // re-zeroed by assign(), so stale contents can never leak between calls.
+  thread_local std::vector<Acc> Af, Bf, Cacc, Pacc;
+  Af.resize(m * k);
+  Bf.resize(k * n);
   const T* a = A.data();
   const T* b = B.data();
   for (std::size_t i = 0; i < m * k; ++i) Af[i] = num_traits<T>::to_acc(a[i]);
   for (std::size_t i = 0; i < k * n; ++i) Bf[i] = num_traits<T>::to_acc(b[i]);
 
-  std::vector<Acc> Cacc(m * n, Acc{});
-  std::vector<Acc> Pacc;
+  Cacc.assign(m * n, Acc{});
   if (layers > 1) Pacc.resize(m * n);
+  // Hoist the buffer bases out of the loops: the vectors are thread_local,
+  // so .data() inside the nest would re-resolve the TLS address per access.
+  const Acc* af = Af.data();
+  const Acc* bf = Bf.data();
   const std::size_t kb = k / layers;
   for (std::size_t l = 0; l < layers; ++l) {
     Acc* dst = l == 0 ? Cacc.data() : Pacc.data();
     if (l > 0) std::fill(Pacc.begin(), Pacc.end(), Acc{});
     const std::size_t k0 = l * kb;
-    for (std::size_t i = 0; i < m; ++i) {
-      const Acc* arow = Af.data() + i * k;
-      Acc* crow = dst + i * n;
-      for (std::size_t kk = k0; kk < k0 + kb; ++kk) {
-        const Acc av = arow[kk];
-        const Acc* brow = Bf.data() + kk * n;
-        for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    for (std::size_t kt = k0; kt < k0 + kb; kt += kNumericKTile) {
+      const std::size_t kend = std::min(kt + kNumericKTile, k0 + kb);
+      for (std::size_t i = 0; i < m; ++i) {
+        const Acc* arow = af + i * k;
+        Acc* crow = dst + i * n;
+        for (std::size_t kk = kt; kk < kend; ++kk) {
+          const Acc av = arow[kk];
+          const Acc* brow = bf + kk * n;
+          for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
       }
     }
     if (l > 0)

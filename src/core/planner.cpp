@@ -192,7 +192,7 @@ Plan plan_gemm(Algo algo, const sim::DeviceSpec& dev, Precision prec, std::size_
   // Planner decisions are part of the observability contract: how many
   // candidate (p, ratio, slice) configurations were examined and why the
   // losers were rejected.
-  auto& metrics = obs::MetricRegistry::global();
+  auto& metrics = obs::MetricRegistry::current();
   obs::Counter& tried = metrics.counter("planner.candidates_tried");
   obs::Counter& rejected_regs = metrics.counter("planner.candidates_rejected_registers");
   obs::Counter& rejected_smem = metrics.counter("planner.candidates_rejected_smem");

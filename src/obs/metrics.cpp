@@ -7,15 +7,18 @@
 namespace kami::obs {
 
 double Histogram::sum() const noexcept {
+  std::lock_guard lock(mu_);
   return std::accumulate(samples_.begin(), samples_.end(), 0.0);
 }
 
 double Histogram::mean() const {
+  std::lock_guard lock(mu_);
   KAMI_REQUIRE(!samples_.empty(), "histogram has no samples");
-  return sum() / static_cast<double>(samples_.size());
+  const double s = std::accumulate(samples_.begin(), samples_.end(), 0.0);
+  return s / static_cast<double>(samples_.size());
 }
 
-void Histogram::ensure_sorted() const {
+void Histogram::ensure_sorted_locked() const {
   if (!sorted_) {
     std::sort(samples_.begin(), samples_.end());
     sorted_ = true;
@@ -23,21 +26,24 @@ void Histogram::ensure_sorted() const {
 }
 
 double Histogram::min() const {
+  std::lock_guard lock(mu_);
   KAMI_REQUIRE(!samples_.empty(), "histogram has no samples");
-  ensure_sorted();
+  ensure_sorted_locked();
   return samples_.front();
 }
 
 double Histogram::max() const {
+  std::lock_guard lock(mu_);
   KAMI_REQUIRE(!samples_.empty(), "histogram has no samples");
-  ensure_sorted();
+  ensure_sorted_locked();
   return samples_.back();
 }
 
 double Histogram::percentile(double p) const {
+  std::lock_guard lock(mu_);
   KAMI_REQUIRE(!samples_.empty(), "histogram has no samples");
   KAMI_REQUIRE(p >= 0.0 && p <= 100.0, "percentile must be in [0, 100]");
-  ensure_sorted();
+  ensure_sorted_locked();
   if (samples_.size() == 1) return samples_.front();
   const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);
@@ -47,57 +53,89 @@ double Histogram::percentile(double p) const {
 }
 
 Counter& MetricRegistry::counter(std::string_view name) {
+  std::lock_guard lock(mu_);
   const auto it = counters_.find(name);
   if (it != counters_.end()) return it->second;
-  return counters_.emplace(std::string(name), Counter{}).first->second;
+  // try_emplace: Counter holds an atomic and is not movable.
+  return counters_.try_emplace(std::string(name)).first->second;
 }
 
 Gauge& MetricRegistry::gauge(std::string_view name) {
+  std::lock_guard lock(mu_);
   const auto it = gauges_.find(name);
   if (it != gauges_.end()) return it->second;
-  return gauges_.emplace(std::string(name), Gauge{}).first->second;
+  return gauges_.try_emplace(std::string(name)).first->second;
 }
 
 Histogram& MetricRegistry::histogram(std::string_view name) {
+  std::lock_guard lock(mu_);
   const auto it = histograms_.find(name);
   if (it != histograms_.end()) return it->second;
-  return histograms_.emplace(std::string(name), Histogram{}).first->second;
+  return histograms_.try_emplace(std::string(name)).first->second;
 }
 
 const Counter* MetricRegistry::find_counter(std::string_view name) const noexcept {
+  std::lock_guard lock(mu_);
   const auto it = counters_.find(name);
   return it == counters_.end() ? nullptr : &it->second;
 }
 
 const Gauge* MetricRegistry::find_gauge(std::string_view name) const noexcept {
+  std::lock_guard lock(mu_);
   const auto it = gauges_.find(name);
   return it == gauges_.end() ? nullptr : &it->second;
 }
 
 const Histogram* MetricRegistry::find_histogram(std::string_view name) const noexcept {
+  std::lock_guard lock(mu_);
   const auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : &it->second;
 }
 
 std::map<std::string, double> MetricRegistry::counter_values() const {
+  std::lock_guard lock(mu_);
   std::map<std::string, double> out;
   for (const auto& [name, c] : counters_) out.emplace(name, c.value());
   return out;
 }
 
 std::map<std::string, double> MetricRegistry::gauge_values() const {
+  std::lock_guard lock(mu_);
   std::map<std::string, double> out;
   for (const auto& [name, g] : gauges_) out.emplace(name, g.value());
   return out;
 }
 
 void MetricRegistry::reset_values() {
+  std::lock_guard lock(mu_);
   for (auto& [name, c] : counters_) c.reset();
   for (auto& [name, g] : gauges_) g.reset();
   for (auto& [name, h] : histograms_) h.reset();
 }
 
+void MetricRegistry::merge_from(const MetricRegistry& other) {
+  // Snapshot the other side's values first so we never hold two registry
+  // locks at once (merge order is engine-controlled; shards are quiescent
+  // by the time they're merged, but stay safe regardless).
+  const auto counters = other.counter_values();
+  const auto gauges = other.gauge_values();
+  std::vector<std::pair<std::string, std::vector<double>>> hists;
+  {
+    std::lock_guard lock(other.mu_);
+    hists.reserve(other.histograms_.size());
+    for (const auto& [name, h] : other.histograms_)
+      hists.emplace_back(name, h.samples());
+  }
+  for (const auto& [name, v] : counters) counter(name).add(v);
+  for (const auto& [name, v] : gauges) gauge(name).set_max(v);
+  for (const auto& [name, samples] : hists) {
+    Histogram& h = histogram(name);
+    for (double s : samples) h.observe(s);
+  }
+}
+
 Json MetricRegistry::to_json() const {
+  std::lock_guard lock(mu_);
   Json counters = Json::object();
   for (const auto& [name, c] : counters_) counters.set(name, c.value());
   Json gauges = Json::object();
@@ -126,6 +164,16 @@ Json MetricRegistry::to_json() const {
 MetricRegistry& MetricRegistry::global() {
   static MetricRegistry registry;
   return registry;
+}
+
+MetricRegistry*& MetricRegistry::current_slot() {
+  thread_local MetricRegistry* slot = nullptr;
+  return slot;
+}
+
+MetricRegistry& MetricRegistry::current() {
+  MetricRegistry* slot = current_slot();
+  return slot ? *slot : global();
 }
 
 }  // namespace kami::obs

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "baselines/reference.hpp"
+#include "exec/engine.hpp"
 #include "util/rng.hpp"
 
 namespace kami::serve {
@@ -243,6 +244,25 @@ ChaosOutcome run_chaos_point(GemmServer& server, const ChaosPoint& p) {
   return out;
 }
 
+namespace {
+
+void fold_outcome(ChaosReport& report, std::uint64_t seed, const ChaosPoint& p,
+                  const ChaosOutcome& o) {
+  ++report.ran;
+  ++report.by_fault[chaos_fault_name(p.fault)];
+  ++report.by_rung[o.rung_label];
+  if (o.code == ErrorCode::Ok && !o.violation) ++report.served_ok;
+  if (o.code != ErrorCode::Ok) {
+    ++report.typed_errors;
+    ++report.by_code[error_code_name(o.code)];
+    if (o.code == ErrorCode::DeadlineExceeded) ++report.deadline_replays;
+  }
+  if (o.violation)
+    report.violations.push_back(ChaosViolation{seed, to_string(p), o.detail});
+}
+
+}  // namespace
+
 ChaosReport run_chaos(std::uint64_t base_seed, std::size_t points) {
   ChaosReport report;
   GemmServer server;
@@ -250,18 +270,34 @@ ChaosReport run_chaos(std::uint64_t base_seed, std::size_t points) {
     const std::uint64_t seed = base_seed + i;
     const ChaosPoint p = chaos_point(seed);
     const ChaosOutcome o = run_chaos_point(server, p);
-    ++report.ran;
-    ++report.by_fault[chaos_fault_name(p.fault)];
-    ++report.by_rung[o.rung_label];
-    if (o.code == ErrorCode::Ok && !o.violation) ++report.served_ok;
-    if (o.code != ErrorCode::Ok) {
-      ++report.typed_errors;
-      ++report.by_code[error_code_name(o.code)];
-      if (o.code == ErrorCode::DeadlineExceeded) ++report.deadline_replays;
-    }
-    if (o.violation)
-      report.violations.push_back(ChaosViolation{seed, to_string(p), o.detail});
+    fold_outcome(report, seed, p, o);
   }
+  return report;
+}
+
+ChaosReport run_campaign(std::uint64_t base_seed, std::size_t points, int workers) {
+  // Replication-parallel variant of run_chaos: every point gets a fresh
+  // server, so points never interact through breaker state and the campaign
+  // is order-independent. Outcomes land in seed-indexed slots and the
+  // report is folded serially in seed order — bit-identical (counts, map
+  // contents, violation order) for every worker count.
+  const exec::ExecutionEngine engine(workers);
+  struct PointOutcome {
+    ChaosPoint point;
+    ChaosOutcome outcome;
+  };
+  const auto outcomes =
+      engine.parallel_map<PointOutcome>(points, [&](std::size_t i) {
+        PointOutcome po;
+        po.point = chaos_point(base_seed + i);
+        GemmServer server;
+        po.outcome = run_chaos_point(server, po.point);
+        return po;
+      });
+
+  ChaosReport report;
+  for (std::size_t i = 0; i < outcomes.size(); ++i)
+    fold_outcome(report, base_seed + i, outcomes[i].point, outcomes[i].outcome);
   return report;
 }
 

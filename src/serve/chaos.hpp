@@ -90,7 +90,16 @@ struct ChaosReport {
 
 /// Run points seeded base_seed, base_seed+1, ... through one shared server
 /// (so points interact through its circuit breakers, exactly like a real
-/// serving process under sustained faults).
+/// serving process under sustained faults). Inherently sequential: point i
+/// observes breaker state left by point i-1.
 ChaosReport run_chaos(std::uint64_t base_seed, std::size_t points);
+
+/// Replication-parallel campaign: the same seeded points, each served by a
+/// fresh GemmServer (no cross-point breaker coupling), fanned out across
+/// the execution engine. `workers` 0 = defer to KAMI_THREADS, 1 = serial.
+/// The report is bit-identical for every worker count; it differs from
+/// run_chaos only where run_chaos's shared breakers short-circuited points.
+ChaosReport run_campaign(std::uint64_t base_seed, std::size_t points,
+                         int workers = 1);
 
 }  // namespace kami::serve

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <thread>
 
+#include "exec/engine.hpp"
+
 #include "sim/deadline.hpp"
 #include "sim/register_file.hpp"
 
@@ -96,7 +98,7 @@ bool GemmServer::breaker_admit(const RungKey& key, ServeError* out) {
     case BreakerState::Open:
       if (b.cooldown_remaining > 0) {
         --b.cooldown_remaining;
-        obs::MetricRegistry::global().counter("serve.breaker.short_circuits").increment();
+        obs::MetricRegistry::current().counter("serve.breaker.short_circuits").increment();
         *out = ServeError{
             b.last_code,
             std::string(algo_name(key.algo)) + " rung short-circuited by open circuit "
@@ -107,7 +109,7 @@ bool GemmServer::breaker_admit(const RungKey& key, ServeError* out) {
       }
       // Cooldown expired: this request is the half-open probe.
       b.state = BreakerState::HalfOpen;
-      obs::MetricRegistry::global().counter("serve.breaker.half_open_probes").increment();
+      obs::MetricRegistry::current().counter("serve.breaker.half_open_probes").increment();
       return true;
   }
   return true;
@@ -119,7 +121,7 @@ void GemmServer::breaker_record(const RungKey& key, bool success, ErrorCode code
   Breaker& b = breakers_[key];
   if (success) {
     if (b.state != BreakerState::Closed)
-      obs::MetricRegistry::global().counter("serve.breaker.closes").increment();
+      obs::MetricRegistry::current().counter("serve.breaker.closes").increment();
     b = Breaker{};  // closed, zero failures
     return;
   }
@@ -129,7 +131,7 @@ void GemmServer::breaker_record(const RungKey& key, bool success, ErrorCode code
   const bool reopen = b.state == BreakerState::HalfOpen;  // failed probe
   if (reopen || b.consecutive_failures >= cfg_.breaker_failure_threshold) {
     if (b.state != BreakerState::Open)
-      obs::MetricRegistry::global().counter("serve.breaker.trips").increment();
+      obs::MetricRegistry::current().counter("serve.breaker.trips").increment();
     b.state = BreakerState::Open;
     b.cooldown_remaining = cfg_.breaker_cooldown_requests;
   }
@@ -152,8 +154,29 @@ void GemmServer::backoff(int attempt) const {
   if (cfg_.backoff_base_ms <= 0.0) return;
   const double ms =
       std::min(cfg_.backoff_base_ms * std::ldexp(1.0, attempt - 1), cfg_.backoff_max_ms);
-  obs::MetricRegistry::global().counter("serve.backoff_ms").add(ms);
+  obs::MetricRegistry::current().counter("serve.backoff_ms").add(ms);
   std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+void GemmServer::ensure_async_started() {
+  std::lock_guard lock(async_mu_);
+  if (queue_) return;
+  queue_ = std::make_unique<exec::BoundedTaskQueue>(cfg_.async_queue_depth);
+  const int workers = exec::resolve_workers(cfg_.async_workers);
+  async_threads_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    async_threads_.emplace_back([this] {
+      std::function<void()> task;
+      // pop_blocking keeps returning queued tasks after close() until the
+      // queue is drained, so shutdown completes every accepted request.
+      while (queue_->pop_blocking(task)) task();
+    });
+  }
+}
+
+GemmServer::~GemmServer() {
+  if (queue_) queue_->close();
+  for (std::thread& t : async_threads_) t.join();
 }
 
 GemmServer& GemmServer::global() {

@@ -28,13 +28,18 @@
 // result, same rung, same error message.
 #pragma once
 
+#include <future>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "baselines/reference.hpp"
 #include "core/kami.hpp"
+#include "exec/task_queue.hpp"
 #include "obs/metrics.hpp"
 #include "serve/error.hpp"
 #include "sim/device.hpp"
@@ -54,6 +59,15 @@ struct ServeConfig {
   double backoff_max_ms = 8.0;
   int breaker_failure_threshold = 3;    ///< consecutive failures that trip a rung
   int breaker_cooldown_requests = 8;    ///< open requests before a half-open probe
+
+  /// Async serving (submit_async): worker threads draining the bounded
+  /// request queue. 0 = defer to the KAMI_THREADS environment variable
+  /// (default 1). Workers start lazily on the first submit_async.
+  int async_workers = 0;
+  /// Capacity of the async request queue. A submit_async against a full
+  /// queue is refused with a ready ResourceExhausted future — backpressure
+  /// is typed, never blocking, and never touches breakers or retries.
+  std::size_t async_queue_depth = 64;
 };
 
 enum class BreakerState { Closed, Open, HalfOpen };
@@ -84,9 +98,35 @@ class GemmServer {
  public:
   explicit GemmServer(ServeConfig cfg = {}) : cfg_(cfg) {}
 
+  /// Drains and completes every queued async request, then joins the
+  /// workers: a future returned by submit_async is always eventually ready.
+  ~GemmServer();
+  GemmServer(const GemmServer&) = delete;
+  GemmServer& operator=(const GemmServer&) = delete;
+
   template <Scalar T>
   ServeResult<T> serve(core::Algo algo, const sim::DeviceSpec& dev, const Matrix<T>& A,
                        const Matrix<T>& B, core::GemmOptions opt = {});
+
+  /// Bounded-concurrency async request path: enqueue the request for the
+  /// worker pool (ServeConfig::async_workers, lazily started) and return a
+  /// future for its ServeResult. Operands are taken by value — the server
+  /// owns them for the request's lifetime. When the queue
+  /// (ServeConfig::async_queue_depth) is full, the future is already ready
+  /// with ErrorCode::ResourceExhausted; the refusal happens before any
+  /// ladder rung runs, so overload never trips breakers or burns retries.
+  /// The worker replays the submitting thread's FaultHooks, so an armed
+  /// fault applies to the request exactly as in a synchronous serve().
+  template <Scalar T>
+  std::future<ServeResult<T>> submit_async(core::Algo algo, const sim::DeviceSpec& dev,
+                                           Matrix<T> A, Matrix<T> B,
+                                           core::GemmOptions opt = {});
+
+  /// Queued-but-not-yet-claimed async requests (tests and dashboards).
+  std::size_t async_queue_size() const {
+    std::lock_guard lock(async_mu_);
+    return queue_ ? queue_->size() : 0;
+  }
 
   const ServeConfig& config() const noexcept { return cfg_; }
 
@@ -136,9 +176,18 @@ class GemmServer {
   /// retry number `attempt` (1-based count of the attempt that just failed).
   void backoff(int attempt) const;
 
+  /// Create the queue and start the async workers on first use.
+  void ensure_async_started();
+
   ServeConfig cfg_;
   mutable std::mutex mu_;
   std::map<RungKey, Breaker> breakers_;
+
+  // Async serving. queue_ is created once under async_mu_ and never
+  // reassigned, so workers use it without further locking.
+  mutable std::mutex async_mu_;
+  std::unique_ptr<exec::BoundedTaskQueue> queue_;
+  std::vector<std::thread> async_threads_;
 };
 
 // ---------------------------------------------------------------------------
@@ -148,7 +197,7 @@ template <Scalar T>
 ServeResult<T> GemmServer::serve(core::Algo algo, const sim::DeviceSpec& dev,
                                  const Matrix<T>& A, const Matrix<T>& B,
                                  core::GemmOptions opt) {
-  auto& metrics = obs::MetricRegistry::global();
+  auto& metrics = obs::MetricRegistry::current();
   metrics.counter("serve.requests").increment();
 
   ServeResult<T> out;
@@ -283,6 +332,48 @@ ServeResult<T> GemmServer::serve(core::Algo algo, const sim::DeviceSpec& dev,
     }
   }
   return fail(last.code, last.message);
+}
+
+template <Scalar T>
+std::future<ServeResult<T>> GemmServer::submit_async(core::Algo algo,
+                                                     const sim::DeviceSpec& dev,
+                                                     Matrix<T> A, Matrix<T> B,
+                                                     core::GemmOptions opt) {
+  ensure_async_started();
+  auto& metrics = obs::MetricRegistry::current();
+  metrics.counter("serve.async.submitted").increment();
+
+  // shared_ptr: std::function requires a copyable callable, std::promise is
+  // move-only.
+  auto promise = std::make_shared<std::promise<ServeResult<T>>>();
+  std::future<ServeResult<T>> future = promise->get_future();
+
+  const verify::FaultHooks hooks = verify::fault_hooks();
+  auto task = [this, promise, algo, spec = dev, a = std::move(A), b = std::move(B),
+               opt, hooks]() {
+    verify::ScopedFault fault(hooks);
+    try {
+      promise->set_value(serve(algo, spec, a, b, opt));
+    } catch (...) {
+      promise->set_exception(std::current_exception());
+    }
+  };
+
+  if (!queue_->try_push(std::move(task))) {
+    // Backpressure: typed refusal before any rung, breaker, or retry is
+    // touched — overload must not poison the resilience machinery.
+    metrics.counter("serve.async.rejected").increment();
+    ServeResult<T> refused;
+    refused.requested = algo;
+    refused.code = ErrorCode::ResourceExhausted;
+    refused.message = "async request queue full (depth " +
+                      std::to_string(queue_->capacity()) +
+                      "); retry after in-flight requests drain";
+    promise->set_value(std::move(refused));
+    return future;
+  }
+  metrics.counter("serve.async.accepted").increment();
+  return future;
 }
 
 }  // namespace kami::serve

@@ -8,7 +8,6 @@
 // identical cycle counts on every run (tested).
 #pragma once
 
-#include <functional>
 #include <memory>
 #include <vector>
 
@@ -51,7 +50,11 @@ class ThreadBlock {
   Warp& warp(int i) { return *warps_.at(static_cast<std::size_t>(i)); }
 
   /// Run one SPMD phase: the body executes once per warp, in warp-id order.
-  void phase(const std::function<void(Warp&)>& body) {
+  /// Templated on the body (rather than std::function) so the per-phase
+  /// type-erasure allocation and indirect call stay out of the innermost
+  /// simulator loop.
+  template <class Body>
+  void phase(Body&& body) {
     for (auto& w : warps_) body(*w);
   }
 
@@ -132,7 +135,7 @@ class ThreadBlock {
   // referenced by live fragments).
   std::vector<std::unique_ptr<Warp>> warps_;
   std::unique_ptr<Trace> trace_;
-  obs::Counter& syncs_ = obs::MetricRegistry::global().counter("sim.block.syncs");
+  obs::Counter& syncs_ = obs::MetricRegistry::current().counter("sim.block.syncs");
 };
 
 }  // namespace kami::sim

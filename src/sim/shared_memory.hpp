@@ -58,7 +58,7 @@ class SharedMemory {
     if (top_ > high_water_) high_water_ = top_;
     KAMI_INVARIANT(top_ <= bytes_.size() && high_water_ <= bytes_.size(),
                    "shared-memory allocator exceeded capacity");
-    auto& reg = obs::MetricRegistry::global();
+    auto& reg = obs::MetricRegistry::current();
     reg.counter("sim.smem.tile_allocs").increment();
     reg.gauge("sim.smem.high_water_bytes").set_max(static_cast<double>(high_water_));
     return tile;

@@ -23,7 +23,7 @@ KernelProfile profile_block(const ThreadBlock& blk, double useful_flops) {
 
   // Every profiled block feeds the observability layer: peak footprints as
   // high-water gauges, block latency as a distribution.
-  auto& reg = obs::MetricRegistry::global();
+  auto& reg = obs::MetricRegistry::current();
   reg.gauge("sim.block.smem_high_water_bytes").set_max(static_cast<double>(p.smem_bytes));
   reg.gauge("sim.block.reg_high_water_bytes")
       .set_max(static_cast<double>(p.reg_bytes_per_warp));

@@ -53,7 +53,7 @@ struct WarpMetricHandles {
   obs::Counter& sync_wait_cycles;
 
   static WarpMetricHandles acquire() {
-    auto& r = obs::MetricRegistry::global();
+    auto& r = obs::MetricRegistry::current();
     return WarpMetricHandles{r.counter("sim.smem.bytes_written"),
                              r.counter("sim.smem.bytes_read"),
                              r.counter("sim.smem.conflicted_transfers"),

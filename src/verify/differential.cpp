@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "baselines/reference.hpp"
+#include "exec/engine.hpp"
 #include "util/rng.hpp"
 #include "verify/invariants.hpp"
 
@@ -333,21 +334,35 @@ const std::vector<CheckPoint>& smoke_points() {
   return points;
 }
 
-FuzzReport run_fuzz(std::uint64_t base_seed, std::size_t iters) {
-  FuzzReport rep;
-  for (std::size_t i = 0; i < iters; ++i) {
-    const std::uint64_t seed = base_seed + i;
-    const CheckPoint p = random_point(seed);
-    CheckResult r;
+FuzzReport run_fuzz(std::uint64_t base_seed, std::size_t iters, int workers) {
+  // Fuzz points are seeded independently, so they fan out across the
+  // execution engine; each point's outcome lands in its seed-indexed slot
+  // and the report is folded serially, making the report (including
+  // failure order) bit-identical for every worker count.
+  const exec::ExecutionEngine engine(workers);
+  struct Outcome {
+    CheckResult result;
+    std::string spec;
+  };
+  const auto outcomes = engine.parallel_map<Outcome>(iters, [&](std::size_t i) {
+    const CheckPoint p = random_point(base_seed + i);
+    Outcome o;
+    o.spec = to_string(p);
     try {
-      r = check_point(p);
+      o.result = check_point(p);
     } catch (const std::exception& e) {
-      r = CheckResult{false, false, std::string("exception: ") + e.what()};
+      o.result = CheckResult{false, false, std::string("exception: ") + e.what()};
     }
+    return o;
+  });
+
+  FuzzReport rep;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const Outcome& o = outcomes[i];
     ++rep.ran;
-    if (!r.ok)
-      rep.failures.push_back({seed, r.detail + " [" + to_string(p) + "]"});
-    else if (r.skipped)
+    if (!o.result.ok)
+      rep.failures.push_back({base_seed + i, o.result.detail + " [" + o.spec + "]"});
+    else if (o.result.skipped)
       ++rep.skipped;
     else
       ++rep.passed;

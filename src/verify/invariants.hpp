@@ -72,9 +72,14 @@ struct FaultHooks {
   long long alloc_fail_countdown = -1;
 };
 
-/// The process-wide hook block (shared across translation units).
+/// The per-thread hook block (shared across translation units). Thread-local
+/// so concurrent simulations under the execution engine can't observe (or
+/// consume) each other's armed faults; the engine snapshots the submitting
+/// thread's hooks and re-installs them in each worker via ScopedFault, so a
+/// fault armed around a parallel_for applies to every task exactly as it
+/// would to every iteration of the serial loop.
 inline FaultHooks& fault_hooks() {
-  static FaultHooks hooks;
+  thread_local FaultHooks hooks;
   return hooks;
 }
 

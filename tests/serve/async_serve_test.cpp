@@ -1,0 +1,179 @@
+// submit_async contract: results bit-equal the synchronous path, the
+// submitting thread's FaultHooks are replayed in the worker, a full queue
+// refuses with a typed ResourceExhausted future (never blocking, never
+// touching breakers or retries), and the destructor drains every accepted
+// request so futures are always eventually ready.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <future>
+#include <iterator>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "serve/serve.hpp"
+#include "util/rng.hpp"
+#include "verify/invariants.hpp"
+
+namespace kami {
+namespace {
+
+using serve::ErrorCode;
+using serve::GemmServer;
+using serve::ServeConfig;
+using serve::ServeResult;
+
+double counter(const char* name) {
+  return obs::MetricRegistry::global().counter(name).value();
+}
+
+template <Scalar T>
+std::pair<Matrix<T>, Matrix<T>> operands(std::size_t m, std::size_t n, std::size_t k,
+                                         std::uint64_t seed = 1) {
+  Rng rng(seed);
+  Matrix<T> A = random_matrix<T>(m, k, rng);
+  Matrix<T> B = random_matrix<T>(k, n, rng);
+  return {std::move(A), std::move(B)};
+}
+
+template <Scalar T>
+bool bits_equal(const Matrix<T>& a, const Matrix<T>& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         (a.size() == 0 ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(T)) == 0);
+}
+
+TEST(AsyncServe, ResultsBitEqualSynchronousServe) {
+  GemmServer sync_server;
+  GemmServer async_server;
+  const std::size_t shapes[][3] = {{32, 32, 32}, {64, 64, 64}, {48, 16, 64}};
+  std::vector<std::future<ServeResult<fp16_t>>> futures;
+  std::vector<ServeResult<fp16_t>> want;
+  for (std::size_t i = 0; i < std::size(shapes); ++i) {
+    const auto [A, B] =
+        operands<fp16_t>(shapes[i][0], shapes[i][1], shapes[i][2], 100 + i);
+    want.push_back(sync_server.serve<fp16_t>(Algo::OneD, sim::gh200(), A, B));
+    futures.push_back(
+        async_server.submit_async<fp16_t>(Algo::OneD, sim::gh200(), A, B));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const ServeResult<fp16_t> got = futures[i].get();
+    ASSERT_TRUE(got.ok()) << got.message;
+    EXPECT_EQ(got.code, want[i].code);
+    EXPECT_EQ(got.rung_label, want[i].rung_label);
+    EXPECT_EQ(got.attempts, want[i].attempts);
+    EXPECT_EQ(got.warps, want[i].warps);
+    EXPECT_TRUE(bits_equal(got.C, want[i].C)) << "entry " << i;
+  }
+}
+
+TEST(AsyncServe, SubmitterFaultHooksReplayInWorker) {
+  GemmServer server;
+  const auto [A, B] = operands<fp16_t>(32, 32, 32);
+
+  std::future<ServeResult<fp16_t>> fut;
+  {
+    // Transient fault armed only for the duration of the submit call. The
+    // worker must still see it (snapshot semantics), fail once, retry, and
+    // serve on the second attempt.
+    verify::FaultHooks hooks;
+    hooks.warp_advance_skew = -1e9;
+    hooks.armed_runs = 1;
+    const verify::ScopedFault fault(hooks);
+    fut = server.submit_async<fp16_t>(Algo::OneD, sim::gh200(), A, B);
+  }
+  const ServeResult<fp16_t> r = fut.get();
+  ASSERT_TRUE(r.ok()) << r.message;
+  EXPECT_EQ(r.attempts, 2);
+  EXPECT_EQ(r.rung_label, "kami_1d");
+  // The submitting thread's own hooks are untouched afterwards.
+  EXPECT_EQ(verify::fault_hooks().warp_advance_skew, 0.0);
+}
+
+TEST(AsyncServe, FullQueueRefusesTypedWithoutTouchingBreakers) {
+  obs::ScopedMetricsReset reset;
+  ServeConfig cfg;
+  cfg.async_workers = 1;
+  cfg.async_queue_depth = 2;
+  cfg.backoff_base_ms = 30.0;  // transient-fault retries keep the worker busy
+  cfg.backoff_max_ms = 30.0;
+
+  constexpr std::size_t kBurst = 24;
+  std::vector<std::future<ServeResult<fp16_t>>> futures;
+  std::size_t refused = 0;
+  {
+    GemmServer server(cfg);
+    const auto [A, B] = operands<fp16_t>(32, 32, 32);
+    // First request carries a transient fault: the lone worker spends the
+    // retry backoff on it, so the burst below overflows the depth-2 queue.
+    {
+      verify::FaultHooks hooks;
+      hooks.warp_advance_skew = -1e9;
+      hooks.armed_runs = 1;
+      const verify::ScopedFault fault(hooks);
+      futures.push_back(
+          server.submit_async<fp16_t>(Algo::OneD, sim::gh200(), A, B));
+    }
+    for (std::size_t i = 1; i < kBurst; ++i)
+      futures.push_back(
+          server.submit_async<fp16_t>(Algo::OneD, sim::gh200(), A, B));
+
+    for (auto& f : futures) {
+      const ServeResult<fp16_t> r = f.get();
+      if (r.code == ErrorCode::ResourceExhausted) {
+        ++refused;
+        EXPECT_NE(r.message.find("async request queue full (depth 2)"),
+                  std::string::npos)
+            << r.message;
+        EXPECT_EQ(r.attempts, 0);  // refused before any rung ran
+      } else {
+        ASSERT_TRUE(r.ok()) << r.message;
+      }
+    }
+    // Overload never counts against the resilience machinery: the rung's
+    // breaker stays closed and no refusal burned a retry.
+    EXPECT_EQ(server.breaker_state(sim::gh200().name, Algo::OneD, Precision::FP16,
+                                   32, 32, 32),
+              serve::BreakerState::Closed);
+  }
+  EXPECT_GT(refused, 0u) << "burst never overflowed the depth-2 queue";
+  EXPECT_EQ(counter("serve.async.submitted"), static_cast<double>(kBurst));
+  EXPECT_EQ(counter("serve.async.accepted") + counter("serve.async.rejected"),
+            static_cast<double>(kBurst));
+  EXPECT_EQ(counter("serve.async.rejected"), static_cast<double>(refused));
+}
+
+TEST(AsyncServe, DestructorDrainsEveryAcceptedRequest) {
+  std::vector<std::future<ServeResult<fp16_t>>> futures;
+  {
+    ServeConfig cfg;
+    cfg.async_workers = 2;
+    GemmServer server(cfg);
+    for (std::uint64_t s = 0; s < 8; ++s) {
+      const auto [A, B] = operands<fp16_t>(32, 32, 32, s + 1);
+      futures.push_back(
+          server.submit_async<fp16_t>(Algo::OneD, sim::gh200(), A, B));
+    }
+  }  // ~GemmServer drains the queue and joins the workers
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+    const ServeResult<fp16_t> r = f.get();
+    EXPECT_TRUE(r.ok() || r.code == ErrorCode::ResourceExhausted) << r.message;
+  }
+}
+
+TEST(AsyncServe, ErrorsArriveTypedNotAsExceptions) {
+  GemmServer server;
+  // Inner dimensions disagree: must come back as a typed InvalidRequest
+  // through the future, not an exception.
+  Matrix<fp16_t> A(32, 16), B(32, 32);
+  auto fut = server.submit_async<fp16_t>(Algo::OneD, sim::gh200(), std::move(A),
+                                         std::move(B));
+  const ServeResult<fp16_t> r = fut.get();
+  EXPECT_EQ(r.code, ErrorCode::InvalidRequest);
+  EXPECT_FALSE(r.message.empty());
+}
+
+}  // namespace
+}  // namespace kami

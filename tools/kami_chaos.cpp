@@ -1,15 +1,21 @@
 // kami_chaos: the serving layer's chaos campaign (src/serve/chaos.hpp) as a
 // CLI.
 //
-//   kami_chaos [--points N] [--seed S] [--json out.json]
+//   kami_chaos [--points N] [--seed S] [--threads W] [--json out.json]
 //   kami_chaos --smoke [--json out.json]     small fixed campaign for CI
+//   kami_chaos --soak [...]                  shared-server sequential soak
 //
 // Each point serves a randomized GEMM request under randomized adversity
 // (injected transient/permanent faults, allocation failures, cycle deadlines,
-// execution modes) through a shared GemmServer and checks the resilience
-// contract: bit-correct result or typed error — never a crash, hang, or
-// silent corruption; deadline aborts replay deterministically. Exit status is
-// nonzero when any point violates the contract.
+// execution modes) and checks the resilience contract: bit-correct result or
+// typed error — never a crash, hang, or silent corruption; deadline aborts
+// replay deterministically. Exit status is nonzero when any point violates
+// the contract.
+//
+// The default campaign gives every point a fresh server (order-independent,
+// so it fans out across --threads workers with a bit-identical report).
+// --soak keeps the original shared-server mode: points run sequentially and
+// interact through the server's circuit breakers.
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -28,8 +34,9 @@ using kami::TablePrinter;
 
 int usage() {
   std::cerr << "usage:\n"
-            << "  kami_chaos [--points N] [--seed S] [--json out.json]\n"
-            << "  kami_chaos --smoke [--json out.json]\n";
+            << "  kami_chaos [--points N] [--seed S] [--threads W] [--json out.json]\n"
+            << "  kami_chaos --smoke [--json out.json]\n"
+            << "  kami_chaos --soak [--points N] [--seed S] [--json out.json]\n";
   return 2;
 }
 
@@ -46,8 +53,11 @@ TablePrinter count_table(const std::map<std::string, std::size_t>& counts) {
   return table;
 }
 
-int run(std::uint64_t seed, std::size_t points, const std::string& json_path) {
-  const kami::serve::ChaosReport rep = kami::serve::run_chaos(seed, points);
+int run(std::uint64_t seed, std::size_t points, int threads, bool soak,
+        const std::string& json_path) {
+  const kami::serve::ChaosReport rep =
+      soak ? kami::serve::run_chaos(seed, points)
+           : kami::serve::run_campaign(seed, points, threads);
 
   TablePrinter rungs = count_table(rep.by_rung);
   rungs.print(std::cout, "served by rung");
@@ -66,6 +76,8 @@ int run(std::uint64_t seed, std::size_t points, const std::string& json_path) {
   if (!json_path.empty()) {
     kami::obs::RunReport report("kami_chaos");
     report.set_meta("base_seed", std::to_string(seed));
+    report.set_meta("mode", soak ? "soak" : "campaign");
+    report.set_meta("threads", std::to_string(threads));
     report.set_meta("ran", std::to_string(rep.ran));
     report.set_meta("served_ok", std::to_string(rep.served_ok));
     report.set_meta("typed_errors", std::to_string(rep.typed_errors));
@@ -92,16 +104,20 @@ int main(int argc, char** argv) {
   const std::vector<std::string> args(argv + 1, argv + argc);
   std::uint64_t seed = 1;
   std::size_t points = 500;
+  int threads = 0;  // 0 = defer to KAMI_THREADS
+  bool soak = false;
   std::string json_path;
   try {
     for (std::size_t i = 0; i < args.size(); ++i) {
       if (args[i] == "--points" && i + 1 < args.size()) points = std::stoul(args[++i]);
       else if (args[i] == "--seed" && i + 1 < args.size()) seed = std::stoull(args[++i]);
+      else if (args[i] == "--threads" && i + 1 < args.size()) threads = std::stoi(args[++i]);
       else if (args[i] == "--json" && i + 1 < args.size()) json_path = args[++i];
       else if (args[i] == "--smoke") points = 60;
+      else if (args[i] == "--soak") soak = true;
       else return usage();
     }
-    return run(seed, points, json_path);
+    return run(seed, points, threads, soak, json_path);
   } catch (const std::exception& e) {
     std::cerr << "kami_chaos: " << e.what() << "\n";
     return 1;

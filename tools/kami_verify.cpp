@@ -3,7 +3,7 @@
 //   kami_verify --smoke [--json out.json]  curated cross-mode/reference points
 //                                          + invariant-layer self-test; exports
 //                                          a kami.obs.run report with --json
-//   kami_verify fuzz [--seed S] [--iters N] [--json out.json]
+//   kami_verify fuzz [--seed S] [--iters N] [--threads W] [--json out.json]
 //                                          randomized points seeded S, S+1, ...
 //   kami_verify repro <seed>               replay exactly one fuzz iteration
 //   kami_verify corpus <file>...           run point-per-line regression files
@@ -31,7 +31,7 @@ using kami::verify::CheckResult;
 int usage() {
   std::cerr << "usage:\n"
             << "  kami_verify --smoke [--json out.json]\n"
-            << "  kami_verify fuzz [--seed S] [--iters N] [--json out.json]\n"
+            << "  kami_verify fuzz [--seed S] [--iters N] [--threads W] [--json out.json]\n"
             << "  kami_verify repro <seed>\n"
             << "  kami_verify corpus <file>...\n";
   return 2;
@@ -89,8 +89,9 @@ int cmd_smoke(const std::string& json_path) {
   return failures == 0 ? 0 : 1;
 }
 
-int cmd_fuzz(std::uint64_t seed, std::size_t iters, const std::string& json_path) {
-  const kami::verify::FuzzReport rep = kami::verify::run_fuzz(seed, iters);
+int cmd_fuzz(std::uint64_t seed, std::size_t iters, int threads,
+             const std::string& json_path) {
+  const kami::verify::FuzzReport rep = kami::verify::run_fuzz(seed, iters, threads);
   TablePrinter table({"seed", "detail"});
   for (const auto& f : rep.failures) table.add_row({std::to_string(f.seed), f.detail});
   if (!rep.failures.empty()) table.print(std::cout, "fuzz failures");
@@ -99,6 +100,7 @@ int cmd_fuzz(std::uint64_t seed, std::size_t iters, const std::string& json_path
     kami::obs::RunReport report("kami_verify");
     report.set_meta("mode", "fuzz");
     report.set_meta("base_seed", std::to_string(seed));
+    report.set_meta("threads", std::to_string(threads));
     report.set_meta("ran", std::to_string(rep.ran));
     report.set_meta("passed", std::to_string(rep.passed));
     report.set_meta("skipped", std::to_string(rep.skipped));
@@ -163,15 +165,18 @@ int main(int argc, char** argv) {
     if (args[0] == "fuzz") {
       std::uint64_t seed = 1;
       std::size_t iters = 25;
+      int threads = 0;  // 0 = defer to KAMI_THREADS
       std::string json_path;
       for (std::size_t i = 1; i < args.size(); ++i) {
         if (args[i] == "--seed" && i + 1 < args.size()) seed = std::stoull(args[++i]);
         else if (args[i] == "--iters" && i + 1 < args.size())
           iters = std::stoul(args[++i]);
+        else if (args[i] == "--threads" && i + 1 < args.size())
+          threads = std::stoi(args[++i]);
         else if (args[i] == "--json" && i + 1 < args.size()) json_path = args[++i];
         else return usage();
       }
-      return cmd_fuzz(seed, iters, json_path);
+      return cmd_fuzz(seed, iters, threads, json_path);
     }
     if (args[0] == "repro") {
       if (args.size() != 2) return usage();
