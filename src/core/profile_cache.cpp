@@ -43,6 +43,11 @@ void ProfileCache::insert(const ProfileKey& key, const CachedProfile& value) {
   size_gauge_.set(static_cast<double>(index_.size()));
 }
 
+bool ProfileCache::contains(const ProfileKey& key) const {
+  const std::scoped_lock lock(mu_);
+  return index_.find(key) != index_.end();
+}
+
 std::size_t ProfileCache::size() const {
   const std::scoped_lock lock(mu_);
   return index_.size();

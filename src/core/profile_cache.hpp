@@ -87,6 +87,10 @@ class ProfileCache {
   /// when at capacity.
   void insert(const ProfileKey& key, const CachedProfile& value);
 
+  /// Presence peek for observers (e.g. the serving layer's plan span): no
+  /// hit/miss counters, no LRU promotion — find() semantics are unchanged.
+  bool contains(const ProfileKey& key) const;
+
   std::size_t size() const;
   std::size_t capacity() const noexcept { return capacity_; }
   void clear();

@@ -29,13 +29,16 @@
 // and the engine re-installs the submitting thread's hooks in every task.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/trace_span.hpp"
 #include "verify/invariants.hpp"
 
 namespace kami::exec {
@@ -67,21 +70,63 @@ class ExecutionEngine {
   /// indices throw, the shards of tasks past the lowest failing index are
   /// discarded and that lowest-index exception is rethrown — exactly the
   /// state a serial loop would have left behind.
+  ///
+  /// Span propagation: when the submitting thread has an active tracer
+  /// (obs::current_tracer()), every task gets its own shard TraceBuilder
+  /// rooted at a "task[i]" span that starts at the parent's clock; shards
+  /// are grafted back under the parent's innermost open span in task-index
+  /// order and the parent clock advances once, by the maximum shard clock —
+  /// tasks are concurrent, so the region costs its critical path. The
+  /// serial path builds the identical shard structure, so a traced region
+  /// is bit-identical at every worker count. On an exception, shards up to
+  /// and including the lowest failing index are grafted (mirroring the
+  /// metric-shard contract) before the rethrow.
   template <class Fn>
   void parallel_for(std::size_t n, Fn&& fn) const {
     if (n == 0) return;
+    obs::TraceBuilder* tracer = obs::current_tracer();
     if (workers_ <= 1 || n == 1) {
-      for (std::size_t i = 0; i < n; ++i) fn(i);
+      if (tracer == nullptr) {
+        for (std::size_t i = 0; i < n; ++i) fn(i);
+        return;
+      }
+      const double start = tracer->clock();
+      double max_clock = start;
+      for (std::size_t i = 0; i < n; ++i) {
+        obs::TraceBuilder shard("shard", "task[" + std::to_string(i) + "]", start);
+        std::exception_ptr error;
+        {
+          obs::ScopedTracer scoped(&shard);
+          try {
+            fn(i);
+          } catch (...) {
+            error = std::current_exception();
+          }
+        }
+        max_clock = std::max(max_clock, shard.clock());
+        tracer->graft(shard.finish());
+        if (error) {
+          tracer->advance(max_clock - start);
+          std::rethrow_exception(error);
+        }
+      }
+      tracer->advance(max_clock - start);
       return;
     }
     obs::MetricRegistry& parent = obs::MetricRegistry::current();
     const verify::FaultHooks hooks = verify::fault_hooks();
     // deque, not vector: MetricRegistry holds a mutex and is immovable.
     std::deque<obs::MetricRegistry> shards(n);
+    std::deque<obs::TraceBuilder> trace_shards;
+    const double start = tracer != nullptr ? tracer->clock() : 0.0;
+    if (tracer != nullptr)
+      for (std::size_t i = 0; i < n; ++i)
+        trace_shards.emplace_back("shard", "task[" + std::to_string(i) + "]", start);
     std::vector<std::exception_ptr> errors(n);
     const auto task = [&](std::size_t i) {
       verify::ScopedFault fault(hooks);
       obs::ScopedMetricShard shard(shards[i]);
+      obs::ScopedTracer scoped(tracer != nullptr ? &trace_shards[i] : nullptr);
       try {
         fn(i);
       } catch (...) {
@@ -89,10 +134,19 @@ class ExecutionEngine {
       }
     };
     run_region(n, task);
+    double max_clock = start;
     for (std::size_t i = 0; i < n; ++i) {
       parent.merge_from(shards[i]);
-      if (errors[i]) std::rethrow_exception(errors[i]);
+      if (tracer != nullptr) {
+        max_clock = std::max(max_clock, trace_shards[i].clock());
+        tracer->graft(trace_shards[i].finish());
+      }
+      if (errors[i]) {
+        if (tracer != nullptr) tracer->advance(max_clock - start);
+        std::rethrow_exception(errors[i]);
+      }
     }
+    if (tracer != nullptr) tracer->advance(max_clock - start);
   }
 
   /// parallel_for that collects fn(i) into a pre-sized vector slot i.

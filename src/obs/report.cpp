@@ -86,6 +86,7 @@ Json RunReport::to_json() const {
 
   if (!metrics_.is_null()) doc.set("metrics", metrics_);
   if (!regions_.is_null()) doc.set("regions", regions_);
+  if (!slo_.is_null()) doc.set("slo", slo_);
 
   if (utilization_) {
     Json ju = Json::object();
@@ -114,9 +115,11 @@ RunReport RunReport::from_json(const Json& doc) {
   const Json* version = doc.find("schema_version");
   if (version == nullptr || !version->is_number())
     throw SchemaError("missing schema_version");
-  if (static_cast<int>(version->as_number()) != kRunSchemaVersion)
+  const int ver = static_cast<int>(version->as_number());
+  if (ver < kRunSchemaMinVersion || ver > kRunSchemaVersion)
     throw SchemaError("unsupported schema_version " + json_number(version->as_number()) +
-                      " (this build reads version " +
+                      " (this build reads versions " +
+                      std::to_string(kRunSchemaMinVersion) + ".." +
                       std::to_string(kRunSchemaVersion) + ")");
 
   RunReport report(doc.at("name").as_string());
@@ -155,6 +158,7 @@ RunReport RunReport::from_json(const Json& doc) {
 
   if (const Json* metrics = doc.find("metrics")) report.metrics_ = *metrics;
   if (const Json* regions = doc.find("regions")) report.regions_ = *regions;
+  if (const Json* slo = doc.find("slo")) report.slo_ = *slo;
 
   if (const Json* ju = doc.find("utilization")) {
     UtilizationTimeline u;

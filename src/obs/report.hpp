@@ -1,14 +1,14 @@
 // RunReport: the machine-readable artifact of one benchmark or profiling
 // run — the tables a binary printed, structured cycle breakdowns, a metric
 // snapshot, the region tree, and an optional utilization timeline — with a
-// stable, versioned JSON schema ("kami.obs.run", version 1) so exported
+// stable, versioned JSON schema ("kami.obs.run", version 2) so exported
 // runs can be reloaded, reprinted, and diffed by `tools/kami_prof` long
 // after the code that produced them has changed.
 //
-// Schema v1 (all sections except schema/schema_version/name are optional):
+// Schema v2 (all sections except schema/schema_version/name are optional):
 //   {
 //     "schema": "kami.obs.run",
-//     "schema_version": 1,
+//     "schema_version": 2,
 //     "name": "<binary or experiment name>",
 //     "meta": {"key": "value", ...},
 //     "tables": [{"title": str, "headers": [str], "rows": [[str]]}],
@@ -17,8 +17,13 @@
 //     "metrics": {"counters": {...}, "gauges": {...}, "histograms": {...}},
 //     "regions": [{name, count, total_cycles, self_cycles, children}],
 //     "utilization": {"bucket_cycles": num, "wall_cycles": num,
-//                     "resources": [{"name": str, "busy": [num]}]}
+//                     "resources": [{"name": str, "busy": [num]}]},
+//     "slo": {"classes": [{"class": str, "requests": num, ...,
+//                          "latency_cycles": {count, mean, p50, p90, p99,
+//                          max}}]}   (v2; serve::SloTracker::to_json)
 //   }
+// v2 adds the optional "slo" section (per-shape-class SLO attainment from
+// the serving layer); v1 documents, which simply lack it, still load.
 // Table cells are stored as the exact strings the text table printed, so a
 // reload reproduces the human output byte for byte.
 #pragma once
@@ -40,7 +45,9 @@ class TablePrinter;  // util/table.hpp
 namespace kami::obs {
 
 inline constexpr const char* kRunSchemaName = "kami.obs.run";
-inline constexpr int kRunSchemaVersion = 1;
+inline constexpr int kRunSchemaVersion = 2;
+/// Oldest schema_version from_json still accepts (v1 = everything but slo).
+inline constexpr int kRunSchemaMinVersion = 1;
 
 /// Thrown when a loaded document is not a valid kami.obs.run of a known
 /// version.
@@ -113,6 +120,10 @@ class RunReport {
     return utilization_;
   }
 
+  /// Per-shape-class SLO accounting (v2); pass serve::SloTracker::to_json().
+  void set_slo(Json slo) { slo_ = std::move(slo); }
+  const Json& slo() const noexcept { return slo_; }
+
   Json to_json() const;
   static RunReport from_json(const Json& doc);
 
@@ -127,6 +138,7 @@ class RunReport {
   std::vector<Breakdown> breakdowns_;
   Json metrics_;  // null when never set
   Json regions_;  // null when never set
+  Json slo_;      // null when never set (v2 section)
   std::optional<UtilizationTimeline> utilization_;
 };
 

@@ -263,9 +263,14 @@ void fold_outcome(ChaosReport& report, std::uint64_t seed, const ChaosPoint& p,
 
 }  // namespace
 
-ChaosReport run_chaos(std::uint64_t base_seed, std::size_t points) {
+ChaosReport run_chaos(std::uint64_t base_seed, std::size_t points,
+                      const std::shared_ptr<obs::FlightRecorder>& flight,
+                      const std::shared_ptr<SloTracker>& slo) {
   ChaosReport report;
-  GemmServer server;
+  ServeConfig cfg;
+  cfg.flight = flight;
+  cfg.slo = slo;
+  GemmServer server(cfg);
   for (std::size_t i = 0; i < points; ++i) {
     const std::uint64_t seed = base_seed + i;
     const ChaosPoint p = chaos_point(seed);
@@ -275,12 +280,18 @@ ChaosReport run_chaos(std::uint64_t base_seed, std::size_t points) {
   return report;
 }
 
-ChaosReport run_campaign(std::uint64_t base_seed, std::size_t points, int workers) {
+ChaosReport run_campaign(std::uint64_t base_seed, std::size_t points, int workers,
+                         const std::shared_ptr<obs::FlightRecorder>& flight,
+                         const std::shared_ptr<SloTracker>& slo) {
   // Replication-parallel variant of run_chaos: every point gets a fresh
   // server, so points never interact through breaker state and the campaign
   // is order-independent. Outcomes land in seed-indexed slots and the
   // report is folded serially in seed order — bit-identical (counts, map
-  // contents, violation order) for every worker count.
+  // contents, violation order) for every worker count. Observability rides
+  // the same mechanism: each point traces into its own recorder/tracker
+  // (request ids prefixed by the seed, so they stay globally unique), and
+  // the per-point contents are folded into `flight`/`slo` in seed order —
+  // the dump bytes never depend on the worker count.
   const exec::ExecutionEngine engine(workers);
   struct PointOutcome {
     ChaosPoint point;
@@ -289,15 +300,29 @@ ChaosReport run_campaign(std::uint64_t base_seed, std::size_t points, int worker
   const auto outcomes =
       engine.parallel_map<PointOutcome>(points, [&](std::size_t i) {
         PointOutcome po;
-        po.point = chaos_point(base_seed + i);
-        GemmServer server;
+        const std::uint64_t seed = base_seed + i;
+        po.point = chaos_point(seed);
+        ServeConfig cfg;
+        if (flight) {
+          cfg.flight = std::make_shared<obs::FlightRecorder>(flight->config());
+          cfg.request_id_prefix = "seed" + std::to_string(seed);
+        }
+        if (slo) cfg.slo = std::make_shared<SloTracker>();
+        GemmServer server(cfg);
         po.outcome = run_chaos_point(server, po.point);
+        if (cfg.flight) po.outcome.traces = cfg.flight->snapshot();
+        po.outcome.slo = cfg.slo;
         return po;
       });
 
   ChaosReport report;
-  for (std::size_t i = 0; i < outcomes.size(); ++i)
-    fold_outcome(report, base_seed + i, outcomes[i].point, outcomes[i].outcome);
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const PointOutcome& po = outcomes[i];
+    fold_outcome(report, base_seed + i, po.point, po.outcome);
+    if (flight)
+      for (const obs::RequestTrace& t : po.outcome.traces) flight->record(t);
+    if (slo && po.outcome.slo) slo->merge_from(*po.outcome.slo);
+  }
   return report;
 }
 

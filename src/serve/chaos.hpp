@@ -26,6 +26,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -64,6 +65,12 @@ struct ChaosOutcome {
   ErrorCode code = ErrorCode::Ok;
   std::string message;     ///< the ServeResult's error message (typed failures)
   std::string rung_label;  ///< rung that served, or "error"
+  /// Request traces the point's server recorded (campaign mode harvests
+  /// per-point recorders here, then folds them in seed order).
+  std::vector<obs::RequestTrace> traces;
+  /// Per-point SLO accounting in campaign mode (shared_ptr: SloTracker is
+  /// immovable, outcomes must be move-assignable for parallel_map).
+  std::shared_ptr<SloTracker> slo;
 };
 
 /// Serve one point under its chaos conditions and check the contract.
@@ -91,15 +98,24 @@ struct ChaosReport {
 /// Run points seeded base_seed, base_seed+1, ... through one shared server
 /// (so points interact through its circuit breakers, exactly like a real
 /// serving process under sustained faults). Inherently sequential: point i
-/// observes breaker state left by point i-1.
-ChaosReport run_chaos(std::uint64_t base_seed, std::size_t points);
+/// observes breaker state left by point i-1. When `flight`/`slo` are set
+/// they are attached to the shared server, so every request (including
+/// every typed failure) is traced and accounted.
+ChaosReport run_chaos(std::uint64_t base_seed, std::size_t points,
+                      const std::shared_ptr<obs::FlightRecorder>& flight = nullptr,
+                      const std::shared_ptr<SloTracker>& slo = nullptr);
 
 /// Replication-parallel campaign: the same seeded points, each served by a
 /// fresh GemmServer (no cross-point breaker coupling), fanned out across
 /// the execution engine. `workers` 0 = defer to KAMI_THREADS, 1 = serial.
 /// The report is bit-identical for every worker count; it differs from
 /// run_chaos only where run_chaos's shared breakers short-circuited points.
-ChaosReport run_campaign(std::uint64_t base_seed, std::size_t points,
-                         int workers = 1);
+/// When `flight`/`slo` are set, each point serves through a fresh per-point
+/// recorder/tracker (request ids prefixed "seed<n>") whose contents are
+/// folded into `flight`/`slo` serially in seed order — the dump is
+/// byte-identical at every worker count.
+ChaosReport run_campaign(std::uint64_t base_seed, std::size_t points, int workers = 1,
+                         const std::shared_ptr<obs::FlightRecorder>& flight = nullptr,
+                         const std::shared_ptr<SloTracker>& slo = nullptr);
 
 }  // namespace kami::serve

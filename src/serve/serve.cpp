@@ -86,11 +86,14 @@ std::vector<GemmServer::Rung> GemmServer::build_ladder(core::Algo requested,
   return ladder;
 }
 
-bool GemmServer::breaker_admit(const RungKey& key, ServeError* out) {
+bool GemmServer::breaker_admit(const RungKey& key, ServeError* out,
+                               BreakerState* observed) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (observed != nullptr) *observed = BreakerState::Closed;
   auto it = breakers_.find(key);
   if (it == breakers_.end()) return true;
   Breaker& b = it->second;
+  if (observed != nullptr) *observed = b.state;
   switch (b.state) {
     case BreakerState::Closed:
     case BreakerState::HalfOpen:
@@ -109,6 +112,7 @@ bool GemmServer::breaker_admit(const RungKey& key, ServeError* out) {
       }
       // Cooldown expired: this request is the half-open probe.
       b.state = BreakerState::HalfOpen;
+      if (observed != nullptr) *observed = BreakerState::HalfOpen;
       obs::MetricRegistry::current().counter("serve.breaker.half_open_probes").increment();
       return true;
   }
@@ -150,12 +154,13 @@ void GemmServer::reset_breakers() {
   breakers_.clear();
 }
 
-void GemmServer::backoff(int attempt) const {
-  if (cfg_.backoff_base_ms <= 0.0) return;
+double GemmServer::backoff(int attempt) const {
+  if (cfg_.backoff_base_ms <= 0.0) return 0.0;
   const double ms =
       std::min(cfg_.backoff_base_ms * std::ldexp(1.0, attempt - 1), cfg_.backoff_max_ms);
   obs::MetricRegistry::current().counter("serve.backoff_ms").add(ms);
   std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+  return ms;
 }
 
 void GemmServer::ensure_async_started() {

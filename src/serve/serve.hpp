@@ -24,14 +24,24 @@
 //     breaker_cooldown_requests requests, then a half-open probe decides
 //     whether to close it again.
 //
+// Every request is additionally observable: it gets a request id, its
+// end-to-end and queue-wait latencies land in serve.* histograms and the
+// attached SloTracker, and — when a FlightRecorder is attached — a full
+// span trace (admit -> queue_wait -> per-rung plan/attempt/backoff ->
+// typed completion) on the deterministic logical-cycle timeline
+// obs::TraceBuilder defines.
+//
 // Everything is deterministic: same request + same fault state => same
-// result, same rung, same error message.
+// result, same rung, same error message, same trace bytes.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <future>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <utility>
@@ -39,10 +49,15 @@
 
 #include "baselines/reference.hpp"
 #include "core/kami.hpp"
+#include "core/profile_cache.hpp"
 #include "exec/task_queue.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace_span.hpp"
 #include "serve/error.hpp"
+#include "serve/slo.hpp"
 #include "sim/device.hpp"
+#include "sim/exec_mode.hpp"
 #include "verify/invariants.hpp"
 
 namespace kami::serve {
@@ -68,6 +83,19 @@ struct ServeConfig {
   /// queue is refused with a ready ResourceExhausted future — backpressure
   /// is typed, never blocking, and never touches breakers or retries.
   std::size_t async_queue_depth = 64;
+
+  /// Build a span trace per request. Traces are only materialized when a
+  /// flight recorder is attached, so the default configuration pays nothing.
+  bool tracing = true;
+  /// Request ids are "<prefix>-<n>" with n counting from 1 per server; the
+  /// chaos campaign stamps a per-seed prefix so ids stay unique (and
+  /// deterministic) across its per-point servers.
+  std::string request_id_prefix = "req";
+  /// Destination for finished request traces (shared so dashboards and the
+  /// server can outlive each other); nullptr disables tracing entirely.
+  std::shared_ptr<obs::FlightRecorder> flight;
+  /// Per-shape-class SLO accounting; works with or without tracing.
+  std::shared_ptr<SloTracker> slo;
 };
 
 enum class BreakerState { Closed, Open, HalfOpen };
@@ -165,21 +193,46 @@ class GemmServer {
 
   static std::vector<Rung> build_ladder(core::Algo requested, const ServeConfig& cfg);
 
+  /// Per-request carry-through from the submission site into the ladder:
+  /// the request id and how long the request sat in the async queue
+  /// (0 for synchronous serves, which never queue).
+  struct RequestContext {
+    std::string id;
+    double queue_wait_cycles = 0.0;
+  };
+
+  std::string next_request_id() {
+    return cfg_.request_id_prefix + "-" +
+           std::to_string(request_counter_.fetch_add(1, std::memory_order_relaxed) + 1);
+  }
+
+  /// The instrumented ladder shared by serve() and the async workers.
+  template <Scalar T>
+  ServeResult<T> serve_request(const RequestContext& ctx, core::Algo algo,
+                               const sim::DeviceSpec& dev, const Matrix<T>& A,
+                               const Matrix<T>& B, core::GemmOptions opt);
+
   /// Admission decision: true = run the rung (Closed, or Open whose cooldown
   /// just expired — the half-open probe). False = short-circuit; *out gets
-  /// the breaker's stored failure for the typed error.
-  bool breaker_admit(const RungKey& key, ServeError* out);
+  /// the breaker's stored failure for the typed error. `observed` (optional)
+  /// receives the state the decision saw — Open for a short-circuit,
+  /// HalfOpen for the probe — for the rung span's breaker attribute.
+  bool breaker_admit(const RungKey& key, ServeError* out,
+                     BreakerState* observed = nullptr);
   void breaker_record(const RungKey& key, bool success, ErrorCode code,
                       const std::string& message);
 
   /// Sleep (when configured) and publish the bounded exponential backoff for
   /// retry number `attempt` (1-based count of the attempt that just failed).
-  void backoff(int attempt) const;
+  /// Returns the applied delay in milliseconds (0 when disabled) so the
+  /// request trace can advance its logical clock by the same quantity.
+  double backoff(int attempt) const;
 
   /// Create the queue and start the async workers on first use.
   void ensure_async_started();
 
   ServeConfig cfg_;
+  std::atomic<std::uint64_t> request_counter_{0};
   mutable std::mutex mu_;
   std::map<RungKey, Breaker> breakers_;
 
@@ -197,21 +250,71 @@ template <Scalar T>
 ServeResult<T> GemmServer::serve(core::Algo algo, const sim::DeviceSpec& dev,
                                  const Matrix<T>& A, const Matrix<T>& B,
                                  core::GemmOptions opt) {
+  return serve_request(RequestContext{next_request_id(), 0.0}, algo, dev, A, B, opt);
+}
+
+template <Scalar T>
+ServeResult<T> GemmServer::serve_request(const RequestContext& ctx, core::Algo algo,
+                                         const sim::DeviceSpec& dev, const Matrix<T>& A,
+                                         const Matrix<T>& B, core::GemmOptions opt) {
   auto& metrics = obs::MetricRegistry::current();
   metrics.counter("serve.requests").increment();
 
   ServeResult<T> out;
   out.requested = algo;
 
+  const std::size_t m = A.rows(), k = A.cols(), n = B.cols();
+
+  // The request's logical clock: begins at 0, advances only by deterministic
+  // simulated quantities (queue wait, kernel latency, deadline budget,
+  // configured backoff). It exists whether or not a trace is built — the
+  // serve.end_to_end_cycles histogram and the SLO tracker read it.
+  double clock = 0.0;
+  std::optional<obs::TraceBuilder> trace;
+  if (cfg_.tracing && cfg_.flight) {
+    trace.emplace(ctx.id);
+    trace->set_meta("algo", algo_name(algo));
+    trace->set_meta("device", dev.name);
+    trace->set_meta("precision", precision_name(num_traits<T>::precision));
+    trace->set_meta("m", std::to_string(m));
+    trace->set_meta("n", std::to_string(n));
+    trace->set_meta("k", std::to_string(k));
+  }
+  const auto advance = [&](double cycles) {
+    clock += cycles;
+    if (trace) trace->advance(cycles);
+  };
+
+  // Completion funnel: every exit path lands here exactly once to publish
+  // the latency histograms, the SLO record, and the finished trace
+  // (TraceBuilder::finish closes any still-open spans at the final clock).
+  const auto complete = [&] {
+    metrics.histogram("serve.queue_wait_cycles").observe(ctx.queue_wait_cycles);
+    metrics.histogram("serve.end_to_end_cycles").observe(clock);
+    if (cfg_.slo)
+      cfg_.slo->record(m, n, k, out.code, out.rung_label, clock, opt.deadline_cycles);
+    if (trace) {
+      trace->root_attr("code", error_code_name(out.code));
+      if (!out.message.empty()) trace->root_attr("error", out.message);
+      if (!out.rung_label.empty()) trace->root_attr("rung_label", out.rung_label);
+      trace->root_attr_num("rung", static_cast<double>(out.rung));
+      trace->root_attr_num("attempts", static_cast<double>(out.attempts));
+      trace->root_attr("degraded", out.degraded ? "true" : "false");
+      cfg_.flight->record(trace->finish());
+    }
+  };
+
   const auto fail = [&](ErrorCode code, const std::string& message) {
     out.code = code;
     out.message = message;
     metrics.counter("serve.errors").increment();
     metrics.counter(std::string("serve.error.") + error_code_name(code)).increment();
+    complete();
     return out;
   };
 
-  // -- request validation: typed errors, never exceptions.
+  // -- admission: typed validation errors, never exceptions.
+  if (trace) trace->open("admit");
   if (algo != core::Algo::OneD && algo != core::Algo::TwoD && algo != core::Algo::ThreeD)
     return fail(ErrorCode::InvalidRequest,
                 "unknown algorithm: " + std::to_string(static_cast<int>(algo)));
@@ -220,8 +323,14 @@ ServeResult<T> GemmServer::serve(core::Algo algo, const sim::DeviceSpec& dev,
                 "inner dimensions disagree: A is " + std::to_string(A.rows()) + "x" +
                     std::to_string(A.cols()) + " but B is " + std::to_string(B.rows()) +
                     "x" + std::to_string(B.cols()));
-
-  const std::size_t m = A.rows(), k = A.cols(), n = B.cols();
+  if (trace) {
+    trace->attr("result", "admitted");
+    trace->close();
+    trace->open("queue_wait");
+    trace->attr_num("cycles", ctx.queue_wait_cycles);
+  }
+  advance(ctx.queue_wait_cycles);
+  if (trace) trace->close();
 
   // -- degenerate shapes are well-defined, mode-independent no-ops: an empty
   // product (m or n zero) or an empty reduction (k zero, C = 0).
@@ -233,6 +342,7 @@ ServeResult<T> GemmServer::serve(core::Algo algo, const sim::DeviceSpec& dev,
     out.rung = 0;
     metrics.counter("serve.ok").increment();
     metrics.counter("serve.served.degenerate").increment();
+    complete();
     return out;
   }
 
@@ -243,9 +353,22 @@ ServeResult<T> GemmServer::serve(core::Algo algo, const sim::DeviceSpec& dev,
     const Rung& rung = ladder[r];
     const RungKey key{dev.name, rung.algo, num_traits<T>::precision, m, n, k};
 
+    if (trace) {
+      trace->open("rung[" + std::to_string(r) + "]");
+      trace->attr("label", rung.label);
+      trace->attr("algo", rung.reference ? "reference" : algo_name(rung.algo));
+    }
+
     if (!rung.reference) {
       ServeError short_circuit;
-      if (!breaker_admit(key, &short_circuit)) {
+      BreakerState observed = BreakerState::Closed;
+      const bool admitted = breaker_admit(key, &short_circuit, &observed);
+      if (trace) trace->attr("breaker", breaker_state_name(observed));
+      if (!admitted) {
+        if (trace) {
+          trace->attr("skipped", "breaker_open");
+          trace->close_to(1);
+        }
         last = short_circuit;
         continue;  // breaker open: route straight to the next rung
       }
@@ -271,11 +394,42 @@ ServeResult<T> GemmServer::serve(core::Algo algo, const sim::DeviceSpec& dev,
       metrics.counter("serve.degraded").increment();
       metrics.counter("serve.served.reference").increment();
       metrics.histogram("serve.rung").observe(static_cast<double>(r));
+      if (trace) {
+        trace->attr("result", "ok");
+        trace->close_to(1);
+      }
+      complete();
       return out;
+    }
+
+    if (trace) {
+      // The plan span is an observation, not a decision: it replays the
+      // planner (plan_gemm is deterministic and cheap relative to a
+      // simulation) to report the resolved configuration and whether a
+      // timing profile for it is already cached. find() semantics — and so
+      // profile_cache.{hits,misses} — are untouched.
+      trace->open("plan");
+      try {
+        const core::Plan plan =
+            core::plan_gemm(rung.algo, dev, num_traits<T>::precision, m, n, k, ropt);
+        const core::ProfileKey pkey = core::ProfileKey::make(
+            rung.algo, dev, num_traits<T>::precision, m, n, k, ropt, plan);
+        trace->attr("profile_cache",
+                    core::ProfileCache::global().contains(pkey) ? "hit" : "miss");
+        trace->attr_num("warps", static_cast<double>(plan.p));
+        trace->attr_num("smem_ratio", plan.smem_ratio);
+      } catch (const std::exception& e) {
+        trace->attr("plan_error", e.what());
+      }
+      trace->close();
     }
 
     for (int attempt = 1; attempt <= cfg_.max_attempts_per_rung; ++attempt) {
       ++out.attempts;
+      if (trace) {
+        trace->open("attempt[" + std::to_string(attempt) + "]");
+        trace->attr("exec_mode", sim::exec_mode_name(ropt.mode));
+      }
       try {
         core::GemmResult<T> res = kami::gemm(rung.algo, dev, A, B, ropt);
         breaker_record(key, true, ErrorCode::Ok, "");
@@ -292,6 +446,13 @@ ServeResult<T> GemmServer::serve(core::Algo algo, const sim::DeviceSpec& dev,
         if (out.degraded) metrics.counter("serve.degraded").increment();
         metrics.counter(std::string("serve.served.") + rung.label).increment();
         metrics.histogram("serve.rung").observe(static_cast<double>(r));
+        advance(res.profile.latency);
+        if (trace) {
+          trace->attr("result", "ok");
+          trace->attr_num("latency_cycles", res.profile.latency);
+          trace->close_to(1);
+        }
+        complete();
         return out;
       } catch (...) {
         const ErrorCode code = classify_exception(std::current_exception());
@@ -302,10 +463,15 @@ ServeResult<T> GemmServer::serve(core::Algo algo, const sim::DeviceSpec& dev,
           message = e.what();
         } catch (...) {
         }
+        if (trace) {
+          trace->attr("result", error_code_name(code));
+          trace->attr("error", message);
+        }
 
         if (code == ErrorCode::DeadlineExceeded) {
           // The cycle budget is spent; a lower rung would spend more. Typed,
           // terminal, and deterministic (same request => same abort point).
+          advance(opt.deadline_cycles > 0.0 ? opt.deadline_cycles : 0.0);
           return fail(code, message);
         }
         if (code == ErrorCode::InternalInvariant) {
@@ -320,13 +486,24 @@ ServeResult<T> GemmServer::serve(core::Algo algo, const sim::DeviceSpec& dev,
           if (auto& hooks = verify::fault_hooks(); hooks.armed_runs > 0)
             --hooks.armed_runs;
           metrics.counter("serve.retries").increment();
-          backoff(attempt);
+          if (trace) trace->close_to(2);  // close the attempt, keep the rung
+          const double delay_ms = backoff(attempt);
+          if (delay_ms > 0.0) {
+            if (trace) {
+              trace->open("backoff");
+              trace->attr_num("delay_ms", delay_ms);
+            }
+            // 1 GHz = 1 cycle/ns, so ms * GHz * 1e6 = simulated cycles.
+            advance(delay_ms * dev.boost_clock_ghz * 1e6);
+            if (trace) trace->close();
+          }
           continue;
         }
         // Infeasible plan, exhausted resources, or a transient fault that
         // outlived its retries: count it against the breaker, degrade.
         breaker_record(key, false, code, message);
         last = ServeError{code, message};
+        if (trace) trace->close_to(1);
         break;
       }
     }
@@ -348,12 +525,22 @@ std::future<ServeResult<T>> GemmServer::submit_async(core::Algo algo,
   auto promise = std::make_shared<std::promise<ServeResult<T>>>();
   std::future<ServeResult<T>> future = promise->get_future();
 
+  // The id is assigned at submission (so ids reflect arrival order), but the
+  // queue wait is measured by the claiming worker: wall nanoseconds spent in
+  // the queue, converted to simulated cycles at the device's boost clock
+  // (1 GHz = 1 cycle/ns). Synchronous serves never queue and observe 0.
+  const std::string id = next_request_id();
+  const auto submitted = std::chrono::steady_clock::now();
   const verify::FaultHooks hooks = verify::fault_hooks();
   auto task = [this, promise, algo, spec = dev, a = std::move(A), b = std::move(B),
-               opt, hooks]() {
+               opt, hooks, id, submitted]() {
+    const double wait_ns = std::chrono::duration<double, std::nano>(
+                               std::chrono::steady_clock::now() - submitted)
+                               .count();
+    RequestContext ctx{id, wait_ns * spec.boost_clock_ghz};
     verify::ScopedFault fault(hooks);
     try {
-      promise->set_value(serve(algo, spec, a, b, opt));
+      promise->set_value(serve_request(ctx, algo, spec, a, b, opt));
     } catch (...) {
       promise->set_exception(std::current_exception());
     }

@@ -1,0 +1,128 @@
+#include "serve/slo.hpp"
+
+namespace kami::serve {
+
+namespace {
+
+constexpr const char* kClassOrder[] = {"degenerate", "tiny", "small", "medium",
+                                       "large"};
+
+}  // namespace
+
+std::string_view shape_class(std::size_t m, std::size_t n, std::size_t k) noexcept {
+  if (m == 0 || n == 0 || k == 0) return "degenerate";
+  const double flops = 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+                       static_cast<double>(k);
+  if (flops < 262144.0) return "tiny";        // 2^18
+  if (flops < 4194304.0) return "small";      // 2^22
+  if (flops < 67108864.0) return "medium";    // 2^26
+  return "large";
+}
+
+void SloTracker::record(std::size_t m, std::size_t n, std::size_t k, ErrorCode code,
+                        const std::string& rung_label, double end_to_end_cycles,
+                        double deadline_cycles) {
+  const std::string cls(shape_class(m, n, k));
+  std::lock_guard lock(mu_);
+  ClassStats& s = classes_[cls];
+  ++s.requests;
+  if (code == ErrorCode::Ok) {
+    ++s.ok;
+    ++s.by_rung[rung_label.empty() ? "(none)" : rung_label];
+  } else {
+    ++s.errors;
+    ++s.by_code[error_code_name(code)];
+  }
+  if (deadline_cycles > 0.0) {
+    ++s.with_deadline;
+    if (code != ErrorCode::DeadlineExceeded && end_to_end_cycles <= deadline_cycles)
+      ++s.deadline_met;
+  }
+  s.latency.observe(end_to_end_cycles);
+}
+
+void SloTracker::merge_from(const SloTracker& other) {
+  // Snapshot under the other tracker's lock, fold under ours (never both at
+  // once — merge targets are never merged from concurrently in practice, and
+  // taking them in sequence cannot deadlock).
+  std::map<std::string, const ClassStats*> theirs;
+  {
+    std::lock_guard lock(other.mu_);
+    for (const auto& [cls, stats] : other.classes_) theirs.emplace(cls, &stats);
+    std::lock_guard mine(mu_);
+    for (const auto& [cls, stats] : theirs) {
+      ClassStats& s = classes_[cls];
+      s.requests += stats->requests;
+      s.ok += stats->ok;
+      s.errors += stats->errors;
+      s.with_deadline += stats->with_deadline;
+      s.deadline_met += stats->deadline_met;
+      for (const auto& [rung, count] : stats->by_rung) s.by_rung[rung] += count;
+      for (const auto& [codename, count] : stats->by_code) s.by_code[codename] += count;
+      for (const double v : stats->latency.samples()) s.latency.observe(v);
+    }
+  }
+}
+
+std::uint64_t SloTracker::total_requests() const {
+  std::lock_guard lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& [cls, stats] : classes_) total += stats.requests;
+  return total;
+}
+
+obs::Json SloTracker::to_json() const {
+  std::lock_guard lock(mu_);
+  obs::Json doc = obs::Json::object();
+  obs::Json jclasses = obs::Json::array();
+  for (const char* cls : kClassOrder) {
+    const auto it = classes_.find(cls);
+    if (it == classes_.end()) continue;
+    const ClassStats& s = it->second;
+    obs::Json jc = obs::Json::object();
+    jc.set("class", cls);
+    jc.set("requests", static_cast<double>(s.requests));
+    jc.set("ok", static_cast<double>(s.ok));
+    jc.set("errors", static_cast<double>(s.errors));
+    if (!s.by_rung.empty()) {
+      obs::Json jr = obs::Json::object();
+      for (const auto& [rung, count] : s.by_rung)
+        jr.set(rung, static_cast<double>(count));
+      jc.set("by_rung", std::move(jr));
+    }
+    if (!s.by_code.empty()) {
+      obs::Json je = obs::Json::object();
+      for (const auto& [codename, count] : s.by_code)
+        je.set(codename, static_cast<double>(count));
+      jc.set("by_code", std::move(je));
+    }
+    obs::Json jd = obs::Json::object();
+    jd.set("with_deadline", static_cast<double>(s.with_deadline));
+    jd.set("met", static_cast<double>(s.deadline_met));
+    jd.set("attainment", s.with_deadline == 0
+                             ? 1.0
+                             : static_cast<double>(s.deadline_met) /
+                                   static_cast<double>(s.with_deadline));
+    jc.set("deadline", std::move(jd));
+    if (s.latency.count() > 0) {
+      obs::Json jl = obs::Json::object();
+      jl.set("count", static_cast<double>(s.latency.count()));
+      jl.set("mean", s.latency.mean());
+      jl.set("p50", s.latency.percentile(50.0));
+      jl.set("p90", s.latency.percentile(90.0));
+      jl.set("p99", s.latency.percentile(99.0));
+      jl.set("max", s.latency.max());
+      jc.set("latency_cycles", std::move(jl));
+    }
+    jclasses.push_back(std::move(jc));
+  }
+  doc.set("classes", std::move(jclasses));
+  return doc;
+}
+
+void SloTracker::clear() {
+  std::lock_guard lock(mu_);
+  classes_.clear();
+}
+
+}  // namespace kami::serve

@@ -1,0 +1,82 @@
+// SloTracker: per-shape-class service-level accounting for the serving path.
+//
+// Latency objectives are meaningless averaged across a 16x16x16 probe and a
+// 4096^3 batch job, so every request is first bucketed into a shape class by
+// its flop count (2mnk) and all accounting — end-to-end latency percentiles,
+// deadline attainment, which rung served, which error codes occurred — is
+// kept per class:
+//
+//   degenerate  m, n, or k is zero (served trivially)
+//   tiny        2mnk <  2^18
+//   small       2mnk <  2^22
+//   medium      2mnk <  2^26
+//   large       everything above
+//
+// Latencies are *simulated* end-to-end cycles (the request trace's final
+// logical clock), so the numbers are deterministic and machine-independent.
+// Deadline attainment counts only requests that carried a deadline: a
+// request with deadline_cycles == 0 has no objective to attain.
+//
+// All methods are thread-safe; merge_from() appends the other tracker's
+// histogram samples in observation order, so folding per-point trackers in
+// seed order (the chaos campaign) yields the same export at every worker
+// count. to_json() is the versioned `slo` section of kami.obs.run v2.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "serve/error.hpp"
+
+namespace kami::serve {
+
+/// The SLO shape class of an m x k times k x n product (by flops = 2mnk).
+std::string_view shape_class(std::size_t m, std::size_t n, std::size_t k) noexcept;
+
+class SloTracker {
+ public:
+  /// Account one finished request. `rung_label` is ServeResult::rung_label
+  /// ("kami_2d", "reference", "degenerate", ... — empty for requests that
+  /// failed before any rung). `deadline_cycles` <= 0 means no deadline.
+  void record(std::size_t m, std::size_t n, std::size_t k, ErrorCode code,
+              const std::string& rung_label, double end_to_end_cycles,
+              double deadline_cycles);
+
+  /// Fold another tracker in: counts add, histogram samples append in their
+  /// original observation order (deterministic campaign aggregation).
+  void merge_from(const SloTracker& other);
+
+  std::uint64_t total_requests() const;
+
+  /// {"classes": [{"class", "requests", "ok", "errors", "by_rung",
+  ///   "by_code", "deadline": {"with_deadline", "met", "attainment"},
+  ///   "latency_cycles": {"count", "mean", "p50", "p90", "p99", "max"}}]}
+  /// in the fixed class order degenerate, tiny, small, medium, large
+  /// (absent classes omitted). This is RunReport's v2 `slo` section.
+  obs::Json to_json() const;
+
+  void clear();
+
+ private:
+  struct ClassStats {
+    std::uint64_t requests = 0;
+    std::uint64_t ok = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t with_deadline = 0;
+    std::uint64_t deadline_met = 0;
+    std::map<std::string, std::uint64_t> by_rung;  ///< ok requests per rung
+    std::map<std::string, std::uint64_t> by_code;  ///< failed requests per code
+    obs::Histogram latency;                        ///< end-to-end cycles
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, ClassStats> classes_;  ///< node-stable (Histogram is pinned)
+};
+
+}  // namespace kami::serve

@@ -2,8 +2,17 @@
 // CLI.
 //
 //   kami_chaos [--points N] [--seed S] [--threads W] [--json out.json]
+//              [--flight out.json]
 //   kami_chaos --smoke [--json out.json]     small fixed campaign for CI
 //   kami_chaos --soak [...]                  shared-server sequential soak
+//
+// Every request is traced into a flight recorder (typed-error traces are
+// always retained; ok traces ride a bounded ring). --flight writes the
+// recorder dump (kami.obs.flight JSON, readable by kami_trace); when the
+// campaign finds contract violations and no --flight path was given, the
+// dump is auto-written to kami_chaos_flight.json so the evidence survives.
+// The --json run report carries a per-shape-class `slo` section
+// (kami.obs.run v2) with latency percentiles and deadline attainment.
 //
 // Each point serves a randomized GEMM request under randomized adversity
 // (injected transient/permanent faults, allocation failures, cycle deadlines,
@@ -20,12 +29,15 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "serve/chaos.hpp"
+#include "serve/slo.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -35,7 +47,8 @@ using kami::TablePrinter;
 int usage() {
   std::cerr << "usage:\n"
             << "  kami_chaos [--points N] [--seed S] [--threads W] [--json out.json]\n"
-            << "  kami_chaos --smoke [--json out.json]\n"
+            << "             [--flight out.json]\n"
+            << "  kami_chaos --smoke [--json out.json] [--flight out.json]\n"
             << "  kami_chaos --soak [--points N] [--seed S] [--json out.json]\n";
   return 2;
 }
@@ -53,11 +66,23 @@ TablePrinter count_table(const std::map<std::string, std::size_t>& counts) {
   return table;
 }
 
+void write_flight(const kami::obs::FlightRecorder& flight, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw kami::PreconditionError("cannot open " + path + " for writing");
+  flight.dump(os);
+  std::cout << "wrote flight recorder dump " << path << " (" << flight.size()
+            << " traces, " << flight.error_count() << " errors)\n";
+}
+
 int run(std::uint64_t seed, std::size_t points, int threads, bool soak,
-        const std::string& json_path) {
+        const std::string& json_path, const std::string& flight_path) {
+  // The recorder and SLO tracker are always on: the whole point of a flight
+  // recorder is that the evidence already exists when a violation appears.
+  const auto flight = std::make_shared<kami::obs::FlightRecorder>();
+  const auto slo = std::make_shared<kami::serve::SloTracker>();
   const kami::serve::ChaosReport rep =
-      soak ? kami::serve::run_chaos(seed, points)
-           : kami::serve::run_campaign(seed, points, threads);
+      soak ? kami::serve::run_chaos(seed, points, flight, slo)
+           : kami::serve::run_campaign(seed, points, threads, flight, slo);
 
   TablePrinter rungs = count_table(rep.by_rung);
   rungs.print(std::cout, "served by rung");
@@ -87,7 +112,16 @@ int run(std::uint64_t seed, std::size_t points, int threads, bool soak,
     report.add_table("injected faults", faults);
     report.add_table("contract violations", violations);
     report.set_metrics(kami::obs::MetricRegistry::global());
+    report.set_slo(slo->to_json());
     write_report(report, json_path);
+  }
+
+  if (!flight_path.empty()) {
+    write_flight(*flight, flight_path);
+  } else if (!rep.clean()) {
+    // Violations with no dump destination: auto-dump so the traces that
+    // explain the failure are not lost with the process.
+    write_flight(*flight, "kami_chaos_flight.json");
   }
 
   std::cout << (rep.clean() ? "OK" : "FAILED") << " (ran " << rep.ran << ", served "
@@ -107,17 +141,19 @@ int main(int argc, char** argv) {
   int threads = 0;  // 0 = defer to KAMI_THREADS
   bool soak = false;
   std::string json_path;
+  std::string flight_path;
   try {
     for (std::size_t i = 0; i < args.size(); ++i) {
       if (args[i] == "--points" && i + 1 < args.size()) points = std::stoul(args[++i]);
       else if (args[i] == "--seed" && i + 1 < args.size()) seed = std::stoull(args[++i]);
       else if (args[i] == "--threads" && i + 1 < args.size()) threads = std::stoi(args[++i]);
       else if (args[i] == "--json" && i + 1 < args.size()) json_path = args[++i];
+      else if (args[i] == "--flight" && i + 1 < args.size()) flight_path = args[++i];
       else if (args[i] == "--smoke") points = 60;
       else if (args[i] == "--soak") soak = true;
       else return usage();
     }
-    return run(seed, points, threads, soak, json_path);
+    return run(seed, points, threads, soak, json_path, flight_path);
   } catch (const std::exception& e) {
     std::cerr << "kami_chaos: " << e.what() << "\n";
     return 1;

@@ -2,7 +2,12 @@
 //
 //   kami_prof report <run.json>            print tables (verbatim), breakdowns,
 //                                          metrics, regions, and utilization
-//   kami_prof diff <a.json> <b.json>       numeric deltas between two runs
+//   kami_prof diff <a.json> <b.json> [--tolerance <pct>]
+//                                          numeric deltas between two runs;
+//                                          with --tolerance, exit nonzero when
+//                                          any numeric delta exceeds <pct>
+//                                          percent (non-numeric diffs always
+//                                          count as out of tolerance)
 //   kami_prof validate <run.json> [--expect-fig15]
 //                                          schema check; nonzero exit on failure
 //
@@ -12,6 +17,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -129,8 +135,32 @@ void cmd_report(const RunReport& run) {
   }
 }
 
-int cmd_diff(const RunReport& a, const RunReport& b) {
+/// Relative delta in percent; infinite when the baseline is zero and the
+/// values differ (any change from zero blows every finite tolerance).
+double pct_delta(double va, double vb) {
+  if (va == vb) return 0.0;
+  if (va == 0.0) return std::numeric_limits<double>::infinity();
+  return 100.0 * std::abs(vb - va) / std::abs(va);
+}
+
+/// `tolerance` < 0: plain reporting diff (always exit 0). >= 0: regression
+/// gate — numeric deltas within tolerance percent are reported but allowed;
+/// out-of-tolerance numeric deltas and every structural or non-numeric
+/// difference fail the diff.
+int cmd_diff(const RunReport& a, const RunReport& b, double tolerance) {
+  const bool gating = tolerance >= 0.0;
   int differences = 0;
+  int out_of_tolerance = 0;
+  /// Account one numeric pair; returns the suffix to print after the delta.
+  const auto check_numeric = [&](double va, double vb) -> const char* {
+    if (!gating) return "";
+    if (pct_delta(va, vb) <= tolerance) return "  [within tolerance]";
+    ++out_of_tolerance;
+    return "  [OUT OF TOLERANCE]";
+  };
+  const auto check_non_numeric = [&] {
+    if (gating) ++out_of_tolerance;
+  };
   for (const auto& ta : a.tables()) {
     const kami::obs::ReportTable* tb = nullptr;
     for (const auto& t : b.tables())
@@ -141,12 +171,14 @@ int cmd_diff(const RunReport& a, const RunReport& b) {
     if (tb == nullptr) {
       std::cout << "only in " << a.name() << ": table \"" << ta.title << "\"\n";
       ++differences;
+      check_non_numeric();
       continue;
     }
     if (ta.rows.size() != tb->rows.size() || ta.headers != tb->headers) {
       std::cout << "table \"" << ta.title << "\": shape differs (" << ta.rows.size()
                 << " vs " << tb->rows.size() << " rows)\n";
       ++differences;
+      check_non_numeric();
       continue;
     }
     for (std::size_t r = 0; r < ta.rows.size(); ++r) {
@@ -156,10 +188,13 @@ int cmd_diff(const RunReport& a, const RunReport& b) {
         if (ca == cb) continue;
         ++differences;
         double va = 0.0, vb = 0.0;
+        const bool numeric = cell_number(ca, &va) && cell_number(cb, &vb);
         std::cout << "table \"" << ta.title << "\" row " << r << " [" << ta.headers[c]
                   << "]: " << ca << " -> " << cb;
-        if (cell_number(ca, &va) && cell_number(cb, &vb) && va != 0.0)
+        if (numeric && va != 0.0)
           std::cout << "  (" << kami::fmt_double(100.0 * (vb - va) / va, 1) << "%)";
+        if (numeric) std::cout << check_numeric(va, vb);
+        else check_non_numeric();
         std::cout << "\n";
       }
     }
@@ -170,6 +205,7 @@ int cmd_diff(const RunReport& a, const RunReport& b) {
     if (!found) {
       std::cout << "only in " << b.name() << ": table \"" << t.title << "\"\n";
       ++differences;
+      check_non_numeric();
     }
   }
 
@@ -182,7 +218,7 @@ int cmd_diff(const RunReport& a, const RunReport& b) {
         ++differences;
         std::cout << "breakdown " << ba.name << " [" << cat
                   << "]: " << kami::obs::json_number(va) << " -> "
-                  << kami::obs::json_number(*vb) << "\n";
+                  << kami::obs::json_number(*vb) << check_numeric(va, *vb) << "\n";
       }
     }
   }
@@ -199,13 +235,22 @@ int cmd_diff(const RunReport& a, const RunReport& b) {
       if (nb == name && va != vb) {
         ++differences;
         std::cout << "counter " << name << ": " << kami::obs::json_number(va) << " -> "
-                  << kami::obs::json_number(vb) << "\n";
+                  << kami::obs::json_number(vb) << check_numeric(va, vb) << "\n";
       }
     }
   }
 
   if (differences == 0) std::cout << "runs are identical\n";
   else std::cout << differences << " difference(s)\n";
+  if (gating) {
+    if (out_of_tolerance > 0) {
+      std::cout << out_of_tolerance << " difference(s) out of tolerance ("
+                << kami::fmt_double(tolerance, 2) << "%)\n";
+      return 1;
+    }
+    std::cout << "all differences within tolerance ("
+              << kami::fmt_double(tolerance, 2) << "%)\n";
+  }
   return 0;
 }
 
@@ -245,7 +290,7 @@ int cmd_validate(const std::string& path, bool expect_fig15) {
 
 int usage() {
   std::cerr << "usage: kami_prof report <run.json>\n"
-               "       kami_prof diff <a.json> <b.json>\n"
+               "       kami_prof diff <a.json> <b.json> [--tolerance <pct>]\n"
                "       kami_prof validate <run.json> [--expect-fig15]\n";
   return 2;
 }
@@ -262,7 +307,14 @@ int main(int argc, char** argv) {
     }
     if (cmd == "diff") {
       if (argc < 4) return usage();
-      return cmd_diff(load_run(argv[2]), load_run(argv[3]));
+      double tolerance = -1.0;  // negative = reporting mode, never gates
+      for (int i = 4; i < argc; ++i) {
+        if (std::string(argv[i]) == "--tolerance" && i + 1 < argc)
+          tolerance = std::stod(argv[++i]);
+        else
+          return usage();
+      }
+      return cmd_diff(load_run(argv[2]), load_run(argv[3]), tolerance);
     }
     if (cmd == "validate") {
       bool expect_fig15 = false;

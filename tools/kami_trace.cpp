@@ -1,0 +1,127 @@
+// kami_trace: inspect flight-recorder dumps (kami.obs.flight JSON).
+//
+//   kami_trace report <flight.json> [--request ID] [--code CODE]
+//       print each trace's span tree (canonical text form); filter by
+//       request id and/or by the root span's typed error code
+//   kami_trace chrome <flight.json> [-o out.json]
+//       export the traces as Chrome trace-event JSON (chrome://tracing,
+//       Perfetto) — one named track per request
+//   kami_trace validate <flight.json>
+//       schema + span-tree invariant check; nonzero exit on failure
+//
+// Span times are simulated cycles (the serving layer's deterministic
+// logical clock), so two dumps of the same workload diff byte-for-byte.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/json.hpp"
+#include "obs/trace_span.hpp"
+
+namespace {
+
+using kami::obs::FlightRecorder;
+using kami::obs::Json;
+using kami::obs::RequestTrace;
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw kami::PreconditionError("cannot open " + path);
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+std::vector<RequestTrace> load_traces(const std::string& path) {
+  return FlightRecorder::traces_from_json(Json::parse(read_file(path)));
+}
+
+const std::string* root_code(const RequestTrace& t) {
+  return t.root() != nullptr ? t.root()->find_attr("code") : nullptr;
+}
+
+std::vector<RequestTrace> filter_traces(std::vector<RequestTrace> traces,
+                                        const std::string& request,
+                                        const std::string& code) {
+  std::vector<RequestTrace> out;
+  for (RequestTrace& t : traces) {
+    if (!request.empty() && t.request_id != request) continue;
+    if (!code.empty()) {
+      const std::string* c = root_code(t);
+      if (c == nullptr || *c != code) continue;
+    }
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+int cmd_report(const std::vector<RequestTrace>& traces) {
+  for (const RequestTrace& t : traces) std::cout << t.canonical_text();
+  std::cout << traces.size() << " trace(s)\n";
+  return 0;
+}
+
+int cmd_chrome(const std::vector<RequestTrace>& traces, const std::string& out_path) {
+  if (out_path.empty()) {
+    kami::obs::dump_chrome_traces(std::cout, traces);
+    std::cout << "\n";
+    return 0;
+  }
+  std::ofstream os(out_path);
+  if (!os) throw kami::PreconditionError("cannot open " + out_path + " for writing");
+  kami::obs::dump_chrome_traces(os, traces);
+  os << "\n";
+  std::cout << "wrote " << out_path << " (" << traces.size() << " traces)\n";
+  return 0;
+}
+
+int cmd_validate(const std::string& path) {
+  // traces_from_json + RequestTrace::from_json enforce the schema and the
+  // span-tree invariants (ids in open order, parents before children,
+  // intervals well-formed); any violation throws SchemaError.
+  const std::vector<RequestTrace> traces = load_traces(path);
+  std::size_t errors = 0;
+  for (const RequestTrace& t : traces)
+    if (t.is_error()) ++errors;
+  std::cout << path << ": valid " << kami::obs::kFlightSchemaName << " v"
+            << kami::obs::kFlightSchemaVersion << " (" << traces.size()
+            << " traces, " << errors << " typed errors)\n";
+  return 0;
+}
+
+int usage() {
+  std::cerr << "usage: kami_trace report <flight.json> [--request ID] [--code CODE]\n"
+               "       kami_trace chrome <flight.json> [-o out.json]\n"
+               "       kami_trace validate <flight.json>\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string cmd = argv[1];
+  const std::string path = argv[2];
+  std::string request, code, out_path;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--request" && i + 1 < argc) request = argv[++i];
+    else if (arg == "--code" && i + 1 < argc) code = argv[++i];
+    else if (arg == "-o" && i + 1 < argc) out_path = argv[++i];
+    else return usage();
+  }
+  try {
+    if (cmd == "report")
+      return cmd_report(filter_traces(load_traces(path), request, code));
+    if (cmd == "chrome")
+      return cmd_chrome(filter_traces(load_traces(path), request, code), out_path);
+    if (cmd == "validate") return cmd_validate(path);
+  } catch (const std::exception& e) {
+    std::cerr << "kami_trace: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}
