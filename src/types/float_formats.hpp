@@ -22,6 +22,12 @@ namespace detail {
 double quantize_magnitude(double x, int mant_bits, int min_exp, double max_norm,
                           bool has_inf) noexcept;
 
+/// The original quantize_magnitude-based fp16 encoder, kept as the reference
+/// rounding model for the fast integer encoder in fp16_t::encode. The two
+/// must agree bit-for-bit on every float input (exhaustively sampled in
+/// tests/types/decode_tables_test.cpp).
+std::uint16_t fp16_encode_reference(float v) noexcept;
+
 }  // namespace detail
 
 /// IEEE 754 binary16. Storage is the exact bit pattern; arithmetic promotes

@@ -18,6 +18,16 @@ class tf32_t {
   explicit tf32_t(float v) noexcept : value_(round_to_tf32(v)) {}
   explicit operator float() const noexcept { return value_; }
 
+  /// Wrap a float that has ALREADY been through round_to_tf32 without
+  /// re-rounding it — the bulk writeback path rounds whole spans through the
+  /// vectorized round_to_tf32_span first. Rounding is idempotent, so passing
+  /// an unrounded value here would be a bug, not a different rounding.
+  static tf32_t from_rounded(float v) noexcept {
+    tf32_t t;
+    t.value_ = v;
+    return t;
+  }
+
  private:
   float value_ = 0.0f;
 };

@@ -1,0 +1,138 @@
+// The batch-lifetime arena: bump allocation, mark/rewind nesting, and the
+// retain-cap trim that fixes the old unbounded thread_local scratch.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+
+#include "core/arena.hpp"
+#include "obs/metrics.hpp"
+
+namespace kami::core {
+namespace {
+
+TEST(Arena, AllocationsAreAlignedAndDisjoint) {
+  Arena arena;
+  auto* a = arena.alloc<std::uint8_t>(3);
+  auto* b = arena.alloc<double>(4);
+  auto* c = arena.alloc<float>(7);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % alignof(double), 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(c) % alignof(float), 0u);
+  // Writes through one pointer must not be visible through another.
+  std::memset(a, 0xAB, 3);
+  for (int i = 0; i < 4; ++i) b[i] = 1.0;
+  for (int i = 0; i < 7; ++i) c[i] = 2.0f;
+  EXPECT_EQ(a[0], 0xAB);
+  EXPECT_EQ(b[3], 1.0);
+  EXPECT_EQ(c[0], 2.0f);
+  EXPECT_GE(arena.live_bytes(), 3 + 4 * sizeof(double) + 7 * sizeof(float));
+}
+
+TEST(Arena, ZeroByteAllocationIsValid) {
+  Arena arena;
+  EXPECT_NE(arena.allocate(0, 1), nullptr);
+}
+
+TEST(Arena, GrowsAcrossChunksForLargeRequests) {
+  Arena arena;
+  // Far beyond the minimum chunk: forces the doubling path repeatedly.
+  auto* big = arena.alloc<double>((1u << 20));
+  big[0] = 1.0;
+  big[(1u << 20) - 1] = 2.0;
+  EXPECT_GE(arena.capacity_bytes(), (1u << 20) * sizeof(double));
+  EXPECT_GE(arena.chunks_mapped(), 1u);
+  EXPECT_EQ(big[0], 1.0);
+}
+
+TEST(Arena, MarkRewindNestsAndReusesBytes) {
+  Arena arena;
+  const auto outer = arena.mark();
+  void* first = arena.allocate(1024, 16);
+  const auto inner = arena.mark();
+  void* second = arena.allocate(4096, 16);
+  arena.rewind(inner);
+  // Rewinding the inner scope frees `second`'s bytes: the next same-shape
+  // allocation lands on the same address, and `first` stays live.
+  void* second_again = arena.allocate(4096, 16);
+  EXPECT_EQ(second, second_again);
+  arena.rewind(inner);
+  arena.rewind(outer);
+  EXPECT_EQ(arena.live_bytes(), 0u);
+  void* first_again = arena.allocate(1024, 16);
+  EXPECT_EQ(first, first_again);
+}
+
+TEST(Arena, HighWaterAndTotalsAreMonotonic) {
+  Arena arena;
+  const auto m = arena.mark();
+  arena.allocate(1000, 8);
+  arena.rewind(m);
+  arena.allocate(200, 8);
+  EXPECT_GE(arena.high_water_bytes(), 1000u);
+  EXPECT_GE(arena.total_allocated_bytes(), 1200u);
+  EXPECT_EQ(arena.live_bytes(), 200u);
+}
+
+TEST(Arena, TrimsCapacityBeyondRetainCapWhenEmpty) {
+  Arena arena(/*retain_bytes=*/1u << 20);
+  const auto m = arena.mark();
+  arena.allocate(16u << 20, 64);  // peak far above the cap
+  const std::size_t peak_capacity = arena.capacity_bytes();
+  EXPECT_GE(peak_capacity, 16u << 20);
+  arena.rewind(m);
+  // Outermost rewind: capacity must drop to the retain cap, not stay pinned
+  // at the peak shape (the old thread_local-vector failure mode).
+  EXPECT_LE(arena.capacity_bytes(), 1u << 20);
+  // The arena remains fully usable after the trim.
+  auto* p = arena.alloc<std::uint64_t>(100);
+  p[99] = 7;
+  EXPECT_EQ(p[99], 7u);
+}
+
+TEST(Arena, RetainedCapacityIsKeptAcrossScopes) {
+  Arena arena(/*retain_bytes=*/1u << 20);
+  const auto m = arena.mark();
+  arena.allocate(64u << 10, 64);
+  arena.rewind(m);
+  const std::size_t kept = arena.capacity_bytes();
+  EXPECT_GT(kept, 0u);
+  // A second same-shape scope must not map new chunks.
+  const std::size_t mapped_before = arena.chunks_mapped();
+  const auto m2 = arena.mark();
+  arena.allocate(64u << 10, 64);
+  arena.rewind(m2);
+  EXPECT_EQ(arena.chunks_mapped(), mapped_before);
+  EXPECT_EQ(arena.capacity_bytes(), kept);
+}
+
+TEST(ArenaScope, RewindsOnDestructionAndPublishesMetrics) {
+  obs::MetricRegistry shard;
+  Arena arena;
+  {
+    const obs::ScopedMetricShard ms(shard);
+    ArenaScope scope(arena);
+    arena.allocate(12345, 8);
+    EXPECT_GE(arena.live_bytes(), 12345u);
+  }
+  EXPECT_EQ(arena.live_bytes(), 0u);
+  EXPECT_GE(shard.counter_values().at("arena.bytes_allocated"), 12345.0);
+  EXPECT_GE(shard.gauge_values().at("arena.high_water_bytes"), 12345.0);
+}
+
+TEST(ArenaScope, TlsArenaIsReusedAcrossCalls) {
+  Arena& arena = Arena::tls();
+  void* p1;
+  {
+    ArenaScope scope(arena);
+    p1 = arena.allocate(2048, 32);
+  }
+  void* p2;
+  {
+    ArenaScope scope(arena);
+    p2 = arena.allocate(2048, 32);
+  }
+  EXPECT_EQ(p1, p2);
+}
+
+}  // namespace
+}  // namespace kami::core

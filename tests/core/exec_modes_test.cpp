@@ -143,6 +143,20 @@ TEST(ExecModes, ThreeDNChunkFallback) {
   check_modes<fp16_t>(Algo::ThreeD, sim::gh200(), 192, 192, 192);
 }
 
+// SIMD tail shapes: n and k that are neither multiples of the numeric-path
+// vector width (8 floats / 4 doubles) nor of kNumericKTile, so the vectorized
+// kernel exercises its scalar j-tail and partial k-tile alongside the main
+// body. Primes (17, 67, 127) leave remainders under every blocking choice.
+TEST(ExecModes, SimdTailShapes) {
+  check_modes<fp16_t>(Algo::OneD, sim::gh200(), 64, 17, 67);
+  check_modes<fp16_t>(Algo::OneD, sim::gh200(), 32, 67, 127);
+  check_modes<double>(Algo::OneD, sim::gh200(), 64, 17, 67);
+  // 2D/3D feasibility needs m, n, k divisible by the warp grid (2), so 34 is
+  // the smallest even non-multiple of both vector widths with an odd k chunk.
+  check_modes<fp16_t>(Algo::TwoD, sim::gh200(), 34, 34, 34);
+  check_modes<fp16_t>(Algo::ThreeD, sim::gh200(), 34, 34, 34);
+}
+
 // ---------------------------------------------------------------------------
 // Spilled configurations and charged global I/O
 // ---------------------------------------------------------------------------

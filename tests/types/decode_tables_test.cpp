@@ -1,0 +1,246 @@
+// Exhaustive bit-level checks for the precision-decode LUTs and the
+// vectorized conversions backing the numeric fast path.
+//
+// Every assertion here is over *bit patterns*, not values: the LUTs and the
+// fast fp16 encoder are only admissible if they are indistinguishable from
+// the scalar reference conversions on every representable input, NaNs,
+// infinities and saturation included. The input spaces are small enough to
+// enumerate completely (2^16 for fp16/bf16, 2^8 for E4M3), so we do.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "types/decode_tables.hpp"
+#include "util/rng.hpp"
+
+namespace kami::types {
+namespace {
+
+std::uint32_t float_bits(float v) { return std::bit_cast<std::uint32_t>(v); }
+
+// Decode comparisons must treat two NaNs with the same payload as equal and
+// distinguish +0 from -0, so compare the float *bit patterns*.
+void expect_same_float_bits(float a, float b, std::uint32_t input_bits) {
+  EXPECT_EQ(float_bits(a), float_bits(b))
+      << "input bit pattern 0x" << std::hex << input_bits;
+}
+
+TEST(DecodeTables, Fp16TableMatchesScalarDecodeExhaustively) {
+  const auto& tab = fp16_decode_table();
+  for (std::uint32_t b = 0; b < (1u << 16); ++b) {
+    const auto bits = static_cast<std::uint16_t>(b);
+    expect_same_float_bits(tab[b], fp16_t::decode(bits), b);
+  }
+}
+
+TEST(DecodeTables, Bf16TableMatchesScalarDecodeExhaustively) {
+  const auto& tab = bf16_decode_table();
+  for (std::uint32_t b = 0; b < (1u << 16); ++b) {
+    const auto bits = static_cast<std::uint16_t>(b);
+    expect_same_float_bits(tab[b], bf16_t::decode(bits), b);
+  }
+}
+
+TEST(DecodeTables, Fp8E4M3TableMatchesScalarDecodeExhaustively) {
+  const auto& tab = fp8_e4m3_decode_table();
+  for (std::uint32_t b = 0; b < (1u << 8); ++b) {
+    const auto bits = static_cast<std::uint8_t>(b);
+    expect_same_float_bits(tab[b], fp8_e4m3_t::decode(bits), b);
+  }
+}
+
+// Decode -> encode must return the original bit pattern for every canonical
+// stored value (NaN payloads may legitimately canonicalize, so NaNs are
+// checked for NaN-ness rather than payload identity).
+TEST(DecodeTables, Fp16TableRoundTripsThroughEncode) {
+  const auto& tab = fp16_decode_table();
+  for (std::uint32_t b = 0; b < (1u << 16); ++b) {
+    const float decoded = tab[b];
+    if (std::isnan(decoded)) {
+      EXPECT_TRUE(std::isnan(fp16_t::decode(fp16_t::encode(decoded))));
+      continue;
+    }
+    EXPECT_EQ(fp16_t::encode(decoded), static_cast<std::uint16_t>(b))
+        << "fp16 bits 0x" << std::hex << b;
+  }
+}
+
+TEST(DecodeTables, Bf16TableRoundTripsThroughEncode) {
+  const auto& tab = bf16_decode_table();
+  for (std::uint32_t b = 0; b < (1u << 16); ++b) {
+    const float decoded = tab[b];
+    if (std::isnan(decoded)) {
+      EXPECT_TRUE(std::isnan(bf16_t::decode(bf16_t::encode(decoded))));
+      continue;
+    }
+    EXPECT_EQ(bf16_t::encode(decoded), static_cast<std::uint16_t>(b))
+        << "bf16 bits 0x" << std::hex << b;
+  }
+}
+
+TEST(DecodeTables, Fp8E4M3TableRoundTripsThroughEncode) {
+  const auto& tab = fp8_e4m3_decode_table();
+  for (std::uint32_t b = 0; b < (1u << 8); ++b) {
+    const float decoded = tab[b];
+    if (std::isnan(decoded)) {
+      EXPECT_TRUE(std::isnan(fp8_e4m3_t::decode(fp8_e4m3_t::encode(decoded))));
+      continue;
+    }
+    EXPECT_EQ(fp8_e4m3_t::encode(decoded), static_cast<std::uint8_t>(b))
+        << "e4m3 bits 0x" << std::hex << b;
+  }
+}
+
+// The fast integer fp16 encoder against the quantize_magnitude reference it
+// replaced. Directed coverage: every representable half value and its float
+// neighbours (exercises all rounding boundaries), every rounding midpoint,
+// the subnormal/normal and normal/overflow boundaries, then a large random
+// sweep over raw float bit patterns (NaNs and denormals land in the sample).
+void expect_encode_matches_reference(float v) {
+  EXPECT_EQ(fp16_t::encode(v), detail::fp16_encode_reference(v))
+      << "float bit pattern 0x" << std::hex << float_bits(v);
+}
+
+TEST(Fp16FastEncode, MatchesReferenceOnAllHalfValuesAndNeighbours) {
+  const auto& tab = fp16_decode_table();
+  for (std::uint32_t b = 0; b < (1u << 16); ++b) {
+    const float v = tab[b];
+    if (std::isnan(v)) continue;
+    expect_encode_matches_reference(v);
+    if (std::isinf(v)) continue;
+    expect_encode_matches_reference(std::nextafter(v, std::numeric_limits<float>::infinity()));
+    expect_encode_matches_reference(std::nextafter(v, -std::numeric_limits<float>::infinity()));
+  }
+}
+
+TEST(Fp16FastEncode, MatchesReferenceOnRoundingMidpoints) {
+  const auto& tab = fp16_decode_table();
+  // Midpoint between consecutive finite half values of one sign: exercises
+  // the ties-to-even choice in both the normal and subnormal ranges.
+  for (std::uint32_t b = 0; b + 1 < (1u << 15); ++b) {
+    const float lo = tab[b], hi = tab[b + 1];
+    if (!std::isfinite(lo) || !std::isfinite(hi)) continue;
+    const float mid = lo + (hi - lo) / 2.0f;
+    expect_encode_matches_reference(mid);
+    expect_encode_matches_reference(-mid);
+  }
+  // The overflow midpoint: 65520 rounds to infinity, anything below to the
+  // max finite half.
+  expect_encode_matches_reference(65520.0f);
+  expect_encode_matches_reference(std::nextafter(65520.0f, 0.0f));
+  expect_encode_matches_reference(-65520.0f);
+  // The underflow midpoint: 2^-25 is the tie between 0 and the smallest
+  // subnormal; ties-to-even keeps 0.
+  expect_encode_matches_reference(std::ldexp(1.0f, -25));
+  expect_encode_matches_reference(std::nextafter(std::ldexp(1.0f, -25), 1.0f));
+  expect_encode_matches_reference(-std::ldexp(1.0f, -25));
+}
+
+TEST(Fp16FastEncode, MatchesReferenceOnSpecialValues) {
+  expect_encode_matches_reference(0.0f);
+  expect_encode_matches_reference(-0.0f);
+  expect_encode_matches_reference(std::numeric_limits<float>::infinity());
+  expect_encode_matches_reference(-std::numeric_limits<float>::infinity());
+  expect_encode_matches_reference(std::numeric_limits<float>::max());
+  expect_encode_matches_reference(std::numeric_limits<float>::lowest());
+  expect_encode_matches_reference(std::numeric_limits<float>::denorm_min());
+  expect_encode_matches_reference(-std::numeric_limits<float>::denorm_min());
+  // NaN: the reference canonicalizes payloads, so require NaN-ness + sign.
+  const float qnan = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_TRUE(std::isnan(fp16_t::decode(fp16_t::encode(qnan))));
+  EXPECT_EQ(fp16_t::encode(qnan) & 0x7C00u, 0x7C00u);
+  EXPECT_NE(fp16_t::encode(qnan) & 0x03FFu, 0u);
+  const float neg_nan = std::bit_cast<float>(0xFFC00001u);
+  EXPECT_EQ(fp16_t::encode(neg_nan) & 0x8000u, 0x8000u);
+  EXPECT_TRUE(std::isnan(fp16_t::decode(fp16_t::encode(neg_nan))));
+  // E4M3 has no infinity: infinite inputs saturate to the max finite (448),
+  // sign preserved (hardware-convert semantics).
+  EXPECT_EQ(fp8_e4m3_t::encode(std::numeric_limits<float>::infinity()), 0x7Eu);
+  EXPECT_EQ(fp8_e4m3_t::encode(-std::numeric_limits<float>::infinity()), 0xFEu);
+}
+
+TEST(Fp16FastEncode, MatchesReferenceOnRandomBitPatterns) {
+  Rng rng(20260808);
+  for (int i = 0; i < 2'000'000; ++i) {
+    const auto bits = static_cast<std::uint32_t>(rng.next());
+    const float v = std::bit_cast<float>(bits);
+    if (std::isnan(v)) {
+      // Reference and fast path must agree NaN -> NaN with the sign kept.
+      const std::uint16_t fast = fp16_t::encode(v);
+      const std::uint16_t ref = detail::fp16_encode_reference(v);
+      EXPECT_TRUE(std::isnan(fp16_t::decode(fast)));
+      EXPECT_TRUE(std::isnan(fp16_t::decode(ref)));
+      EXPECT_EQ(fast & 0x8000u, ref & 0x8000u);
+      continue;
+    }
+    expect_encode_matches_reference(v);
+  }
+}
+
+// round_to_tf32_span vs the scalar round_to_tf32, over spans long enough to
+// hit the vector body and every tail length, with NaN/inf lanes mixed in.
+TEST(RoundToTf32Span, MatchesScalarIncludingNonFiniteLanes) {
+  Rng rng(7);
+  for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                        std::size_t{8}, std::size_t{9}, std::size_t{15},
+                        std::size_t{64}, std::size_t{257}, std::size_t{1000}}) {
+    std::vector<float> src(n), dst(n, -1.0f);
+    for (std::size_t i = 0; i < n; ++i) {
+      switch (i % 5) {
+        case 0: src[i] = static_cast<float>(rng.uniform(-1e6, 1e6)); break;
+        case 1: src[i] = std::bit_cast<float>(static_cast<std::uint32_t>(rng.next())); break;
+        case 2: src[i] = std::numeric_limits<float>::infinity(); break;
+        case 3: src[i] = std::bit_cast<float>(static_cast<std::uint32_t>(0x7FC00000u | (i & 0xFFu))); break;
+        default: src[i] = -std::ldexp(1.0f, -(static_cast<int>(i) % 140)); break;
+      }
+    }
+    round_to_tf32_span(src.data(), dst.data(), n);
+    for (std::size_t i = 0; i < n; ++i)
+      expect_same_float_bits(dst[i], round_to_tf32(src[i]), float_bits(src[i]));
+    // In-place operation is part of the contract.
+    std::vector<float> inplace = src;
+    round_to_tf32_span(inplace.data(), inplace.data(), n);
+    for (std::size_t i = 0; i < n; ++i)
+      expect_same_float_bits(inplace[i], round_to_tf32(src[i]), float_bits(src[i]));
+  }
+}
+
+// decode_span / encode_span against their element-wise definitions for every
+// storage type, across vector-unfriendly lengths.
+template <Scalar T>
+void check_spans(std::size_t n, std::uint64_t seed) {
+  using Acc = typename num_traits<T>::acc_t;
+  Rng rng(seed);
+  std::vector<T> src(n);
+  for (auto& v : src) v = T{static_cast<Acc>(rng.uniform(-100.0, 100.0))};
+  std::vector<Acc> dec(n, Acc{-1});
+  decode_span(src.data(), dec.data(), n);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(static_cast<double>(dec[i])),
+              std::bit_cast<std::uint64_t>(static_cast<double>(num_traits<T>::to_acc(src[i]))));
+  std::vector<T> enc(n);
+  encode_span(dec.data(), enc.data(), n);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(static_cast<double>(num_traits<T>::to_acc(enc[i]))),
+              std::bit_cast<std::uint64_t>(
+                  static_cast<double>(num_traits<T>::to_acc(num_traits<T>::from_acc(dec[i])))));
+}
+
+TEST(SpanConversions, MatchElementwiseForEveryStorageType) {
+  for (std::size_t n : {std::size_t{1}, std::size_t{17}, std::size_t{255},
+                        std::size_t{256}, std::size_t{259}}) {
+    check_spans<fp16_t>(n, 11);
+    check_spans<bf16_t>(n, 12);
+    check_spans<fp8_e4m3_t>(n, 13);
+    check_spans<tf32_t>(n, 14);
+    check_spans<float>(n, 15);
+    check_spans<double>(n, 16);
+  }
+}
+
+}  // namespace
+}  // namespace kami::types
