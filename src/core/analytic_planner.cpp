@@ -1,0 +1,114 @@
+#include "core/analytic_planner.hpp"
+
+#include <algorithm>
+
+#include "sim/throughput.hpp"
+
+namespace kami::core {
+
+const char* plan_source_name(PlanSource s) noexcept {
+  switch (s) {
+    case PlanSource::Cache: return "cache";
+    case PlanSource::Analytic: return "analytic";
+    case PlanSource::Simulated: return "simulated";
+    case PlanSource::Unplanned: return "unplanned";
+  }
+  return "?";
+}
+
+model::PredictOptions predict_options(const GemmOptions& opt) {
+  model::PredictOptions po;
+  po.charge_global_io = opt.charge_global_io;
+  po.theta_r = opt.theta_r;
+  po.theta_w = opt.theta_w;
+  return po;
+}
+
+model::Observation observation_from(const ProfileKey& key, const CachedProfile& value) {
+  model::Observation o;
+  o.device = key.device;
+  o.algo = key.algo;
+  o.precision = key.precision;
+  o.m = key.m;
+  o.n = key.n;
+  o.k = key.k;
+  o.p = key.warps;
+  o.options.charge_global_io = key.charge_global_io;
+  o.options.theta_r = key.theta_r;
+  o.options.theta_w = key.theta_w;
+  o.simulated_cycles = value.profile.latency;
+  return o;
+}
+
+std::size_t calibrate_from_cache(model::Predictor& pred, const ProfileCache& cache) {
+  std::size_t fed = 0;
+  for (const auto& [key, value] : cache.snapshot()) {
+    if (value.profile.latency <= 0.0) continue;  // no timing signal
+    pred.observe(observation_from(key, value));
+    ++fed;
+  }
+  return fed;
+}
+
+PlanEstimate estimate_plan(const ProfileCache& cache, const model::Predictor& pred,
+                           Algo algo, const sim::DeviceSpec& dev, Precision prec,
+                           std::size_t m, std::size_t n, std::size_t k,
+                           const GemmOptions& opt) {
+  auto& metrics = obs::MetricRegistry::current();
+  PlanEstimate est;
+  est.plan = plan_gemm(algo, dev, prec, m, n, k, opt);
+  est.prediction = pred.predict(dev, algo, prec, m, n, k, est.plan.p,
+                                predict_options(opt));
+
+  const ProfileKey key = ProfileKey::make(algo, dev, prec, m, n, k, opt, est.plan);
+  if (std::optional<CachedProfile> hit = cache.try_get(key)) {
+    est.source = PlanSource::Cache;
+    est.cycles = hit->profile.latency;
+    est.profile = std::move(hit);
+    metrics.counter("model.cache_hits").increment();
+    return est;
+  }
+  // The corrected formula is the estimate either way; `source` records
+  // whether the calibration says it can be trusted.
+  est.cycles = est.prediction.cycles;
+  if (est.prediction.confident) {
+    est.source = PlanSource::Analytic;
+    metrics.counter("model.predictions").increment();
+  } else {
+    est.source = PlanSource::Unplanned;
+  }
+  return est;
+}
+
+double predicted_tflops(const sim::DeviceSpec& dev, Precision prec, const Plan& plan,
+                        std::size_t m, std::size_t n, std::size_t k,
+                        const model::Prediction& prediction, const GemmOptions& opt,
+                        std::size_t blocks) {
+  model::Params q = model::Params::from_device(dev, prec, m, n, k, plan.p);
+  q.theta_r = opt.theta_r;
+  q.theta_w = opt.theta_w;
+  model::Cost cost;
+  switch (plan.algo) {
+    case Algo::OneD: cost = model::cost_1d(q); break;
+    case Algo::TwoD: cost = model::cost_2d(q); break;
+    case Algo::ThreeD: cost = model::cost_3d(q); break;
+  }
+
+  // A synthetic profile from the closed forms: the corrected latency, the
+  // compute-port and smem-port busy terms, and the plan's resource demands —
+  // enough for resident_blocks_per_sm / steady_interval_cycles to treat it
+  // exactly like a simulated profile. smem_bytes is left 0 (not occupancy-
+  // binding for the register-resident KAMI kernels).
+  sim::KernelProfile prof;
+  prof.latency = std::max(prediction.cycles, 1.0);
+  prof.tc_busy = cost.compute_cycles * static_cast<double>(dev.tensor_cores_per_sm);
+  prof.smem_busy =
+      std::max(0.0, cost.comm_cycles -
+                        q.L_sm * static_cast<double>(std::max(cost.stages, 1)));
+  prof.useful_flops = model::gemm_flops(m, n, k);
+  prof.num_warps = plan.p;
+  prof.reg_bytes_per_warp = plan.reg_demand_bytes;
+  return sim::throughput_tflops(dev, prof, blocks);
+}
+
+}  // namespace kami::core

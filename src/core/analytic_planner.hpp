@@ -1,0 +1,121 @@
+// The calibrated analytic fast path for launch planning.
+//
+// Three ways to answer "how long will this block run?", fastest first:
+//
+//   1. Cache     — the exact planner-canonical key is in the ProfileCache:
+//                  copy the simulated profile out (ns, exact).
+//   2. Analytic  — the model::Predictor's bucket for (device, algo,
+//                  precision, warp count, IO-charging) is calibrated and
+//                  confident:
+//                  corrected closed-form T_all (ns, within the bucket's
+//                  calibrated band).
+//   3. Simulated — neither holds: one TimingOnly simulation (ms), which both
+//                  warms the cache and feeds the predictor, so the same
+//                  question is answered by (1)/(2) from then on.
+//
+// estimate_plan() stops after (2) and never simulates — the serving hot
+// path's contract. plan_cycles() falls through to (3) — the autotuner's and
+// offline planners' contract. Every decision is recorded through
+// obs::MetricRegistry: model.predictions / model.fallbacks / model.cache_hits
+// counters and the model.prediction_error_pct histogram, so the
+// analytic-vs-simulated split shows up in every kami.obs.run export.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <optional>
+
+#include "core/profile_cache.hpp"
+#include "model/predictor.hpp"
+#include "obs/metrics.hpp"
+
+namespace kami::core {
+
+enum class PlanSource {
+  Cache,      ///< exact simulated profile from the ProfileCache
+  Analytic,   ///< confident corrected closed form
+  Simulated,  ///< TimingOnly fallback simulation ran
+  Unplanned,  ///< estimate-only path with a cold/untrusted bucket
+};
+
+const char* plan_source_name(PlanSource s) noexcept;
+
+/// One fast-path planning answer.
+struct PlanEstimate {
+  PlanSource source = PlanSource::Unplanned;
+  double cycles = 0.0;           ///< block latency estimate (the raw corrected
+                                 ///< formula when Unplanned — untrusted)
+  model::Prediction prediction;  ///< always filled (raw analytic at minimum)
+  Plan plan;                     ///< planner-resolved configuration
+  std::optional<CachedProfile> profile;  ///< set for Cache / Simulated
+};
+
+/// The GemmOptions subset the closed forms see.
+model::PredictOptions predict_options(const GemmOptions& opt);
+
+/// Reinterpret one cache entry as a calibration observation.
+model::Observation observation_from(const ProfileKey& key, const CachedProfile& value);
+
+/// Harvest every cached TimingOnly profile into the predictor. Entries are
+/// fed in key order (the fit is order-independent anyway). Returns the number
+/// of observations fed.
+std::size_t calibrate_from_cache(model::Predictor& pred, const ProfileCache& cache);
+
+/// Cheap latency estimate that NEVER simulates: cache, then the calibrated
+/// formula, else Unplanned. Throws exactly when plan_gemm does (infeasible
+/// configurations). This is the serving hot path.
+PlanEstimate estimate_plan(const ProfileCache& cache, const model::Predictor& pred,
+                           Algo algo, const sim::DeviceSpec& dev, Precision prec,
+                           std::size_t m, std::size_t n, std::size_t k,
+                           const GemmOptions& opt);
+
+/// Device-level throughput the analytic model predicts for a resolved plan
+/// under `blocks` concurrent blocks: the closed-form latency and port terms
+/// assembled into a synthetic KernelProfile and pushed through the same
+/// occupancy/steady-state pipeline as simulated profiles, so analytic and
+/// simulated candidates rank on the same scale. (The autotuner's prescreen
+/// metric.)
+double predicted_tflops(const sim::DeviceSpec& dev, Precision prec,
+                        const Plan& plan, std::size_t m, std::size_t n,
+                        std::size_t k, const model::Prediction& prediction,
+                        const GemmOptions& opt, std::size_t blocks);
+
+/// Latency estimate with a TimingOnly fallback: estimate_plan(), and when
+/// that comes back Unplanned, simulate once, warm the cache, and feed the
+/// outcome back into the predictor. The prediction-error histogram gets a
+/// sample whenever a calibrated prediction meets a ground-truth latency.
+template <Scalar T>
+PlanEstimate plan_cycles(ProfileCache& cache, model::Predictor& pred, Algo algo,
+                         const sim::DeviceSpec& dev, std::size_t m, std::size_t n,
+                         std::size_t k, GemmOptions opt = {}) {
+  PlanEstimate est = estimate_plan(cache, pred, algo, dev, num_traits<T>::precision,
+                                   m, n, k, opt);
+  if (est.source != PlanSource::Unplanned) return est;
+
+  const CachedProfile prof = timing_profile<T>(cache, algo, dev, m, n, k, opt);
+  est.source = PlanSource::Simulated;
+  est.cycles = prof.profile.latency;
+  est.profile = prof;
+  obs::MetricRegistry::current().counter("model.fallbacks").increment();
+  if (est.prediction.calibrated && prof.profile.latency > 0.0)
+    obs::MetricRegistry::current()
+        .histogram("model.prediction_error_pct")
+        .observe(100.0 * std::abs(prof.profile.latency - est.prediction.cycles) /
+                 prof.profile.latency);
+  if (prof.profile.latency > 0.0) {
+    model::Observation o;
+    o.device = dev.name;
+    o.algo = algo;
+    o.precision = num_traits<T>::precision;
+    o.m = m;
+    o.n = n;
+    o.k = k;
+    o.p = est.plan.p;
+    o.options = predict_options(opt);
+    o.simulated_cycles = prof.profile.latency;
+    pred.observe(o);
+  }
+  return est;
+}
+
+}  // namespace kami::core

@@ -2,6 +2,16 @@
 
 namespace kami::core {
 
+int select_winner(const std::vector<TuneOutcome>& outcomes) {
+  int winner = -1;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    if (!outcomes[i].feasible) continue;
+    if (winner < 0 || outcomes[i].tflops > outcomes[static_cast<std::size_t>(winner)].tflops)
+      winner = static_cast<int>(i);
+  }
+  return winner;
+}
+
 std::vector<TuneCandidate> default_candidates() {
   std::vector<TuneCandidate> out;
   for (int warps : {0, 2, 4, 8, 16}) out.push_back({Algo::OneD, warps, -1.0});

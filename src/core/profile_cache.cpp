@@ -43,9 +43,19 @@ void ProfileCache::insert(const ProfileKey& key, const CachedProfile& value) {
   size_gauge_.set(static_cast<double>(index_.size()));
 }
 
-bool ProfileCache::contains(const ProfileKey& key) const {
+std::optional<CachedProfile> ProfileCache::try_get(const ProfileKey& key) const {
   const std::scoped_lock lock(mu_);
-  return index_.find(key) != index_.end();
+  const auto it = index_.find(key);
+  if (it == index_.end()) return std::nullopt;
+  return it->second->second;
+}
+
+std::vector<std::pair<ProfileKey, CachedProfile>> ProfileCache::snapshot() const {
+  const std::scoped_lock lock(mu_);
+  std::vector<std::pair<ProfileKey, CachedProfile>> out;
+  out.reserve(index_.size());
+  for (const auto& [key, it] : index_) out.emplace_back(key, it->second);
+  return out;
 }
 
 std::size_t ProfileCache::size() const {

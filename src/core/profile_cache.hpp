@@ -23,6 +23,8 @@
 #include <map>
 #include <mutex>
 #include <optional>
+#include <utility>
+#include <vector>
 
 #include "core/kami.hpp"
 #include "core/planner.hpp"
@@ -87,9 +89,17 @@ class ProfileCache {
   /// when at capacity.
   void insert(const ProfileKey& key, const CachedProfile& value);
 
-  /// Presence peek for observers (e.g. the serving layer's plan span): no
-  /// hit/miss counters, no LRU promotion — find() semantics are unchanged.
-  bool contains(const ProfileKey& key) const;
+  /// Copy-out peek for observers (the serving layer's plan estimate, the
+  /// analytic planner's fast path): no hit/miss counters, no LRU promotion —
+  /// find() semantics are unchanged. This replaces the old `contains()`:
+  /// a presence check followed by a later lookup was a TOCTOU under
+  /// concurrent eviction, whereas one locked copy-out can never observe an
+  /// entry that a racing insert()/clear() then invalidates.
+  std::optional<CachedProfile> try_get(const ProfileKey& key) const;
+
+  /// Key-ordered snapshot of every entry (the predictor's calibration
+  /// harvest). Copy-out, like every other accessor.
+  std::vector<std::pair<ProfileKey, CachedProfile>> snapshot() const;
 
   std::size_t size() const;
   std::size_t capacity() const noexcept { return capacity_; }

@@ -13,7 +13,7 @@ double Histogram::sum() const noexcept {
 
 double Histogram::mean() const {
   std::lock_guard lock(mu_);
-  KAMI_REQUIRE(!samples_.empty(), "histogram has no samples");
+  if (samples_.empty()) return 0.0;
   const double s = std::accumulate(samples_.begin(), samples_.end(), 0.0);
   return s / static_cast<double>(samples_.size());
 }
@@ -27,22 +27,22 @@ void Histogram::ensure_sorted_locked() const {
 
 double Histogram::min() const {
   std::lock_guard lock(mu_);
-  KAMI_REQUIRE(!samples_.empty(), "histogram has no samples");
+  if (samples_.empty()) return 0.0;
   ensure_sorted_locked();
   return samples_.front();
 }
 
 double Histogram::max() const {
   std::lock_guard lock(mu_);
-  KAMI_REQUIRE(!samples_.empty(), "histogram has no samples");
+  if (samples_.empty()) return 0.0;
   ensure_sorted_locked();
   return samples_.back();
 }
 
 double Histogram::percentile(double p) const {
   std::lock_guard lock(mu_);
-  KAMI_REQUIRE(!samples_.empty(), "histogram has no samples");
   KAMI_REQUIRE(p >= 0.0 && p <= 100.0, "percentile must be in [0, 100]");
+  if (samples_.empty()) return 0.0;
   ensure_sorted_locked();
   if (samples_.size() == 1) return samples_.front();
   const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
@@ -142,16 +142,17 @@ Json MetricRegistry::to_json() const {
   for (const auto& [name, g] : gauges_) gauges.set(name, g.value());
   Json hists = Json::object();
   for (const auto& [name, h] : histograms_) {
+    // Every stat is emitted for every histogram, including empty ones (a
+    // reset or admitted-but-never-completed distribution): NaN-free zeros
+    // with count 0, so report consumers never have to branch on presence.
     Json entry = Json::object();
     entry.set("count", static_cast<double>(h.count()));
-    entry.set("sum", h.count() ? h.sum() : 0.0);
-    if (h.count() > 0) {
-      entry.set("min", h.min());
-      entry.set("max", h.max());
-      entry.set("p50", h.percentile(50.0));
-      entry.set("p90", h.percentile(90.0));
-      entry.set("p99", h.percentile(99.0));
-    }
+    entry.set("sum", h.sum());
+    entry.set("min", h.min());
+    entry.set("max", h.max());
+    entry.set("p50", h.percentile(50.0));
+    entry.set("p90", h.percentile(90.0));
+    entry.set("p99", h.percentile(99.0));
     hists.set(name, std::move(entry));
   }
   Json out = Json::object();

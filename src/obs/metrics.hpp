@@ -93,12 +93,18 @@ class Histogram {
     return samples_.size();
   }
   double sum() const noexcept;
+
+  /// Empty-distribution contract: mean/min/max/percentile on a histogram
+  /// with no samples are well-defined NaN-free zeros (count() == 0 tells a
+  /// consumer the distribution is empty). A distribution can legitimately be
+  /// empty at export time — a reset registry, or a shape class that was
+  /// admitted but never completed a request.
   double mean() const;
   double min() const;
   double max() const;
 
   /// Exact percentile by linear interpolation between order statistics;
-  /// p in [0, 100]. Requires at least one sample.
+  /// p in [0, 100] (enforced), 0.0 when there are no samples.
   double percentile(double p) const;
 
   /// All samples in observation order (used by shard merging).

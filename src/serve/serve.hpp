@@ -37,6 +37,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <future>
 #include <map>
 #include <memory>
@@ -48,6 +49,7 @@
 #include <vector>
 
 #include "baselines/reference.hpp"
+#include "core/analytic_planner.hpp"
 #include "core/kami.hpp"
 #include "core/profile_cache.hpp"
 #include "exec/task_queue.hpp"
@@ -402,27 +404,35 @@ ServeResult<T> GemmServer::serve_request(const RequestContext& ctx, core::Algo a
       return out;
     }
 
-    if (trace) {
-      // The plan span is an observation, not a decision: it replays the
-      // planner (plan_gemm is deterministic and cheap relative to a
-      // simulation) to report the resolved configuration and whether a
-      // timing profile for it is already cached. find() semantics — and so
-      // profile_cache.{hits,misses} — are untouched.
-      trace->open("plan");
-      try {
-        const core::Plan plan =
-            core::plan_gemm(rung.algo, dev, num_traits<T>::precision, m, n, k, ropt);
-        const core::ProfileKey pkey = core::ProfileKey::make(
-            rung.algo, dev, num_traits<T>::precision, m, n, k, ropt, plan);
+    // The plan estimate is an observation, not a decision: the analytic fast
+    // path answers from the ProfileCache (one race-free try_get copy-out) or
+    // the calibrated closed form and NEVER simulates — the serving hot
+    // path's contract. A cold/untrusted calibration bucket is simply
+    // recorded as unplanned. The trace reports only request-determined
+    // quantities (cache state, raw analytic cycles, resolved plan) so
+    // campaign trace dumps stay worker-count invariant; the calibrated
+    // split lands in the serve.plan.* counters instead.
+    std::optional<core::PlanEstimate> estimate;
+    if (trace) trace->open("plan");
+    try {
+      estimate = core::estimate_plan(core::ProfileCache::global(),
+                                     model::Predictor::global(), rung.algo, dev,
+                                     num_traits<T>::precision, m, n, k, ropt);
+      metrics
+          .counter(std::string("serve.plan.") +
+                   core::plan_source_name(estimate->source))
+          .increment();
+      if (trace) {
         trace->attr("profile_cache",
-                    core::ProfileCache::global().contains(pkey) ? "hit" : "miss");
-        trace->attr_num("warps", static_cast<double>(plan.p));
-        trace->attr_num("smem_ratio", plan.smem_ratio);
-      } catch (const std::exception& e) {
-        trace->attr("plan_error", e.what());
+                    estimate->source == core::PlanSource::Cache ? "hit" : "miss");
+        trace->attr_num("analytic_cycles", estimate->prediction.analytic_cycles);
+        trace->attr_num("warps", static_cast<double>(estimate->plan.p));
+        trace->attr_num("smem_ratio", estimate->plan.smem_ratio);
       }
-      trace->close();
+    } catch (const std::exception& e) {
+      if (trace) trace->attr("plan_error", e.what());
     }
+    if (trace) trace->close();
 
     for (int attempt = 1; attempt <= cfg_.max_attempts_per_rung; ++attempt) {
       ++out.attempts;
@@ -446,6 +456,26 @@ ServeResult<T> GemmServer::serve_request(const RequestContext& ctx, core::Algo a
         if (out.degraded) metrics.counter("serve.degraded").increment();
         metrics.counter(std::string("serve.served.") + rung.label).increment();
         metrics.histogram("serve.rung").observe(static_cast<double>(r));
+        if (res.profile.latency > 0.0) {
+          // Every timed completion is ground truth: it calibrates the
+          // predictor (so later estimates for this bucket turn analytic) and
+          // scores the estimate this request was served under.
+          model::Observation ob;
+          ob.device = dev.name;
+          ob.algo = rung.algo;
+          ob.precision = num_traits<T>::precision;
+          ob.m = m;
+          ob.n = n;
+          ob.k = k;
+          ob.p = res.warps;
+          ob.options = core::predict_options(ropt);
+          ob.simulated_cycles = res.profile.latency;
+          model::Predictor::global().observe(ob);
+          if (estimate && estimate->source != core::PlanSource::Unplanned)
+            metrics.histogram("model.prediction_error_pct")
+                .observe(100.0 * std::abs(res.profile.latency - estimate->cycles) /
+                         res.profile.latency);
+        }
         advance(res.profile.latency);
         if (trace) {
           trace->attr("result", "ok");
@@ -532,6 +562,11 @@ std::future<ServeResult<T>> GemmServer::submit_async(core::Algo algo,
   const std::string id = next_request_id();
   const auto submitted = std::chrono::steady_clock::now();
   const verify::FaultHooks hooks = verify::fault_hooks();
+  // Captured before A/B are moved into the task: a refusal still needs the
+  // request's shape for SLO accounting.
+  const std::size_t rm = A.rows();
+  const std::size_t rk = A.cols();
+  const std::size_t rn = B.cols();
   auto task = [this, promise, algo, spec = dev, a = std::move(A), b = std::move(B),
                opt, hooks, id, submitted]() {
     const double wait_ns = std::chrono::duration<double, std::nano>(
@@ -548,8 +583,11 @@ std::future<ServeResult<T>> GemmServer::submit_async(core::Algo algo,
 
   if (!queue_->try_push(std::move(task))) {
     // Backpressure: typed refusal before any rung, breaker, or retry is
-    // touched — overload must not poison the resilience machinery.
+    // touched — overload must not poison the resilience machinery. The
+    // refusal still lands in SLO accounting (requests/errors/by_code), but
+    // observes no latency: the request never ran.
     metrics.counter("serve.async.rejected").increment();
+    if (cfg_.slo) cfg_.slo->record_rejected(rm, rn, rk);
     ServeResult<T> refused;
     refused.requested = algo;
     refused.code = ErrorCode::ResourceExhausted;

@@ -41,6 +41,18 @@ void SloTracker::record(std::size_t m, std::size_t n, std::size_t k, ErrorCode c
   s.latency.observe(end_to_end_cycles);
 }
 
+void SloTracker::record_rejected(std::size_t m, std::size_t n, std::size_t k,
+                                 ErrorCode code) {
+  const std::string cls(shape_class(m, n, k));
+  std::lock_guard lock(mu_);
+  ClassStats& s = classes_[cls];
+  ++s.requests;
+  ++s.errors;
+  ++s.by_code[error_code_name(code)];
+  // Deliberately no latency observation: the request never ran, so its class
+  // can legitimately export latency_cycles with count 0.
+}
+
 void SloTracker::merge_from(const SloTracker& other) {
   // Snapshot under the other tracker's lock, fold under ours (never both at
   // once — merge targets are never merged from concurrently in practice, and
@@ -104,16 +116,17 @@ obs::Json SloTracker::to_json() const {
                              : static_cast<double>(s.deadline_met) /
                                    static_cast<double>(s.with_deadline));
     jc.set("deadline", std::move(jd));
-    if (s.latency.count() > 0) {
-      obs::Json jl = obs::Json::object();
-      jl.set("count", static_cast<double>(s.latency.count()));
-      jl.set("mean", s.latency.mean());
-      jl.set("p50", s.latency.percentile(50.0));
-      jl.set("p90", s.latency.percentile(90.0));
-      jl.set("p99", s.latency.percentile(99.0));
-      jl.set("max", s.latency.max());
-      jc.set("latency_cycles", std::move(jl));
-    }
+    // Always emitted, even for a class that was admitted but never completed
+    // a request (e.g. every submission rejected at the queue): count 0 with
+    // NaN-free zero percentiles, never garbage from an empty sort.
+    obs::Json jl = obs::Json::object();
+    jl.set("count", static_cast<double>(s.latency.count()));
+    jl.set("mean", s.latency.mean());
+    jl.set("p50", s.latency.percentile(50.0));
+    jl.set("p90", s.latency.percentile(90.0));
+    jl.set("p99", s.latency.percentile(99.0));
+    jl.set("max", s.latency.max());
+    jc.set("latency_cycles", std::move(jl));
     jclasses.push_back(std::move(jc));
   }
   doc.set("classes", std::move(jclasses));

@@ -48,6 +48,13 @@ class SloTracker {
               const std::string& rung_label, double end_to_end_cycles,
               double deadline_cycles);
 
+  /// Account a request refused before it ever ran (admission control, e.g.
+  /// the async queue was full). Counts toward requests/errors/by_code for the
+  /// shape class but observes no latency: the class's latency_cycles export
+  /// then legitimately carries count 0 (see to_json()).
+  void record_rejected(std::size_t m, std::size_t n, std::size_t k,
+                       ErrorCode code = ErrorCode::ResourceExhausted);
+
   /// Fold another tracker in: counts add, histogram samples append in their
   /// original observation order (deterministic campaign aggregation).
   void merge_from(const SloTracker& other);
@@ -58,7 +65,9 @@ class SloTracker {
   ///   "by_code", "deadline": {"with_deadline", "met", "attainment"},
   ///   "latency_cycles": {"count", "mean", "p50", "p90", "p99", "max"}}]}
   /// in the fixed class order degenerate, tiny, small, medium, large
-  /// (absent classes omitted). This is RunReport's v2 `slo` section.
+  /// (absent classes omitted). latency_cycles is always present — a class
+  /// whose every request was rejected at admission exports NaN-free zeros
+  /// with count 0. This is RunReport's v2 `slo` section.
   obs::Json to_json() const;
 
   void clear();

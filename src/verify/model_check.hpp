@@ -1,0 +1,33 @@
+// Model-divergence checking: the analytic-planner half of kami_verify.
+//
+// The calibrated closed forms (model::Predictor) claim that simulated block
+// latency is the raw formula value times a per-bucket scale, within a
+// per-bucket band. check_model_point() puts one configuration's claim on
+// trial with no help from ambient state: it calibrates a *fresh* predictor on
+// a deterministic grid of cube shapes (holding the point's own shape out),
+// predicts the holdout, simulates it once in TimingOnly, and asserts the two
+// agree within the calibrated tolerance. Disagreement is a typed
+// model::ModelDivergence, reported as a CheckResult failure — the same
+// replayable contract as the differential checker (`kami_verify model`,
+// `kami_verify repro <seed>` via the shared point grammar).
+#pragma once
+
+#include <cstdint>
+
+#include "verify/differential.hpp"
+
+namespace kami::verify {
+
+/// Formula-vs-simulator divergence check for one point. Self-calibrating and
+/// hermetic: uses a local ProfileCache and Predictor, never the globals.
+/// Skips (ok, skipped) for unsupported precisions, infeasible configurations,
+/// and points whose calibration grid leaves the bucket uncalibrated.
+CheckResult check_model_point(const CheckPoint& p);
+
+/// Fuzz iterations seeded base_seed, base_seed+1, ... through
+/// check_model_point (the same seed -> point generator as run_fuzz, so a
+/// failing seed replays under either checker). Bit-identical report at every
+/// worker count.
+FuzzReport run_model_fuzz(std::uint64_t base_seed, std::size_t iters, int workers = 1);
+
+}  // namespace kami::verify

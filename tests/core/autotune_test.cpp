@@ -71,5 +71,69 @@ TEST(Autotune, DeviceSpecificWinners) {
   EXPECT_GT(r.tflops, 0.0);
 }
 
+// Regression for the winner-selection bug: the old loop compared each
+// outcome with strict `>` against a default `best.tflops = 0.0`, so a
+// feasible candidate whose reported throughput was exactly 0 could never
+// become the winner — the tuner passed its evaluated-count guard and then
+// returned a default-constructed (infeasible-looking) result. This test
+// fails against that implementation and pins the by-index selection.
+TEST(SelectWinner, FeasibleZeroThroughputCandidateWins) {
+  std::vector<TuneOutcome> outcomes(3);
+  outcomes[1].feasible = true;  // tflops stays 0.0
+  outcomes[1].warps = 4;
+  EXPECT_EQ(select_winner(outcomes), 1);
+}
+
+TEST(SelectWinner, FirstFeasibleWinsTies) {
+  std::vector<TuneOutcome> outcomes(4);
+  outcomes[1].feasible = true;
+  outcomes[1].tflops = 5.0;
+  outcomes[3].feasible = true;
+  outcomes[3].tflops = 5.0;  // exact tie: earlier candidate order wins
+  EXPECT_EQ(select_winner(outcomes), 1);
+
+  outcomes[3].tflops = 6.0;  // strictly better: later candidate takes over
+  EXPECT_EQ(select_winner(outcomes), 3);
+}
+
+TEST(SelectWinner, NoFeasibleOutcomeIsNegative) {
+  EXPECT_EQ(select_winner({}), -1);
+  std::vector<TuneOutcome> outcomes(2);  // all infeasible
+  EXPECT_EQ(select_winner(outcomes), -1);
+}
+
+TEST(Autotune, ColdPredictorPrunesNothing) {
+  // With an empty predictor no bucket is confident, so the prescreen must
+  // degrade to the historical exhaustive sweep.
+  ProfileCache::global().clear();
+  model::Predictor::global().reset();
+  const auto r = autotune_gemm<fp16_t>(dev(), 64, 64, 64);
+  EXPECT_EQ(r.pruned, 0);
+  EXPECT_GT(r.evaluated, 5);
+}
+
+TEST(Autotune, WarmPredictorPrunesAndAgreesWithExhaustive) {
+  ProfileCache::global().clear();
+  model::Predictor::global().reset();
+  // Warm the calibration buckets on neighboring shapes (distinct cache keys).
+  for (std::size_t s : {32u, 48u, 64u}) (void)autotune_gemm<fp16_t>(dev(), s, s, s);
+
+  TunePolicy exhaustive;
+  exhaustive.prescreen = false;
+  const auto full = autotune_gemm<fp16_t>(dev(), 96, 96, 96, 16384,
+                                          default_candidates(), 0, exhaustive);
+  EXPECT_EQ(full.pruned, 0);
+
+  ProfileCache::global().clear();  // force the pruned run to predict, not hit
+  TunePolicy tight;
+  tight.top_k = 2;
+  const auto pruned = autotune_gemm<fp16_t>(dev(), 96, 96, 96, 16384,
+                                            default_candidates(), 0, tight);
+  EXPECT_GT(pruned.pruned, 0);
+  EXPECT_LT(pruned.evaluated, full.evaluated);
+  // The analytic ranking must not cost throughput: same winner quality.
+  EXPECT_GE(pruned.tflops + 1e-9, full.tflops);
+}
+
 }  // namespace
 }  // namespace kami::core

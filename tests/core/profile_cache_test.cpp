@@ -219,6 +219,58 @@ TEST(ProfileCache, FindCopySurvivesInsertAndClear) {
   EXPECT_EQ(hit->profile.latency, 1.0);
 }
 
+// Regression for the contains()/find() TOCTOU: the old API answered "is this
+// key present?" as a bool, and any later lookup could miss after a racing
+// insert evicted the entry. try_get() is the replacement — one locked
+// copy-out that either returns the value or nothing, with no counters and no
+// LRU promotion, so observers can probe without perturbing find() semantics.
+TEST(ProfileCache, TryGetIsCounterAndPromotionNeutral) {
+  obs::ScopedMetricsReset reset;
+  ProfileCache cache(2);
+  cache.insert(synthetic_key(1), synthetic_entry(1.0));
+  cache.insert(synthetic_key(2), synthetic_entry(2.0));
+
+  // Probe key 1 repeatedly: no hit/miss counters, and — unlike find() — no
+  // promotion, so key 1 is still the LRU victim afterwards.
+  for (int i = 0; i < 3; ++i) {
+    const auto hit = cache.try_get(synthetic_key(1));
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->profile.latency, 1.0);
+  }
+  EXPECT_FALSE(cache.try_get(synthetic_key(9)).has_value());
+  EXPECT_EQ(counter("profile_cache.hits"), 0.0);
+  EXPECT_EQ(counter("profile_cache.misses"), 0.0);
+
+  cache.insert(synthetic_key(3), synthetic_entry(3.0));
+  EXPECT_FALSE(cache.try_get(synthetic_key(1)).has_value());  // evicted: no promotion
+  EXPECT_TRUE(cache.try_get(synthetic_key(2)).has_value());
+}
+
+TEST(ProfileCache, TryGetCopySurvivesEvictionAndClear) {
+  ProfileCache cache(1);
+  cache.insert(synthetic_key(1), synthetic_entry(1.0));
+  const std::optional<CachedProfile> hit = cache.try_get(synthetic_key(1));
+  ASSERT_TRUE(hit.has_value());
+  cache.insert(synthetic_key(2), synthetic_entry(2.0));  // evicts key 1
+  cache.clear();
+  EXPECT_EQ(hit->profile.latency, 1.0);
+}
+
+TEST(ProfileCache, SnapshotIsKeyOrderedCopy) {
+  ProfileCache cache(8);
+  cache.insert(synthetic_key(3), synthetic_entry(3.0));
+  cache.insert(synthetic_key(1), synthetic_entry(1.0));
+  cache.insert(synthetic_key(2), synthetic_entry(2.0));
+  const auto snap = cache.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(snap[i].first.m, i + 1);  // key order, not insertion order
+    EXPECT_EQ(snap[i].second.profile.latency, static_cast<double>(i + 1));
+  }
+  cache.clear();
+  EXPECT_EQ(snap.size(), 3u);  // copy-out, like every other accessor
+}
+
 TEST(ProfileCache, InfeasibleConfigurationsThrowAndAreNotCached) {
   ProfileCache cache(16);
   // 3D FP64 at order 128 exceeds GH200's register file (see DESIGN.md).

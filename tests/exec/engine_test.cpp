@@ -341,6 +341,46 @@ TEST(ProfileCacheConcurrency, ConcurrentTimingProfilesAgreeWithSerial) {
   EXPECT_LE(cache.size(), 64u);
 }
 
+// Regression for the contains()-then-lookup TOCTOU: under constant eviction
+// churn, a try_get() that returns a value must return a *complete* value —
+// the old presence-check API let the entry vanish between the two steps.
+// Run under ThreadSanitizer in CI.
+TEST(ProfileCacheConcurrency, TryGetUnderEvictionChurnNeverTearsValues) {
+  core::ProfileCache cache(8);  // tiny capacity: every insert evicts
+  constexpr int kThreads = 8;
+  std::atomic<int> torn{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &torn, t] {
+      for (int i = 0; i < 400; ++i) {
+        core::ProfileKey key;
+        key.device = "churn";
+        key.m = static_cast<std::size_t>((t * 400 + i) % 24);
+        key.n = key.m;
+        key.k = 2;
+        if (t % 2 == 0) {
+          core::CachedProfile value;
+          value.profile.latency = static_cast<double>(key.m) + 1.0;
+          value.warps = static_cast<int>(key.m) + 1;
+          cache.insert(key, value);
+        } else if (const auto hit = cache.try_get(key)) {
+          // The copy must be internally consistent (both fields from the
+          // same insert), not a presence answer whose entry then vanished.
+          if (hit->profile.latency != static_cast<double>(key.m) + 1.0 ||
+              hit->warps != static_cast<int>(key.m) + 1)
+            torn.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(torn.load(), 0);
+  EXPECT_LE(cache.size(), 8u);
+  // snapshot() under the same churn must also be a consistent copy.
+  for (const auto& [key, value] : cache.snapshot())
+    EXPECT_EQ(value.profile.latency, static_cast<double>(key.m) + 1.0);
+}
+
 TEST(ProfileCacheConcurrency, InsertFindChurnStaysConsistent) {
   core::ProfileCache cache(16);  // small capacity: constant eviction churn
   constexpr int kThreads = 8;

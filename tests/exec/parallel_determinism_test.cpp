@@ -116,7 +116,11 @@ TEST(ParallelDeterminism, BatchedDoublePrecisionAndTwoD) {
 TEST(ParallelDeterminism, AutotuneIdenticalAcrossWorkerCounts) {
   const sim::DeviceSpec& dev = sim::gh200();
   const auto run = [&](int threads) {
+    // Reset both fast-path stores: the predictor's calibration state decides
+    // what the prescreen prunes, so every worker count must start equally
+    // cold for the sweep (and the fold's feedback) to be comparable.
     core::ProfileCache::global().clear();
+    model::Predictor::global().reset();
     return core::autotune_gemm<fp16_t>(dev, 128, 128, 128, 16384,
                                        core::default_candidates(), threads);
   };
@@ -130,6 +134,7 @@ TEST(ParallelDeterminism, AutotuneIdenticalAcrossWorkerCounts) {
     EXPECT_EQ(parallel.warps, serial.warps) << threads;
     EXPECT_EQ(parallel.smem_ratio, serial.smem_ratio) << threads;
     EXPECT_EQ(parallel.evaluated, serial.evaluated) << threads;
+    EXPECT_EQ(parallel.pruned, serial.pruned) << threads;
     EXPECT_EQ(verify::profile_diff(parallel.profile, serial.profile), "") << threads;
   }
 }

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "util/require.hpp"
 
 namespace kami::model {
@@ -45,6 +47,30 @@ TEST(CostModel, Paper3dWorkedExample) {
   EXPECT_DOUBLE_EQ(c.T_cm, 30.0);    // formula (10)
   EXPECT_DOUBLE_EQ(c.T_all, 68.0);   // formula (12)
   EXPECT_EQ(c.stages, 2);
+}
+
+// Erratum pins (DESIGN "Known internal inconsistencies in the paper").
+// Formula (7) as printed reads 2mnk/(cbrt(p)*O_tc); the worked example and
+// the expanded total (8) require T_cp = 2mnk/(p^{3/2}*O_tc). These tests
+// lock the implementation to the corrected form: accidentally "fixing" the
+// code back to the printed formula flips both expectations.
+TEST(CostModel, Formula7ErratumCorrectedExponent) {
+  const auto q = paper_example(4);
+  const auto c = cost_2d(q);
+  const double mnk = static_cast<double>(q.m * q.n * q.k);
+  const double corrected = 2.0 * mnk / (std::pow(4.0, 1.5) * q.O_tc);
+  const double printed = 2.0 * mnk / (std::cbrt(4.0) * q.O_tc);
+  EXPECT_DOUBLE_EQ(c.T_cp, corrected);  // = 4 cycles for the worked example
+  EXPECT_NE(c.T_cp, printed);           // ~20.2 — inconsistent with (8)
+}
+
+// The compact 3D total cbrt(p)*(T_cm + (p/n_tc)*T_cp) with (11) gives 76
+// cycles for the worked example; the expanded (12) gives the printed 68.
+// The implementation follows (12).
+TEST(CostModel, Expanded3dTotalNotCompactForm) {
+  const auto c = cost_3d(paper_example(8));
+  EXPECT_DOUBLE_EQ(c.T_all, 68.0);
+  EXPECT_NE(c.T_all, 76.0);
 }
 
 TEST(CostModel, CommPlusComputeEqualsTotal) {

@@ -43,9 +43,31 @@ TEST(Histogram, MomentsAndPercentiles) {
   EXPECT_DOUBLE_EQ(h.percentile(100.0), 50.0);
 }
 
-TEST(Histogram, PercentileRequiresSamples) {
+TEST(Histogram, EmptyDistributionIsNanFreeZeros) {
+  // The empty-distribution contract: an admitted-but-never-completed shape
+  // class (or a freshly reset registry) must export well-defined zeros, not
+  // throw and not produce NaN.
   Histogram h;
-  EXPECT_THROW(h.percentile(50.0), kami::PreconditionError);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 0.0);
+  // The percentile domain check still holds regardless of emptiness.
+  EXPECT_THROW(h.percentile(-1.0), kami::PreconditionError);
+  EXPECT_THROW(h.percentile(101.0), kami::PreconditionError);
+}
+
+TEST(MetricRegistry, ToJsonEmitsEmptyHistograms) {
+  MetricRegistry reg;
+  reg.histogram("never.observed");
+  const Json snapshot = reg.to_json();
+  const Json& entry = snapshot.at("histograms").at("never.observed");
+  for (const char* stat : {"count", "sum", "min", "max", "p50", "p90", "p99"})
+    EXPECT_DOUBLE_EQ(entry.at(stat).as_number(), 0.0) << stat;
 }
 
 TEST(MetricRegistry, FindOrCreateReturnsStableReferences) {

@@ -11,8 +11,11 @@
 #include <iterator>
 #include <vector>
 
+#include <memory>
+
 #include "obs/metrics.hpp"
 #include "serve/serve.hpp"
+#include "serve/slo.hpp"
 #include "util/rng.hpp"
 #include "verify/invariants.hpp"
 
@@ -142,6 +145,54 @@ TEST(AsyncServe, FullQueueRefusesTypedWithoutTouchingBreakers) {
   EXPECT_EQ(counter("serve.async.accepted") + counter("serve.async.rejected"),
             static_cast<double>(kBurst));
   EXPECT_EQ(counter("serve.async.rejected"), static_cast<double>(refused));
+}
+
+// Queue-full refusals must reach the attached SLO tracker: previously a
+// rejected submission vanished from SLO accounting entirely (the shape class
+// under-reported its request and error counts), and a class consisting only
+// of refusals had no export at all.
+TEST(AsyncServe, QueueRefusalsLandInSloAccounting) {
+  ServeConfig cfg;
+  cfg.async_workers = 1;
+  cfg.async_queue_depth = 2;
+  cfg.backoff_base_ms = 30.0;
+  cfg.backoff_max_ms = 30.0;
+  const auto slo = std::make_shared<serve::SloTracker>();
+  cfg.slo = slo;
+
+  constexpr std::size_t kBurst = 24;
+  std::size_t refused = 0;
+  {
+    GemmServer server(cfg);
+    const auto [A, B] = operands<fp16_t>(32, 32, 32);
+    std::vector<std::future<ServeResult<fp16_t>>> futures;
+    {
+      verify::FaultHooks hooks;  // stall the lone worker (see the test above)
+      hooks.warp_advance_skew = -1e9;
+      hooks.armed_runs = 1;
+      const verify::ScopedFault fault(hooks);
+      futures.push_back(
+          server.submit_async<fp16_t>(Algo::OneD, sim::gh200(), A, B));
+    }
+    for (std::size_t i = 1; i < kBurst; ++i)
+      futures.push_back(
+          server.submit_async<fp16_t>(Algo::OneD, sim::gh200(), A, B));
+    for (auto& f : futures)
+      if (f.get().code == ErrorCode::ResourceExhausted) ++refused;
+  }
+  ASSERT_GT(refused, 0u) << "burst never overflowed the depth-2 queue";
+
+  // Every submission — served or refused — is one SLO request; the refusals
+  // are errors coded resource_exhausted with no latency observation.
+  EXPECT_EQ(slo->total_requests(), kBurst);
+  const obs::Json doc = slo->to_json();
+  const obs::Json& cls = doc.at("classes").at(0);
+  EXPECT_EQ(cls.at("class").as_string(), "tiny");
+  EXPECT_EQ(cls.at("requests").as_number(), static_cast<double>(kBurst));
+  EXPECT_EQ(cls.at("by_code").at("resource_exhausted").as_number(),
+            static_cast<double>(refused));
+  EXPECT_EQ(cls.at("latency_cycles").at("count").as_number(),
+            static_cast<double>(kBurst - refused));
 }
 
 TEST(AsyncServe, DestructorDrainsEveryAcceptedRequest) {

@@ -4,6 +4,7 @@
 // chaos campaign's worker-count-independent flight-recorder dump.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -341,6 +342,33 @@ TEST(SloAccounting, MergePreservesObservationOrder) {
   direct.record(64, 64, 64, ErrorCode::Ok, "kami_1d", 100.0, 0.0);
   direct.record(64, 64, 64, ErrorCode::Ok, "kami_1d", 200.0, 0.0);
   EXPECT_EQ(a.to_json().dump(), direct.to_json().dump());
+}
+
+// The empty-distribution contract end to end: a shape class whose every
+// request was refused at admission has requests/errors/by_code accounting
+// but zero latency samples, and its export must still carry a complete,
+// NaN-free latency_cycles block with count 0 (the old export dropped the
+// block entirely, so consumers branched on presence — or crashed).
+TEST(SloAccounting, RejectedOnlyClassExportsZeroLatencyBlock) {
+  SloTracker slo;
+  slo.record_rejected(64, 64, 64);
+  slo.record_rejected(64, 64, 64);
+  EXPECT_EQ(slo.total_requests(), 2u);
+
+  const obs::Json doc = slo.to_json();
+  const obs::Json& cls = doc.at("classes").at(0);
+  EXPECT_EQ(cls.at("class").as_string(), "small");
+  EXPECT_EQ(cls.at("requests").as_number(), 2.0);
+  EXPECT_EQ(cls.at("ok").as_number(), 0.0);
+  EXPECT_EQ(cls.at("errors").as_number(), 2.0);
+  EXPECT_EQ(cls.at("by_code").at("resource_exhausted").as_number(), 2.0);
+  const obs::Json& lat = cls.at("latency_cycles");
+  for (const char* stat : {"count", "mean", "p50", "p90", "p99", "max"}) {
+    EXPECT_DOUBLE_EQ(lat.at(stat).as_number(), 0.0) << stat;
+    EXPECT_FALSE(std::isnan(lat.at(stat).as_number())) << stat;
+  }
+  // The serialized form is parseable JSON with no NaN tokens.
+  EXPECT_EQ(slo.to_json().dump().find("nan"), std::string::npos);
 }
 
 TEST(SloAccounting, ServerFeedsTheAttachedTracker) {

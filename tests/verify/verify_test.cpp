@@ -9,9 +9,11 @@
 #include <vector>
 
 #include "core/kami.hpp"
+#include "model/predictor.hpp"
 #include "sim/trace.hpp"
 #include "verify/differential.hpp"
 #include "verify/invariants.hpp"
+#include "verify/model_check.hpp"
 
 namespace kami::verify {
 namespace {
@@ -87,6 +89,76 @@ TEST(Fuzz, ShortRunIsClean) {
   EXPECT_EQ(rep.ran, 10u);
   EXPECT_TRUE(rep.failures.empty())
       << rep.failures.front().seed << ": " << rep.failures.front().detail;
+}
+
+// The model-divergence checker: the calibrated closed forms and the cycle
+// simulator must agree within the self-calibrated band at every checked
+// point, disagreement must surface as the *typed* failure (ModelDivergence,
+// reported through CheckResult), and the fuzz harness must be replayable.
+
+TEST(ModelCheck, CuratedFeasiblePointsPass) {
+  // The differential smoke suite doubles as the model corpus (shared point
+  // grammar); infeasible/unsupported entries must skip, never fail.
+  for (const CheckPoint& p : smoke_points()) {
+    const CheckResult r = check_model_point(p);
+    EXPECT_TRUE(r.ok) << to_string(p) << ": " << r.detail;
+  }
+}
+
+TEST(ModelCheck, InfeasibleAndUnsupportedPointsSkip) {
+  CheckPoint fp64_on_rtx;
+  fp64_on_rtx.device = "RTX 5090";
+  fp64_on_rtx.precision = Precision::FP64;
+  CheckResult r = check_model_point(fp64_on_rtx);
+  EXPECT_TRUE(r.ok);
+  EXPECT_TRUE(r.skipped);
+
+  CheckPoint infeasible;
+  infeasible.algo = core::Algo::ThreeD;
+  infeasible.options.warps = 27;  // 3x3x3 grid cannot divide 64^3
+  r = check_model_point(infeasible);
+  EXPECT_TRUE(r.ok);
+  EXPECT_TRUE(r.skipped) << r.detail;
+}
+
+TEST(ModelCheck, DivergenceIsTypedAndReported) {
+  // A synthetic divergent prediction: the typed exception carries the
+  // context, the tolerance and both cycle counts.
+  model::Prediction pred;
+  pred.cycles = 100.0;
+  pred.analytic_cycles = 100.0;
+  pred.calibrated = true;
+  pred.confident = true;
+  pred.rel_band = 0.05;
+  pred.samples = 5;
+  try {
+    model::Predictor::require_within_band(pred, 200.0, model::PredictorConfig{},
+                                          "divergence test");
+    FAIL() << "expected ModelDivergence";
+  } catch (const model::ModelDivergence& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("divergence test"), std::string::npos);
+  }
+}
+
+TEST(ModelCheck, FuzzIsDeterministicAndClean) {
+  const FuzzReport a = run_model_fuzz(3, 6);
+  const FuzzReport b = run_model_fuzz(3, 6);
+  EXPECT_EQ(a.ran, 6u);
+  EXPECT_EQ(a.passed, b.passed);
+  EXPECT_EQ(a.skipped, b.skipped);
+  ASSERT_EQ(a.failures.size(), b.failures.size());
+  EXPECT_TRUE(a.failures.empty())
+      << a.failures.front().seed << ": " << a.failures.front().detail;
+}
+
+TEST(ModelCheck, FuzzReportIsWorkerCountInvariant) {
+  const FuzzReport serial = run_model_fuzz(11, 6, 1);
+  const FuzzReport parallel = run_model_fuzz(11, 6, 4);
+  EXPECT_EQ(parallel.ran, serial.ran);
+  EXPECT_EQ(parallel.passed, serial.passed);
+  EXPECT_EQ(parallel.skipped, serial.skipped);
+  EXPECT_EQ(parallel.failures.size(), serial.failures.size());
 }
 
 #if KAMI_CHECK_INVARIANTS

@@ -8,6 +8,14 @@
 //   kami_verify repro <seed>               replay exactly one fuzz iteration
 //   kami_verify corpus <file>...           run point-per-line regression files
 //                                          (tests/verify/corpus/*.txt)
+//   kami_verify model [--seed S] [--iters N] [--threads W] [--json out.json]
+//                    [--corpus file...]    analytic-model divergence check:
+//                                          self-calibrated closed-form
+//                                          prediction vs TimingOnly simulation
+//                                          (typed ModelDivergence on failure);
+//                                          fuzz seeds share random_point, so
+//                                          `model --seed S --iters 1` replays
+//                                          one iteration
 //
 // Exit status is nonzero when any point fails; skipped points (infeasible or
 // unsupported configurations that every mode rejects identically) pass.
@@ -21,6 +29,7 @@
 #include "obs/report.hpp"
 #include "util/table.hpp"
 #include "verify/differential.hpp"
+#include "verify/model_check.hpp"
 
 namespace {
 
@@ -33,7 +42,9 @@ int usage() {
             << "  kami_verify --smoke [--json out.json]\n"
             << "  kami_verify fuzz [--seed S] [--iters N] [--threads W] [--json out.json]\n"
             << "  kami_verify repro <seed>\n"
-            << "  kami_verify corpus <file>...\n";
+            << "  kami_verify corpus <file>...\n"
+            << "  kami_verify model [--seed S] [--iters N] [--threads W]"
+               " [--json out.json] [--corpus file...]\n";
   return 2;
 }
 
@@ -48,14 +59,16 @@ const char* status_name(const CheckResult& r) {
   return !r.ok ? "FAIL" : (r.skipped ? "skip" : "pass");
 }
 
-/// Run a list of points, print the verdict table, return the failure count.
+/// Run a list of points through `check` (the differential checker by
+/// default), print the verdict table, return the failure count.
 std::size_t run_points(const std::string& title, const std::vector<CheckPoint>& points,
-                       TablePrinter& table) {
+                       TablePrinter& table,
+                       CheckResult (*check)(const CheckPoint&) = kami::verify::check_point) {
   std::size_t failures = 0;
   for (const CheckPoint& p : points) {
     CheckResult r;
     try {
-      r = kami::verify::check_point(p);
+      r = check(p);
     } catch (const std::exception& e) {
       r = CheckResult{false, false, std::string("exception: ") + e.what()};
     }
@@ -64,6 +77,19 @@ std::size_t run_points(const std::string& title, const std::vector<CheckPoint>& 
   }
   table.print(std::cout, title);
   return failures;
+}
+
+std::vector<CheckPoint> load_corpus(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw kami::PreconditionError("cannot open " + path);
+  std::vector<CheckPoint> points;
+  std::string line;
+  while (std::getline(is, line)) {
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    points.push_back(kami::verify::point_from_string(line));
+  }
+  return points;
 }
 
 int cmd_smoke(const std::string& json_path) {
@@ -129,22 +155,52 @@ int cmd_repro(std::uint64_t seed) {
 int cmd_corpus(const std::vector<std::string>& files) {
   std::size_t failures = 0;
   for (const std::string& path : files) {
-    std::ifstream is(path);
-    if (!is) {
-      std::cerr << "cannot open " << path << "\n";
-      return 2;
-    }
-    std::vector<CheckPoint> points;
-    std::string line;
-    while (std::getline(is, line)) {
-      const auto first = line.find_first_not_of(" \t\r");
-      if (first == std::string::npos || line[first] == '#') continue;
-      points.push_back(kami::verify::point_from_string(line));
-    }
     TablePrinter table({"point", "status", "detail"});
-    failures += run_points(path, points, table);
+    failures += run_points(path, load_corpus(path), table);
   }
   std::cout << (failures == 0 ? "OK" : "FAILED") << " (" << failures << " failures)\n";
+  return failures == 0 ? 0 : 1;
+}
+
+int cmd_model(std::uint64_t seed, std::size_t iters, int threads,
+              const std::string& json_path, const std::vector<std::string>& corpus) {
+  // Curated corpus points first (the fuzz corpus shares the point grammar, so
+  // the same regression files exercise both checkers), then the fuzz sweep.
+  std::size_t corpus_failures = 0;
+  std::size_t corpus_points = 0;
+  for (const std::string& path : corpus) {
+    const std::vector<CheckPoint> points = load_corpus(path);
+    corpus_points += points.size();
+    TablePrinter table({"point", "status", "detail"});
+    corpus_failures +=
+        run_points("model: " + path, points, table, kami::verify::check_model_point);
+  }
+
+  const kami::verify::FuzzReport rep =
+      kami::verify::run_model_fuzz(seed, iters, threads);
+  TablePrinter table({"seed", "detail"});
+  for (const auto& f : rep.failures) table.add_row({std::to_string(f.seed), f.detail});
+  if (!rep.failures.empty()) table.print(std::cout, "model divergences");
+
+  const std::size_t failures = corpus_failures + rep.failures.size();
+  if (!json_path.empty()) {
+    kami::obs::RunReport report("kami_verify");
+    report.set_meta("mode", "model");
+    report.set_meta("base_seed", std::to_string(seed));
+    report.set_meta("threads", std::to_string(threads));
+    report.set_meta("ran", std::to_string(rep.ran + corpus_points));
+    report.set_meta("passed", std::to_string(rep.passed));
+    report.set_meta("skipped", std::to_string(rep.skipped));
+    report.set_meta("failures", std::to_string(failures));
+    report.add_table("model divergences", table);
+    report.set_metrics(kami::obs::MetricRegistry::global());
+    write_report(report, json_path);
+  }
+  std::cout << (failures == 0 ? "OK" : "FAILED") << " (fuzz ran " << rep.ran
+            << ", passed " << rep.passed << ", skipped " << rep.skipped << ", corpus "
+            << corpus_points << ", failed " << failures << ")\n"
+            << "replay any fuzz divergence with: kami_verify model --seed <seed>"
+               " --iters 1\n";
   return failures == 0 ? 0 : 1;
 }
 
@@ -185,6 +241,26 @@ int main(int argc, char** argv) {
     if (args[0] == "corpus") {
       if (args.size() < 2) return usage();
       return cmd_corpus({args.begin() + 1, args.end()});
+    }
+    if (args[0] == "model") {
+      std::uint64_t seed = 1;
+      std::size_t iters = 15;
+      int threads = 0;  // 0 = defer to KAMI_THREADS
+      std::string json_path;
+      std::vector<std::string> corpus;
+      for (std::size_t i = 1; i < args.size(); ++i) {
+        if (args[i] == "--seed" && i + 1 < args.size()) seed = std::stoull(args[++i]);
+        else if (args[i] == "--iters" && i + 1 < args.size())
+          iters = std::stoul(args[++i]);
+        else if (args[i] == "--threads" && i + 1 < args.size())
+          threads = std::stoi(args[++i]);
+        else if (args[i] == "--json" && i + 1 < args.size()) json_path = args[++i];
+        else if (args[i] == "--corpus") {
+          while (i + 1 < args.size() && args[i + 1].rfind("--", 0) != 0)
+            corpus.push_back(args[++i]);
+        } else return usage();
+      }
+      return cmd_model(seed, iters, threads, json_path, corpus);
     }
   } catch (const std::exception& e) {
     std::cerr << "kami_verify: " << e.what() << "\n";
