@@ -1,0 +1,350 @@
+// serve_load: open-loop, trace-driven workload generator for the fleet
+// serving path.
+//
+//   serve_load [--requests N] [--seed S] [--queue-depth D] [--json out.json]
+//   serve_load --smoke [--json out.json]        small fixed run for CI
+//
+// The generator models a production serving day compressed into simulated
+// time slots. Arrivals are OPEN-LOOP: each slot's request count is drawn
+// from a Poisson process whose rate follows a diurnal sine ramp with
+// deterministic burst windows layered on top — load arrives whether or not
+// the fleet has kept up, which is what actually overflows queues. Each
+// request draws from a heavy-tailed shape mix (mostly tiny probes, a thin
+// tail of large jobs), a precision mix (FP16-dominant, with an FP64 sliver
+// only the GH200 shard can serve), an algorithm mix across KAMI-1D/2D/3D,
+// and a 25% chance of carrying a latency deadline (deadline requests are
+// hedged). Everything is seeded: the same --seed replays the same trace,
+// byte for byte.
+//
+// Requests drive FleetServer::submit_async against bounded per-device
+// queues in manual-drain mode: one drain per slot is the fleet's service
+// capacity, so burst slots overflow the queues and exercise typed admission
+// refusals, overflow reroutes, and router redistribution under depth
+// penalties — deterministically.
+//
+// The --json artifact is a kami.obs.run v2 report (results/BENCH_serve.json
+// in CI, schema-checked by `kami_prof validate`): per-shape-class p50/p99
+// latency and deadline attainment in the `slo` section, plus the full
+// fleet.*/serve.* metric snapshot (failovers, breaker trips, degradations,
+// rejections) and human-readable outcome tables.
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <future>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "serve/fleet.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using kami::Matrix;
+using kami::Precision;
+using kami::Rng;
+using kami::TablePrinter;
+namespace core = kami::core;
+namespace serve = kami::serve;
+
+int usage() {
+  std::cerr << "usage:\n"
+            << "  serve_load [--requests N] [--seed S] [--queue-depth D]\n"
+            << "             [--json out.json]\n"
+            << "  serve_load --smoke [--json out.json]\n";
+  return 2;
+}
+
+/// Knuth's method; the generator's rates are modest enough for it.
+int poisson(Rng& rng, double lambda) {
+  const double limit = std::exp(-lambda);
+  int k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= rng.uniform();
+  } while (p > limit);
+  return k - 1;
+}
+
+/// True when slot t sits in a burst window (3 of every 37 slots, offset so
+/// a run opens with baseline traffic before its first burst).
+bool burst_slot(std::size_t t) { return t % 37 >= 2 && t % 37 < 5; }
+
+/// Arrival rate (requests per slot) at slot t: a diurnal sine ramp around
+/// the base rate, with deterministic burst windows layered on top.
+double arrival_rate(std::size_t t) {
+  constexpr double kBaseRate = 24.0;
+  constexpr double kDiurnalPeriod = 50.0;
+  constexpr double kDiurnalAmplitude = 0.6;
+  constexpr double kBurstFactor = 6.0;
+  double rate = kBaseRate * (1.0 + kDiurnalAmplitude *
+                                       std::sin(2.0 * 3.14159265358979323846 *
+                                                static_cast<double>(t) / kDiurnalPeriod));
+  if (burst_slot(t)) rate *= kBurstFactor;
+  return rate;
+}
+
+struct RequestSpec {
+  std::size_t m = 0, n = 0, k = 0;
+  Precision prec = Precision::FP16;
+  core::Algo algo = core::Algo::OneD;
+  double deadline_cycles = 0.0;
+};
+
+/// Heavy-tailed shape mix. Dims are drawn per axis from the class's dim set;
+/// every in-class combination stays inside the class's 2mnk flop band, so
+/// the SLO report's classes line up with the generator's mix.
+RequestSpec draw_request(Rng& rng) {
+  RequestSpec req;
+
+  static constexpr std::size_t kTiny[] = {16, 32, 48};
+  static constexpr std::size_t kSmall[] = {64, 96};
+  static constexpr std::size_t kMedium[] = {128, 160, 192};
+  static constexpr std::size_t kLarge[] = {384};
+  const auto draw_dims = [&](const std::size_t* dims, std::size_t count) {
+    req.m = dims[rng.uniform_index(count)];
+    req.n = dims[rng.uniform_index(count)];
+    req.k = dims[rng.uniform_index(count)];
+  };
+  const double class_roll = rng.uniform();
+  bool large = false;
+  if (class_roll < 0.55)
+    draw_dims(kTiny, 3);
+  else if (class_roll < 0.85)
+    draw_dims(kSmall, 2);
+  else if (class_roll < 0.97)
+    draw_dims(kMedium, 3);
+  else {
+    draw_dims(kLarge, 1);
+    large = true;
+  }
+  // A sliver of degenerate (empty) products: health probes and cancelled
+  // jobs look exactly like this in production traffic.
+  if (rng.bernoulli(0.02)) {
+    const std::uint64_t axis = rng.uniform_index(3);
+    (axis == 0 ? req.m : axis == 1 ? req.n : req.k) = 0;
+  }
+
+  // Tiny probes skew FP16 like inference traffic; the large batch-job tail
+  // arrives in FP32/FP64 like scientific workloads. (Large jobs exceed the
+  // single-block KAMI envelope and serve via the degradation ladder's
+  // reference rung, so they also exercise degraded serving.)
+  const double prec_roll = rng.uniform();
+  if (large)
+    req.prec = prec_roll < 0.6 ? Precision::FP32 : Precision::FP64;
+  else
+    req.prec = prec_roll < 0.70   ? Precision::FP16
+               : prec_roll < 0.85 ? Precision::FP32
+               : prec_roll < 0.95 ? Precision::BF16
+                                  : Precision::FP64;
+
+  const double algo_roll = rng.uniform();
+  req.algo = algo_roll < 0.40   ? core::Algo::OneD
+             : algo_roll < 0.70 ? core::Algo::TwoD
+                                : core::Algo::ThreeD;
+
+  // Log-uniform deadlines straddle the per-class latency distributions, so
+  // the report shows real attainment (some objectives met, some blown).
+  if (rng.bernoulli(0.25))
+    req.deadline_cycles = std::exp(rng.uniform(std::log(1e3), std::log(3e6)));
+  return req;
+}
+
+struct LoadStats {
+  std::size_t submitted = 0;
+  std::size_t ok = 0;
+  std::size_t rejected = 0;  ///< typed admission refusals (queues full)
+  std::size_t errors = 0;    ///< other typed failures
+  std::size_t failovers = 0;
+  std::size_t hedged = 0;
+  std::size_t degraded = 0;
+  std::map<std::string, std::size_t> by_device;
+  std::map<std::string, std::size_t> by_code;
+};
+
+template <kami::Scalar T>
+void fold(LoadStats& stats, const serve::FleetResult<T>& r) {
+  if (r.ok()) {
+    ++stats.ok;
+    if (r.result.degraded) ++stats.degraded;
+  } else if (r.result.code == serve::ErrorCode::ResourceExhausted &&
+             r.device_index < 0) {
+    ++stats.rejected;
+    ++stats.by_code[serve::error_code_name(r.result.code)];
+  } else {
+    ++stats.errors;
+    ++stats.by_code[serve::error_code_name(r.result.code)];
+  }
+  if (r.failovers > 0) stats.failovers += static_cast<std::size_t>(r.failovers);
+  if (r.hedged) ++stats.hedged;
+  if (!r.device.empty()) ++stats.by_device[r.device];
+}
+
+/// Futures submitted in the current slot, bucketed by scalar type (one
+/// future type per precision), harvested right after the slot's drain.
+struct SlotFutures {
+  std::vector<std::future<serve::FleetResult<kami::fp16_t>>> fp16;
+  std::vector<std::future<serve::FleetResult<float>>> fp32;
+  std::vector<std::future<serve::FleetResult<kami::bf16_t>>> bf16;
+  std::vector<std::future<serve::FleetResult<double>>> fp64;
+};
+
+template <kami::Scalar T>
+std::future<serve::FleetResult<T>> submit(serve::FleetServer& fleet,
+                                          const RequestSpec& req, Rng& rng) {
+  Matrix<T> A = kami::random_matrix<T>(req.m, req.k, rng);
+  Matrix<T> B = kami::random_matrix<T>(req.k, req.n, rng);
+  core::GemmOptions opt;
+  // TimingOnly: the bench measures serving behavior — routing, queueing,
+  // latency accounting — and the cycle model is exact in every mode;
+  // skipping the numeric inner loops keeps the large tail affordable.
+  opt.mode = kami::sim::ExecMode::TimingOnly;
+  opt.deadline_cycles = req.deadline_cycles;
+  return fleet.submit_async<T>(req.algo, std::move(A), std::move(B), opt);
+}
+
+int run(std::size_t requests, std::uint64_t seed, std::size_t queue_depth,
+        const std::string& json_path) {
+  serve::FleetConfig cfg = serve::table3_fleet();
+  for (serve::FleetDeviceConfig& dev : cfg.devices) dev.queue_depth = queue_depth;
+  cfg.async_workers_per_device = 0;  // manual drain: one drain per slot
+  cfg.hedge_deadline_requests = true;
+  cfg.slo = std::make_shared<serve::SloTracker>();
+  cfg.request_id_prefix = "load";
+  serve::FleetServer fleet(std::move(cfg));
+
+  Rng rng(seed);
+  LoadStats stats;
+  std::map<std::string, std::size_t> mix;  ///< shape class -> generated count
+  std::size_t slots = 0;
+  std::size_t burst_slots = 0;
+  std::size_t peak_arrivals = 0;
+
+  while (stats.submitted < requests) {
+    const double rate = arrival_rate(slots);
+    if (burst_slot(slots)) ++burst_slots;
+    std::size_t arrivals = static_cast<std::size_t>(poisson(rng, rate));
+    arrivals = std::min(arrivals, requests - stats.submitted);
+    peak_arrivals = std::max(peak_arrivals, arrivals);
+
+    SlotFutures futures;
+    for (std::size_t i = 0; i < arrivals; ++i) {
+      const RequestSpec req = draw_request(rng);
+      ++mix[std::string(serve::shape_class(req.m, req.n, req.k))];
+      switch (req.prec) {
+        case Precision::FP16:
+          futures.fp16.push_back(submit<kami::fp16_t>(fleet, req, rng));
+          break;
+        case Precision::FP32:
+          futures.fp32.push_back(submit<float>(fleet, req, rng));
+          break;
+        case Precision::BF16:
+          futures.bf16.push_back(submit<kami::bf16_t>(fleet, req, rng));
+          break;
+        default:
+          futures.fp64.push_back(submit<double>(fleet, req, rng));
+          break;
+      }
+      ++stats.submitted;
+    }
+    // One drain per slot is the fleet's service capacity: a burst that
+    // outruns it overflows the bounded queues (typed refusals), open-loop.
+    fleet.drain();
+    for (auto& f : futures.fp16) fold(stats, f.get());
+    for (auto& f : futures.fp32) fold(stats, f.get());
+    for (auto& f : futures.bf16) fold(stats, f.get());
+    for (auto& f : futures.fp64) fold(stats, f.get());
+    ++slots;
+  }
+
+  TablePrinter workload({"shape class", "requests"});
+  for (const auto& [cls, count] : mix)
+    workload.add_row({cls, std::to_string(count)});
+  workload.print(std::cout, "generated workload");
+
+  TablePrinter outcomes({"outcome", "count"});
+  outcomes.add_row({"ok", std::to_string(stats.ok)});
+  outcomes.add_row({"rejected (admission)", std::to_string(stats.rejected)});
+  outcomes.add_row({"typed errors", std::to_string(stats.errors)});
+  outcomes.add_row({"degraded", std::to_string(stats.degraded)});
+  outcomes.add_row({"failovers", std::to_string(stats.failovers)});
+  outcomes.add_row({"hedged", std::to_string(stats.hedged)});
+  outcomes.print(std::cout, "outcomes");
+
+  TablePrinter devices({"device", "served"});
+  for (const auto& [dev, count] : stats.by_device)
+    devices.add_row({dev, std::to_string(count)});
+  devices.print(std::cout, "served by device");
+
+  if (!stats.by_code.empty()) {
+    TablePrinter codes({"code", "count"});
+    for (const auto& [code, count] : stats.by_code)
+      codes.add_row({code, std::to_string(count)});
+    codes.print(std::cout, "typed failures by code");
+  }
+
+  if (!json_path.empty()) {
+    kami::obs::RunReport report("serve_load");
+    report.set_meta("seed", std::to_string(seed));
+    report.set_meta("requests", std::to_string(stats.submitted));
+    report.set_meta("slots", std::to_string(slots));
+    report.set_meta("burst_slots", std::to_string(burst_slots));
+    report.set_meta("peak_slot_arrivals", std::to_string(peak_arrivals));
+    report.set_meta("queue_depth", std::to_string(queue_depth));
+    report.set_meta("ok", std::to_string(stats.ok));
+    report.set_meta("rejected", std::to_string(stats.rejected));
+    report.set_meta("typed_errors", std::to_string(stats.errors));
+    report.set_meta("degraded", std::to_string(stats.degraded));
+    report.set_meta("failovers", std::to_string(stats.failovers));
+    report.set_meta("hedged", std::to_string(stats.hedged));
+    report.add_table("generated workload", workload);
+    report.add_table("outcomes", outcomes);
+    report.add_table("served by device", devices);
+    report.set_metrics(kami::obs::MetricRegistry::global());
+    report.set_slo(fleet.config().slo->to_json());
+    std::ofstream os(json_path);
+    if (!os) throw kami::PreconditionError("cannot open " + json_path + " for writing");
+    report.write_json(os);
+    std::cout << "wrote " << json_path << "\n";
+  }
+
+  const double attained =
+      stats.submitted > 0
+          ? 100.0 * static_cast<double>(stats.ok) / static_cast<double>(stats.submitted)
+          : 0.0;
+  std::cout << "served " << stats.ok << "/" << stats.submitted << " (" << attained
+            << "% ok) across " << slots << " slots (" << burst_slots
+            << " burst), rejected " << stats.rejected << ", failovers "
+            << stats.failovers << ", hedged " << stats.hedged << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  std::size_t requests = 2000;
+  std::uint64_t seed = 1;
+  std::size_t queue_depth = 32;
+  std::string json_path;
+  try {
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      if (args[i] == "--requests" && i + 1 < args.size()) requests = std::stoul(args[++i]);
+      else if (args[i] == "--seed" && i + 1 < args.size()) seed = std::stoull(args[++i]);
+      else if (args[i] == "--queue-depth" && i + 1 < args.size())
+        queue_depth = std::stoul(args[++i]);
+      else if (args[i] == "--json" && i + 1 < args.size()) json_path = args[++i];
+      else if (args[i] == "--smoke") requests = 300;
+      else return usage();
+    }
+    return run(requests, seed, queue_depth, json_path);
+  } catch (const std::exception& e) {
+    std::cerr << "serve_load: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -45,6 +45,17 @@ class BoundedTaskQueue {
     return true;
   }
 
+  /// Non-blocking dequeue: pop the oldest task if one is queued, else return
+  /// false immediately (open or closed). The FleetServer's manual-drain mode
+  /// uses this to run queued work inline in a deterministic device order.
+  bool try_pop(std::function<void()>& out) {
+    std::lock_guard lock(mu_);
+    if (tasks_.empty()) return false;
+    out = std::move(tasks_.front());
+    tasks_.pop_front();
+    return true;
+  }
+
   /// Refuse all future pushes and wake every parked consumer. Tasks already
   /// queued stay poppable so a draining shutdown completes them.
   void close() {

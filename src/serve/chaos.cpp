@@ -10,7 +10,8 @@
 #include "util/rng.hpp"
 
 namespace kami::serve {
-namespace {
+
+namespace chaos_detail {
 
 std::string fmt(double v) {
   std::ostringstream os;
@@ -18,13 +19,6 @@ std::string fmt(double v) {
   return os.str();
 }
 
-template <Scalar T>
-bool bits_equal(const Matrix<T>& a, const Matrix<T>& b) {
-  return a.rows() == b.rows() && a.cols() == b.cols() &&
-         std::memcmp(a.data(), b.data(), a.size() * sizeof(T)) == 0;
-}
-
-/// Same table as verify::check_point's KAMI-3D comparison (scaled by k).
 double reference_tolerance(Precision p) {
   switch (p) {
     case Precision::FP64: return 1e-12;
@@ -37,10 +31,10 @@ double reference_tolerance(Precision p) {
   return 1e-2;
 }
 
-verify::FaultHooks hooks_for(const ChaosPoint& p) {
+verify::FaultHooks hooks_for(ChaosFault f, long long alloc_countdown) {
   verify::FaultHooks hooks;
   hooks.armed_runs = 0;  // start disarmed; each case arms exactly its fault
-  switch (p.fault) {
+  switch (f) {
     case ChaosFault::None:
       break;
     case ChaosFault::TransientWarpSkew:
@@ -56,11 +50,15 @@ verify::FaultHooks hooks_for(const ChaosPoint& p) {
       hooks.armed_runs = -1;
       break;
     case ChaosFault::AllocFailure:
-      hooks.alloc_fail_countdown = p.alloc_countdown;
+      hooks.alloc_fail_countdown = alloc_countdown;
       break;
   }
   return hooks;
 }
+
+}  // namespace chaos_detail
+
+namespace {
 
 template <Scalar T>
 ChaosOutcome run_impl(GemmServer& server, const ChaosPoint& p) {
@@ -83,7 +81,7 @@ ChaosOutcome run_impl(GemmServer& server, const ChaosPoint& p) {
 
   ServeResult<T> res;
   {
-    const verify::ScopedFault guard(hooks_for(p));
+    const verify::ScopedFault guard(chaos_detail::hooks_for(p.fault, p.alloc_countdown));
     try {
       res = server.serve<T>(p.base.algo, dev, A, B, opt);
     } catch (const std::exception& e) {
@@ -100,52 +98,15 @@ ChaosOutcome run_impl(GemmServer& server, const ChaosPoint& p) {
   }
   out.code = res.code;
   out.message = res.message;
+  out.rung_label = res.ok() ? res.rung_label : "error";
 
-  if (res.ok()) {
-    out.rung_label = res.rung_label;
-    // Bit-correctness: a degraded or fault-retried result must be exactly
-    // what a clean run would have produced. TimingOnly KAMI rungs carry no
-    // numerics to check; the reference rung always computes.
-    const bool computed = res.from_reference || sim::mode_computes(p.mode);
-    if (!computed) return out;
-    if (res.from_reference || res.served != core::Algo::ThreeD) {
-      const Matrix<T> ref = baselines::reference_gemm(A, B);
-      if (!bits_equal(res.C, ref)) {
-        out.violation = true;
-        out.detail = "silent corruption: " + res.rung_label +
-                     " result does not match the reference rounding model bit-for-bit";
-      }
-    } else {
-      const Matrix<double> ref = baselines::reference_gemm_fp64(A, B);
-      const double bound =
-          reference_tolerance(num_traits<T>::precision) * static_cast<double>(p.base.k);
-      const double err = max_abs_diff(res.C, ref);
-      if (!(err <= bound)) {
-        out.violation = true;
-        out.detail = "silent corruption: kami_3d deviates from the FP64 reference "
-                     "(max |delta| = " + fmt(err) + " > " + fmt(bound) + ")";
-      }
-    }
-    return out;
-  }
-
-  // Typed-failure contract.
-  out.rung_label = "error";
-  if (res.message.empty()) {
+  // Bit-correct-or-typed: a degraded or fault-retried result must be exactly
+  // what a clean run would have produced; a failure must be well-typed.
+  const std::string detail =
+      chaos_detail::contract_violation(res, A, B, p.mode, p.deadline_cycles);
+  if (!detail.empty()) {
     out.violation = true;
-    out.detail = std::string("typed error ") + error_code_name(res.code) +
-                 " carries an empty message";
-    return out;
-  }
-  if (res.code == ErrorCode::InternalInvariant) {
-    out.violation = true;
-    out.detail = "injected fault misclassified as a simulator bug: " + res.message;
-    return out;
-  }
-  if (res.code == ErrorCode::DeadlineExceeded && p.deadline_cycles <= 0.0) {
-    out.violation = true;
-    out.detail = "deadline error without a deadline: " + res.message;
-    return out;
+    out.detail = detail;
   }
   return out;
 }
@@ -216,7 +177,7 @@ std::string to_string(const ChaosPoint& p) {
   std::ostringstream os;
   os << verify::to_string(p.base) << " fault=" << chaos_fault_name(p.fault);
   if (p.fault == ChaosFault::AllocFailure) os << " alloc_countdown=" << p.alloc_countdown;
-  os << " deadline=" << fmt(p.deadline_cycles)
+  os << " deadline=" << chaos_detail::fmt(p.deadline_cycles)
      << " exec=" << sim::exec_mode_name(p.mode);
   return os.str();
 }

@@ -25,6 +25,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <string>
@@ -117,5 +118,75 @@ ChaosReport run_chaos(std::uint64_t base_seed, std::size_t points,
 ChaosReport run_campaign(std::uint64_t base_seed, std::size_t points, int workers = 1,
                          const std::shared_ptr<obs::FlightRecorder>& flight = nullptr,
                          const std::shared_ptr<SloTracker>& slo = nullptr);
+
+// ---------------------------------------------------------------------------
+// Shared contract machinery: the single-server campaign above and the fleet
+// campaign (serve/fleet_chaos.hpp) enforce the same bit-correct-or-typed
+// contract on every ServeResult, from the same fault-arming table.
+
+namespace chaos_detail {
+
+/// Shortest round-trip-exact decimal rendering (violation messages compare
+/// byte-for-byte across replays).
+std::string fmt(double v);
+
+/// KAMI-3D's tolerance vs the FP64 reference, per element, scaled by k at
+/// the call site (same table as verify::check_point).
+double reference_tolerance(Precision p);
+
+/// The fault-injection hooks one ChaosFault arms (AllocFailure consumes
+/// `alloc_countdown`; the other faults ignore it).
+verify::FaultHooks hooks_for(ChaosFault f, long long alloc_countdown);
+
+template <Scalar T>
+bool bits_equal(const Matrix<T>& a, const Matrix<T>& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(T)) == 0;
+}
+
+/// The bit-correct-or-typed contract on one finished ServeResult: a success
+/// must match the reference rounding model bit-for-bit (KAMI-3D: stay inside
+/// the precision tolerance vs the FP64 reference); a failure must carry a
+/// non-empty message, must not claim InternalInvariant (campaigns inject
+/// faults only through armed sources, which classify as transient), and may
+/// be DeadlineExceeded only when the request actually set a deadline.
+/// Returns "" when the contract holds, else the violation detail.
+template <Scalar T>
+std::string contract_violation(const ServeResult<T>& res, const Matrix<T>& A,
+                               const Matrix<T>& B, sim::ExecMode mode,
+                               double deadline_cycles) {
+  if (res.ok()) {
+    // TimingOnly KAMI rungs carry no numerics to check; the reference rung
+    // and degenerate shapes always compute.
+    const bool computed =
+        res.from_reference || res.degenerate || sim::mode_computes(mode);
+    if (!computed) return "";
+    if (res.from_reference || res.degenerate || res.served != core::Algo::ThreeD) {
+      const Matrix<T> ref = baselines::reference_gemm(A, B);
+      if (!bits_equal(res.C, ref))
+        return "silent corruption: " + res.rung_label +
+               " result does not match the reference rounding model bit-for-bit";
+    } else {
+      const Matrix<double> ref = baselines::reference_gemm_fp64(A, B);
+      const double bound = reference_tolerance(num_traits<T>::precision) *
+                           static_cast<double>(A.cols());
+      const double err = max_abs_diff(res.C, ref);
+      if (!(err <= bound))
+        return "silent corruption: kami_3d deviates from the FP64 reference "
+               "(max |delta| = " + fmt(err) + " > " + fmt(bound) + ")";
+    }
+    return "";
+  }
+  if (res.message.empty())
+    return std::string("typed error ") + error_code_name(res.code) +
+           " carries an empty message";
+  if (res.code == ErrorCode::InternalInvariant)
+    return "injected fault misclassified as a simulator bug: " + res.message;
+  if (res.code == ErrorCode::DeadlineExceeded && deadline_cycles <= 0.0)
+    return "deadline error without a deadline: " + res.message;
+  return "";
+}
+
+}  // namespace chaos_detail
 
 }  // namespace kami::serve

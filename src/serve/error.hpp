@@ -20,6 +20,7 @@ enum class ErrorCode {
   ResourceExhausted,  ///< register file, shared memory, or host allocation failed
   DeadlineExceeded,   ///< GemmOptions::deadline_cycles budget blown
   TransientFault,     ///< injected/transient simulator fault; retryable
+  DeviceUnavailable,  ///< fleet device blacked out; request eligible for failover
   InternalInvariant,  ///< invariant violated with no fault source: a simulator bug
 };
 

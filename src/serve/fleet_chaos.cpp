@@ -1,0 +1,373 @@
+#include "serve/fleet_chaos.hpp"
+
+#include <cmath>
+#include <future>
+#include <sstream>
+#include <utility>
+
+#include "exec/engine.hpp"
+#include "util/rng.hpp"
+
+namespace kami::serve {
+namespace {
+
+FleetConfig fleet_config_for(const FleetChaosPoint& p,
+                             const std::shared_ptr<obs::FlightRecorder>& flight,
+                             const std::shared_ptr<SloTracker>& slo,
+                             const std::string& prefix) {
+  FleetConfig cfg = table3_fleet();
+  for (FleetDeviceConfig& dev : cfg.devices) dev.queue_depth = p.queue_depth;
+  // Manual drain: no worker threads, so queue fill order, overflow reroutes,
+  // and execution order are functions of the point alone.
+  cfg.async_workers_per_device = 0;
+  cfg.probe_cooldown_requests = p.probe_cooldown;
+  cfg.blackout_failure_threshold = 1;
+  cfg.hedge_deadline_requests = p.hedge;
+  cfg.route_skew = p.route_skew;
+  // Hermetic planner state: routing must not read (or warm) the process-wide
+  // ProfileCache/Predictor, or a replay would route differently.
+  cfg.profile_cache = std::make_shared<core::ProfileCache>();
+  cfg.predictor = std::make_shared<model::Predictor>();
+  cfg.flight = flight;
+  cfg.slo = slo;
+  cfg.request_id_prefix = prefix;
+  return cfg;
+}
+
+/// One storm request's operands (kept so its result can be bit-checked).
+struct StormRequest {
+  Matrix<fp16_t> A;
+  Matrix<fp16_t> B;
+  std::future<FleetResult<fp16_t>> future;
+};
+
+template <Scalar T>
+FleetChaosOutcome run_scenario(const FleetChaosPoint& p,
+                               const std::shared_ptr<obs::FlightRecorder>& flight,
+                               const std::shared_ptr<SloTracker>& slo,
+                               const std::string& prefix, std::string* digest) {
+  FleetChaosOutcome out;
+  FleetServer fleet(fleet_config_for(p, flight, slo, prefix));
+  for (std::size_t i = 0; i < fleet.device_count(); ++i)
+    if (p.blackout_mask & (1u << i)) fleet.set_blackout(i, true);
+
+  Rng rng(p.base.data_seed);
+  const Matrix<T> A = random_matrix<T>(p.base.m, p.base.k, rng);
+  const Matrix<T> B = random_matrix<T>(p.base.k, p.base.n, rng);
+
+  core::GemmOptions opt = p.base.options;
+  opt.mode = p.mode;
+  opt.record_trace = false;
+  opt.record_regions = false;
+  opt.deadline_cycles = p.deadline_cycles;
+
+  // -- queue-overflow storm: a burst of tiny async requests against the
+  // point's deliberately small shard queues, then one deterministic drain.
+  std::vector<StormRequest> storm;
+  storm.reserve(static_cast<std::size_t>(p.storm_requests));
+  Rng storm_rng(p.base.data_seed ^ 0x5702A11B5ull);
+  for (int i = 0; i < p.storm_requests; ++i) {
+    const std::size_t dims[] = {16, 32};
+    const std::size_t m = dims[storm_rng.uniform_index(2)];
+    const std::size_t n = dims[storm_rng.uniform_index(2)];
+    const std::size_t k = dims[storm_rng.uniform_index(2)];
+    StormRequest req{random_matrix<fp16_t>(m, k, storm_rng),
+                     random_matrix<fp16_t>(k, n, storm_rng), {}};
+    req.future = fleet.submit_async<fp16_t>(core::Algo::OneD, req.A, req.B);
+    storm.push_back(std::move(req));
+  }
+  fleet.drain();
+  for (std::size_t i = 0; i < storm.size(); ++i) {
+    StormRequest& req = storm[i];
+    if (!req.future.valid() ||
+        req.future.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
+      out.violation = true;
+      out.detail = "request lost: storm future " + std::to_string(i) +
+                   " not ready after drain()";
+      out.rung_label = "crash";
+      return out;
+    }
+    const FleetResult<fp16_t> r = req.future.get();
+    if (r.ok())
+      ++out.storm_ok;
+    else if (r.result.code == ErrorCode::ResourceExhausted)
+      ++out.storm_rejected;
+    const std::string detail = chaos_detail::contract_violation(
+        r.result, req.A, req.B, sim::ExecMode::Full, 0.0);
+    if (!detail.empty()) {
+      out.violation = true;
+      out.detail = "storm request " + std::to_string(i) + ": " + detail;
+      out.rung_label = "error";
+      return out;
+    }
+  }
+
+  // -- the main request, under the point's injected fault.
+  FleetResult<T> res;
+  {
+    const verify::ScopedFault guard(chaos_detail::hooks_for(p.fault, p.alloc_countdown));
+    try {
+      res = fleet.serve<T>(p.base.algo, A, B, opt);
+    } catch (const std::exception& e) {
+      out.violation = true;
+      out.detail = std::string("exception escaped FleetServer::serve(): ") + e.what();
+      out.rung_label = "crash";
+      return out;
+    } catch (...) {
+      out.violation = true;
+      out.detail = "non-std exception escaped FleetServer::serve()";
+      out.rung_label = "crash";
+      return out;
+    }
+  }
+  out.code = res.result.code;
+  out.message = res.result.message;
+  out.rung_label = res.ok() ? res.result.rung_label : "error";
+  out.device = res.device;
+  out.failovers = res.failovers;
+  out.hedged = res.hedged;
+
+  std::string detail =
+      chaos_detail::contract_violation(res.result, A, B, p.mode, p.deadline_cycles);
+  if (detail.empty() && res.result.code == ErrorCode::DeviceUnavailable &&
+      p.blackout_mask == 0)
+    detail = "device_unavailable error with no blacked-out device: " + res.result.message;
+  if (!detail.empty()) {
+    out.violation = true;
+    out.detail = detail;
+    return out;
+  }
+
+  // -- failover bit-identity: fault-free success must be bit-identical to a
+  // direct serve on the device the fleet says it used — failover and hedging
+  // may change *where* a request ran, never *what* it produced.
+  if (p.fault == ChaosFault::None && res.ok() && res.device_index >= 0 &&
+      !res.result.degenerate &&
+      (res.result.from_reference || sim::mode_computes(p.mode))) {
+    GemmServer direct;
+    const ServeResult<T> d = direct.serve<T>(
+        p.base.algo, fleet.device(static_cast<std::size_t>(res.device_index)), A, B, opt);
+    if (!d.ok()) {
+      out.violation = true;
+      out.detail = "failover identity: direct serve on \"" + res.device +
+                   "\" failed (" + error_code_name(d.code) + ") where the fleet served ok";
+      return out;
+    }
+    if (!chaos_detail::bits_equal(res.result.C, d.C)) {
+      out.violation = true;
+      out.detail = "failover identity: fleet result on \"" + res.device +
+                   "\" is not bit-identical to a direct serve on the same device";
+      return out;
+    }
+  }
+
+  // -- recovery: with the blackout cleared, the probe state machine must
+  // return every marked-down device to Healthy within cooldown + 2 requests.
+  if (p.blackout_mask != 0) {
+    for (std::size_t i = 0; i < fleet.device_count(); ++i) fleet.set_blackout(i, false);
+    Rng pump_rng(p.base.data_seed ^ 0x9ECB0EEull);
+    const Matrix<fp16_t> pa = random_matrix<fp16_t>(16, 16, pump_rng);
+    const Matrix<fp16_t> pb = random_matrix<fp16_t>(16, 16, pump_rng);
+    for (int i = 0; i < p.probe_cooldown + 2; ++i)
+      fleet.serve<fp16_t>(core::Algo::OneD, pa, pb);
+    for (std::size_t i = 0; i < fleet.device_count(); ++i) {
+      if (fleet.health(i) != DeviceHealth::Healthy) {
+        out.violation = true;
+        out.detail = "device \"" + fleet.device(i).name + "\" stuck " +
+                     device_health_name(fleet.health(i)) + " after the blackout cleared "
+                     "and " + std::to_string(p.probe_cooldown + 2) + " probe requests";
+        return out;
+      }
+    }
+  }
+
+  if (digest != nullptr) {
+    std::ostringstream os;
+    os << error_code_name(out.code) << '|' << out.message << '|' << out.device << '|'
+       << out.failovers << '|' << out.rung_label << '|'
+       << chaos_detail::fmt(res.end_to_end_cycles) << '|' << out.storm_ok << '|'
+       << out.storm_rejected;
+    *digest = os.str();
+  }
+  return out;
+}
+
+template <Scalar T>
+FleetChaosOutcome run_point_impl(const FleetChaosPoint& p,
+                                 const std::shared_ptr<obs::FlightRecorder>& flight,
+                                 const std::shared_ptr<SloTracker>& slo,
+                                 const std::string& prefix) {
+  std::string first_digest;
+  FleetChaosOutcome out = run_scenario<T>(p, flight, slo, prefix, &first_digest);
+  if (out.violation) return out;
+
+  // Deterministic replay: the whole scenario again from scratch — fresh
+  // fleet, fresh hermetic planner state, same ids — must reproduce the same
+  // outcome byte-for-byte. (Observability detached: it must not matter.)
+  std::string replay_digest;
+  const FleetChaosOutcome replay =
+      run_scenario<T>(p, nullptr, nullptr, prefix, &replay_digest);
+  if (replay.violation) return replay;
+  if (first_digest != replay_digest) {
+    out.violation = true;
+    out.detail = "nondeterministic fleet replay: \"" + first_digest + "\" vs \"" +
+                 replay_digest + "\"";
+  }
+  return out;
+}
+
+FleetChaosOutcome dispatch(const FleetChaosPoint& p,
+                           const std::shared_ptr<obs::FlightRecorder>& flight,
+                           const std::shared_ptr<SloTracker>& slo,
+                           const std::string& prefix) {
+  switch (p.base.precision) {
+    case Precision::FP64: return run_point_impl<double>(p, flight, slo, prefix);
+    case Precision::FP32: return run_point_impl<float>(p, flight, slo, prefix);
+    case Precision::TF32: return run_point_impl<tf32_t>(p, flight, slo, prefix);
+    case Precision::FP16: return run_point_impl<fp16_t>(p, flight, slo, prefix);
+    case Precision::BF16: return run_point_impl<bf16_t>(p, flight, slo, prefix);
+    case Precision::FP8E4M3: return run_point_impl<fp8_e4m3_t>(p, flight, slo, prefix);
+  }
+  FleetChaosOutcome out;
+  out.violation = true;
+  out.detail = "unknown precision in fleet chaos point";
+  out.rung_label = "crash";
+  return out;
+}
+
+}  // namespace
+
+FleetChaosPoint fleet_chaos_point(std::uint64_t seed) {
+  FleetChaosPoint p;
+  p.base = verify::random_point(seed);
+  // Independent stream for the fleet conditions so the underlying verify
+  // point is exactly the one `kami_verify repro <seed>` rebuilds.
+  Rng rng(seed ^ 0xF1EE7CA0501ull);
+
+  const double fault_roll = rng.uniform();
+  if (fault_roll < 0.45) {
+    p.fault = ChaosFault::None;
+  } else if (fault_roll < 0.60) {
+    p.fault = ChaosFault::TransientWarpSkew;
+  } else if (fault_roll < 0.70) {
+    p.fault = ChaosFault::TransientPortSkew;
+  } else if (fault_roll < 0.82) {
+    p.fault = ChaosFault::PermanentWarpSkew;
+  } else {
+    p.fault = ChaosFault::AllocFailure;
+    p.alloc_countdown = static_cast<long long>(rng.uniform_index(4));
+  }
+
+  if (rng.bernoulli(0.3))
+    p.deadline_cycles = std::exp(rng.uniform(std::log(100.0), std::log(1e6)));
+
+  const double mode_roll = rng.uniform();
+  p.mode = mode_roll < 0.70  ? sim::ExecMode::Full
+           : mode_roll < 0.85 ? sim::ExecMode::TimingOnly
+                               : sim::ExecMode::NumericsOnly;
+
+  // Fleet adversity. The blackout mask may cover all four devices — a full
+  // fleet outage must still come back as a typed error, never a crash.
+  if (rng.bernoulli(0.55))
+    p.blackout_mask = 1u + static_cast<std::uint32_t>(rng.uniform_index(15));
+  if (rng.bernoulli(0.4)) {
+    p.route_skew.resize(4);
+    for (double& s : p.route_skew)
+      s = std::exp(rng.uniform(std::log(0.25), std::log(4.0)));
+  }
+  p.hedge = rng.bernoulli(0.25);
+  if (rng.bernoulli(0.35)) {
+    p.storm_requests = 4 + static_cast<int>(rng.uniform_index(13));
+    p.queue_depth = 1 + rng.uniform_index(3);
+  }
+  p.probe_cooldown = 1 + static_cast<int>(rng.uniform_index(3));
+  return p;
+}
+
+std::string to_string(const FleetChaosPoint& p) {
+  std::ostringstream os;
+  os << verify::to_string(p.base) << " fault=" << chaos_fault_name(p.fault);
+  if (p.fault == ChaosFault::AllocFailure) os << " alloc_countdown=" << p.alloc_countdown;
+  os << " deadline=" << chaos_detail::fmt(p.deadline_cycles)
+     << " exec=" << sim::exec_mode_name(p.mode) << " blackout=0x" << std::hex
+     << p.blackout_mask << std::dec;
+  if (!p.route_skew.empty()) {
+    os << " skew=[";
+    for (std::size_t i = 0; i < p.route_skew.size(); ++i)
+      os << (i ? "," : "") << chaos_detail::fmt(p.route_skew[i]);
+    os << "]";
+  }
+  os << " hedge=" << (p.hedge ? "true" : "false") << " storm=" << p.storm_requests
+     << " qdepth=" << p.queue_depth << " cooldown=" << p.probe_cooldown;
+  return os.str();
+}
+
+FleetChaosOutcome run_fleet_chaos_point(
+    const FleetChaosPoint& p, const std::shared_ptr<obs::FlightRecorder>& flight,
+    const std::shared_ptr<SloTracker>& slo, const std::string& request_id_prefix) {
+  return dispatch(p, flight, slo, request_id_prefix);
+}
+
+namespace {
+
+void fold_outcome(FleetChaosReport& report, std::uint64_t seed, const FleetChaosPoint& p,
+                  const FleetChaosOutcome& o) {
+  ++report.ran;
+  ++report.by_fault[chaos_fault_name(p.fault)];
+  ++report.by_rung[o.rung_label];
+  if (o.code == ErrorCode::Ok && !o.violation) ++report.served_ok;
+  if (o.code != ErrorCode::Ok) {
+    ++report.typed_errors;
+    ++report.by_code[error_code_name(o.code)];
+  }
+  if (o.failovers > 0) report.failovers += static_cast<std::size_t>(o.failovers);
+  if (o.hedged) ++report.hedged;
+  report.storm_requests += static_cast<std::size_t>(p.storm_requests);
+  report.storm_rejected += static_cast<std::size_t>(o.storm_rejected);
+  if (!o.device.empty()) ++report.by_device[o.device];
+  if (o.violation)
+    report.violations.push_back(ChaosViolation{seed, to_string(p), o.detail});
+}
+
+}  // namespace
+
+FleetChaosReport run_fleet_campaign(std::uint64_t base_seed, std::size_t points,
+                                    int workers,
+                                    const std::shared_ptr<obs::FlightRecorder>& flight,
+                                    const std::shared_ptr<SloTracker>& slo) {
+  // Replication-parallel, exactly like run_campaign: every point gets a
+  // fresh fleet (hermetic planner state included), per-point observability,
+  // and the report folds serially in seed order — bit-identical at every
+  // worker count.
+  const exec::ExecutionEngine engine(workers);
+  struct PointOutcome {
+    FleetChaosPoint point;
+    FleetChaosOutcome outcome;
+  };
+  const auto outcomes = engine.parallel_map<PointOutcome>(points, [&](std::size_t i) {
+    PointOutcome po;
+    const std::uint64_t seed = base_seed + i;
+    po.point = fleet_chaos_point(seed);
+    std::shared_ptr<obs::FlightRecorder> point_flight;
+    std::shared_ptr<SloTracker> point_slo;
+    if (flight) point_flight = std::make_shared<obs::FlightRecorder>(flight->config());
+    if (slo) point_slo = std::make_shared<SloTracker>();
+    po.outcome = run_fleet_chaos_point(po.point, point_flight, point_slo,
+                                       "fseed" + std::to_string(seed));
+    if (point_flight) po.outcome.traces = point_flight->snapshot();
+    po.outcome.slo = point_slo;
+    return po;
+  });
+
+  FleetChaosReport report;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const PointOutcome& po = outcomes[i];
+    fold_outcome(report, base_seed + i, po.point, po.outcome);
+    if (flight)
+      for (const obs::RequestTrace& t : po.outcome.traces) flight->record(t);
+    if (slo && po.outcome.slo) slo->merge_from(*po.outcome.slo);
+  }
+  return report;
+}
+
+}  // namespace kami::serve

@@ -1,0 +1,127 @@
+// Fleet chaos campaign: randomized resilience fuzzing of the FleetServer.
+//
+// Each fleet chaos point wraps a single-server chaos scenario (shape,
+// precision, algorithm, injected fault, deadline, execution mode — the same
+// generator family as serve/chaos.hpp) in fleet-level adversity:
+//
+//   * seeded blackouts — a random subset of the four devices (possibly all
+//     of them) is dark before the request arrives, so dispatch refusals,
+//     mark-down, and failover all fire;
+//   * router misprediction — per-device multiplicative skew on the routing
+//     score, so the request is deliberately sent to the "wrong" device
+//     first and correctness must survive bad placement;
+//   * queue-overflow storms — a burst of async submissions against
+//     deliberately tiny shard queues in manual-drain mode, so overflow
+//     reroute and typed admission refusals exercise deterministically;
+//   * mid-request faults — the usual verify::FaultHooks injections, now
+//     interacting with failover (a fault consumed on one device changes
+//     what the next device sees).
+//
+// The campaign asserts the fleet contract on every point:
+//
+//   * bit-correct-or-typed — exactly serve/chaos.hpp's contract
+//     (chaos_detail::contract_violation), applied to the fleet result AND to
+//     every storm request's future;
+//   * no request lost or double-completed — every submitted future is ready
+//     after drain() and carries a ServeResult (a promise broken or set twice
+//     would surface as an exception);
+//   * failover bit-identity — for fault-free points, the fleet's answer is
+//     bit-identical to serving the same operands directly on the device the
+//     fleet reports it used: failover may change *where*, never *what*;
+//   * recovery — once blackouts clear, the probe state machine returns
+//     every marked-down device to Healthy within cooldown + 2 requests;
+//   * deterministic replay — the entire scenario rerun from scratch (fresh
+//     fleet, fresh hermetic planner state) reproduces the same code,
+//     message, serving device, failover count, and end-to-end cycles.
+//
+// Points are generated from a seed, so every violation is replayable:
+// `kami_chaos --fleet --seed <s> --points 1`.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/chaos.hpp"
+#include "serve/fleet.hpp"
+
+namespace kami::serve {
+
+struct FleetChaosPoint {
+  verify::CheckPoint base;  ///< the requested shape/precision/algo/tuning
+  ChaosFault fault = ChaosFault::None;
+  long long alloc_countdown = -1;
+  double deadline_cycles = 0.0;
+  sim::ExecMode mode = sim::ExecMode::Full;
+
+  std::uint32_t blackout_mask = 0;  ///< bit i: device i dark at arrival
+  std::vector<double> route_skew;   ///< empty = honest router
+  bool hedge = false;               ///< hedge deadline-carrying requests
+  int storm_requests = 0;           ///< async burst size (0 = no storm)
+  std::size_t queue_depth = 4;      ///< shard queue capacity for this point
+  int probe_cooldown = 2;           ///< fleet requests before a Down shard probes
+};
+
+/// Deterministic seed -> point generation (replays exactly).
+FleetChaosPoint fleet_chaos_point(std::uint64_t seed);
+
+/// One-line human-readable spec.
+std::string to_string(const FleetChaosPoint& p);
+
+struct FleetChaosOutcome {
+  bool violation = false;
+  std::string detail;
+  ErrorCode code = ErrorCode::Ok;
+  std::string message;
+  std::string rung_label;  ///< rung that served, or "error"
+  std::string device;      ///< device that answered ("" on fleet refusal)
+  int failovers = 0;
+  bool hedged = false;
+  int storm_ok = 0;        ///< storm futures that served
+  int storm_rejected = 0;  ///< storm futures typed-refused at admission
+  /// Per-point fleet-level SLO accounting in campaign mode.
+  std::shared_ptr<SloTracker> slo;
+  std::vector<obs::RequestTrace> traces;
+};
+
+/// Run one fleet chaos point: build the point's fleet (manual drain,
+/// hermetic planner state), apply blackouts/skew, run the storm, serve the
+/// main request under its fault, check recovery, then replay the scenario
+/// from scratch and check determinism. `flight`/`slo` attach per-point
+/// observability (campaign mode folds them in seed order).
+FleetChaosOutcome run_fleet_chaos_point(
+    const FleetChaosPoint& p, const std::shared_ptr<obs::FlightRecorder>& flight = nullptr,
+    const std::shared_ptr<SloTracker>& slo = nullptr,
+    const std::string& request_id_prefix = "fleet");
+
+struct FleetChaosReport {
+  std::size_t ran = 0;
+  std::size_t served_ok = 0;
+  std::size_t typed_errors = 0;
+  std::size_t failovers = 0;       ///< total failed dispatches before success
+  std::size_t hedged = 0;          ///< points served by a hedged pair
+  std::size_t storm_requests = 0;  ///< total storm submissions checked
+  std::size_t storm_rejected = 0;  ///< typed admission refusals among them
+  std::map<std::string, std::size_t> by_code;
+  std::map<std::string, std::size_t> by_rung;
+  std::map<std::string, std::size_t> by_fault;
+  std::map<std::string, std::size_t> by_device;  ///< device that answered
+  std::vector<ChaosViolation> violations;
+
+  bool clean() const noexcept { return violations.empty(); }
+};
+
+/// Replication-parallel fleet campaign: points seeded base_seed,
+/// base_seed+1, ... each against a fresh fleet, fanned out across the
+/// execution engine (`workers` 0 = defer to KAMI_THREADS, 1 = serial).
+/// Outcomes fold in seed order, so the report — and the `flight`/`slo`
+/// contents when attached — is bit-identical at every worker count.
+FleetChaosReport run_fleet_campaign(
+    std::uint64_t base_seed, std::size_t points, int workers = 1,
+    const std::shared_ptr<obs::FlightRecorder>& flight = nullptr,
+    const std::shared_ptr<SloTracker>& slo = nullptr);
+
+}  // namespace kami::serve

@@ -19,6 +19,7 @@ const char* error_code_name(ErrorCode code) noexcept {
     case ErrorCode::ResourceExhausted: return "resource_exhausted";
     case ErrorCode::DeadlineExceeded: return "deadline_exceeded";
     case ErrorCode::TransientFault: return "transient_fault";
+    case ErrorCode::DeviceUnavailable: return "device_unavailable";
     case ErrorCode::InternalInvariant: return "internal_invariant";
   }
   return "unknown";
@@ -56,6 +57,25 @@ ErrorCode classify_exception(const std::exception_ptr& ep) noexcept {
   } catch (...) {
     return ErrorCode::InternalInvariant;
   }
+}
+
+GemmServer::GemmServer(ServeConfig cfg) : cfg_(std::move(cfg)) {
+  // Pre-register the serving metrics at zero. A server that is constructed
+  // and torn down without a single request must still export the whole
+  // serve.* namespace (dashboards distinguish "served nothing" from "metric
+  // missing"), and the lazily-started async machinery must stay untouched.
+  auto& metrics = obs::MetricRegistry::current();
+  for (const char* name :
+       {"serve.requests", "serve.ok", "serve.errors", "serve.retries",
+        "serve.degraded", "serve.backoff_ms", "serve.async.submitted",
+        "serve.async.accepted", "serve.async.rejected", "serve.breaker.trips",
+        "serve.breaker.closes", "serve.breaker.short_circuits",
+        "serve.breaker.half_open_probes"})
+    metrics.counter(name);
+  for (const char* name :
+       {"serve.queue_wait_cycles", "serve.end_to_end_cycles", "serve.rung"})
+    metrics.histogram(name);
+  metrics.gauge("serve.async.workers");
 }
 
 std::vector<GemmServer::Rung> GemmServer::build_ladder(core::Algo requested,
@@ -168,6 +188,7 @@ void GemmServer::ensure_async_started() {
   if (queue_) return;
   queue_ = std::make_unique<exec::BoundedTaskQueue>(cfg_.async_queue_depth);
   const int workers = exec::resolve_workers(cfg_.async_workers);
+  obs::MetricRegistry::current().gauge("serve.async.workers").set(workers);
   async_threads_.reserve(static_cast<std::size_t>(workers));
   for (int i = 0; i < workers; ++i) {
     async_threads_.emplace_back([this] {

@@ -120,13 +120,23 @@ struct ServeResult {
   int attempts = 0;          ///< kernel attempts across all rungs
   int warps = 0;
   double smem_ratio = 0.0;
+  /// The request's final logical clock: queue wait + per-attempt kernel
+  /// latency + configured backoff (+ the spent budget on a deadline abort),
+  /// in simulated cycles. This is the quantity the serve.end_to_end_cycles
+  /// histogram and the SLO tracker observe; FleetServer reads it to account
+  /// a whole failover chain as one fleet request.
+  double end_to_end_cycles = 0.0;
 
   bool ok() const noexcept { return code == ErrorCode::Ok; }
 };
 
 class GemmServer {
  public:
-  explicit GemmServer(ServeConfig cfg = {}) : cfg_(cfg) {}
+  /// Construction is passive — no queue, no worker threads (those start
+  /// lazily on the first submit_async) — but it does pre-register the
+  /// serve.* metrics at zero, so a server that is constructed and destroyed
+  /// without ever serving exports zero-valued (not absent) counters.
+  explicit GemmServer(ServeConfig cfg = {});
 
   /// Drains and completes every queued async request, then joins the
   /// workers: a future returned by submit_async is always eventually ready.
@@ -291,6 +301,7 @@ ServeResult<T> GemmServer::serve_request(const RequestContext& ctx, core::Algo a
   // the latency histograms, the SLO record, and the finished trace
   // (TraceBuilder::finish closes any still-open spans at the final clock).
   const auto complete = [&] {
+    out.end_to_end_cycles = clock;
     metrics.histogram("serve.queue_wait_cycles").observe(ctx.queue_wait_cycles);
     metrics.histogram("serve.end_to_end_cycles").observe(clock);
     if (cfg_.slo)
@@ -317,6 +328,11 @@ ServeResult<T> GemmServer::serve_request(const RequestContext& ctx, core::Algo a
 
   // -- admission: typed validation errors, never exceptions.
   if (trace) trace->open("admit");
+  try {
+    sim::validate_device(dev);
+  } catch (const std::exception& e) {
+    return fail(ErrorCode::InvalidRequest, e.what());
+  }
   if (algo != core::Algo::OneD && algo != core::Algo::TwoD && algo != core::Algo::ThreeD)
     return fail(ErrorCode::InvalidRequest,
                 "unknown algorithm: " + std::to_string(static_cast<int>(algo)));

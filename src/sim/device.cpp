@@ -175,6 +175,44 @@ DeviceSpec make_intel_max1100() {
 
 }  // namespace
 
+void validate_device(const DeviceSpec& d) {
+  const auto fail = [&](const char* field, const std::string& detail) {
+    throw PreconditionError("invalid DeviceSpec \"" + d.name + "\": field " + field +
+                            " " + detail);
+  };
+  const auto positive = [&](const char* field, double v) {
+    if (!(v > 0.0)) fail(field, "must be positive (got " + std::to_string(v) + ")");
+  };
+  const auto non_negative = [&](const char* field, double v) {
+    if (!(v >= 0.0)) fail(field, "must be non-negative (got " + std::to_string(v) + ")");
+  };
+  if (d.name.empty())
+    throw PreconditionError("invalid DeviceSpec: field name must be non-empty");
+  positive("boost_clock_ghz", d.boost_clock_ghz);
+  positive("num_sms", d.num_sms);
+  positive("tensor_cores_per_sm", d.tensor_cores_per_sm);
+  positive("smem_banks", d.smem_banks);
+  positive("bank_width_bytes", d.bank_width_bytes);
+  positive("threads_per_warp", d.threads_per_warp);
+  positive("max_registers_per_thread", d.max_registers_per_thread);
+  positive("sm_register_bytes", static_cast<double>(d.sm_register_bytes));
+  positive("smem_bytes_per_block", static_cast<double>(d.smem_bytes_per_block));
+  positive("gmem_bytes_per_cycle_per_sm", d.gmem_bytes_per_cycle_per_sm);
+  positive("reg_bytes_per_cycle", d.reg_bytes_per_cycle);
+  non_negative("smem_latency_cycles", d.smem_latency_cycles);
+  non_negative("smem_transaction_overhead_cycles", d.smem_transaction_overhead_cycles);
+  non_negative("sync_latency_cycles", d.sync_latency_cycles);
+  non_negative("gmem_latency_cycles", d.gmem_latency_cycles);
+  if (!(d.mma_efficiency > 0.0) || d.mma_efficiency > 1.0)
+    fail("mma_efficiency", "must be in (0, 1] (got " + std::to_string(d.mma_efficiency) + ")");
+  for (const double peak : {d.peak_fp64_tflops, d.peak_fp32_tflops, d.peak_fp16_tflops,
+                            d.peak_fp8_tflops})
+    if (peak < 0.0) fail("peak_*_tflops", "must be non-negative");
+  if (!(d.peak_fp64_tflops > 0.0 || d.peak_fp32_tflops > 0.0 ||
+        d.peak_fp16_tflops > 0.0 || d.peak_fp8_tflops > 0.0))
+    fail("peak_*_tflops", "must expose at least one supported precision");
+}
+
 const DeviceSpec& gh200() {
   static const DeviceSpec d = make_gh200();
   return d;

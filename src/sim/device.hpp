@@ -103,6 +103,15 @@ struct DeviceSpec {
   MmaShape mma_shape(Precision p) const;
 };
 
+/// Reject a structurally broken DeviceSpec with a typed PreconditionError
+/// naming the offending field. The cycle model divides by clock rate, SM
+/// count, bank width, and the bandwidth fields; a hand-built spec with (say)
+/// num_sms == 0 would otherwise surface as a divide-by-zero (or an inf/NaN
+/// latency) deep inside the throughput conversion instead of at admission.
+/// The serving layer calls this on every request's device; FleetServer
+/// validates its whole fleet at construction.
+void validate_device(const DeviceSpec& d);
+
 /// The four evaluation devices (Table 3).
 const DeviceSpec& gh200();
 const DeviceSpec& rtx5090();

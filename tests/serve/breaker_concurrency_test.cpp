@@ -1,0 +1,181 @@
+// Circuit breaker state transitions under concurrent submit_async: a burst
+// of failing requests trips a rung exactly once, the half-open window admits
+// concurrent probes without losing the recovery, and a failed probe reopens.
+// This suite runs under ThreadSanitizer in CI — the assertions below are
+// deliberately restricted to invariants that hold for every interleaving of
+// worker threads (breaker admission is mutex-serialized, so short-circuit
+// and probe *counts* are deterministic even when completion order is not).
+#include <gtest/gtest.h>
+
+#include <future>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "serve/serve.hpp"
+#include "util/rng.hpp"
+#include "verify/invariants.hpp"
+
+namespace kami {
+namespace {
+
+using serve::BreakerState;
+using serve::ErrorCode;
+using serve::GemmServer;
+using serve::ServeConfig;
+using serve::ServeResult;
+
+double counter(const char* name) {
+  return obs::MetricRegistry::global().counter(name).value();
+}
+
+template <Scalar T>
+std::pair<Matrix<T>, Matrix<T>> operands(std::size_t m, std::size_t n, std::size_t k,
+                                         std::uint64_t seed = 1) {
+  Rng rng(seed);
+  Matrix<T> A = random_matrix<T>(m, k, rng);
+  Matrix<T> B = random_matrix<T>(k, n, rng);
+  return {std::move(A), std::move(B)};
+}
+
+/// Single-rung server: degradation and reference fallback off, so a rung
+/// failure is a typed error instead of a lower rung masking the breaker.
+ServeConfig bare_rung(int workers) {
+  ServeConfig cfg;
+  cfg.allow_degradation = false;
+  cfg.allow_reference_fallback = false;
+  cfg.async_workers = workers;
+  return cfg;
+}
+
+verify::FaultHooks permanent_fault() {
+  verify::FaultHooks hooks;
+  hooks.warp_advance_skew = -1e9;
+  hooks.armed_runs = -1;  // every attempt fails
+  return hooks;
+}
+
+TEST(BreakerConcurrency, ConcurrentFailuresTripTheRungExactlyOnce) {
+  obs::ScopedMetricsReset reset;
+  ServeConfig cfg = bare_rung(/*workers=*/4);
+  cfg.breaker_failure_threshold = 3;
+  cfg.breaker_cooldown_requests = 1000;  // no probe during the burst
+  constexpr std::size_t kBurst = 12;
+
+  std::vector<std::future<ServeResult<fp16_t>>> futures;
+  {
+    GemmServer server(cfg);
+    const auto [A, B] = operands<fp16_t>(32, 32, 32);
+    {
+      // Hooks snapshot at submission: every queued request carries the fault.
+      const verify::ScopedFault guard(permanent_fault());
+      for (std::size_t i = 0; i < kBurst; ++i)
+        futures.push_back(server.submit_async<fp16_t>(Algo::OneD, sim::gh200(), A, B));
+    }
+    for (auto& f : futures) {
+      const ServeResult<fp16_t> r = f.get();
+      // Every request fails typed — by running the rung or by short-circuit,
+      // which reports the stored failure code, never a different one.
+      EXPECT_FALSE(r.ok());
+      EXPECT_EQ(r.code, ErrorCode::TransientFault) << r.message;
+      EXPECT_FALSE(r.message.empty());
+    }
+    EXPECT_EQ(server.breaker_state(sim::gh200().name, Algo::OneD, Precision::FP16,
+                                   32, 32, 32),
+              BreakerState::Open);
+  }
+  // However the 4 workers interleave, the Closed -> Open transition happens
+  // exactly once: later failures land on an already-open breaker, and the
+  // long cooldown means no probe could have closed and re-tripped it.
+  EXPECT_EQ(counter("serve.breaker.trips"), 1.0);
+  EXPECT_EQ(counter("serve.breaker.half_open_probes"), 0.0);
+  // With 4 workers at most threshold + in-flight requests ever run the rung;
+  // the rest of the burst must have been short-circuited.
+  EXPECT_GE(counter("serve.breaker.short_circuits"), 1.0);
+  EXPECT_EQ(counter("serve.errors"), static_cast<double>(kBurst));
+}
+
+TEST(BreakerConcurrency, HalfOpenWindowAdmitsConcurrentProbesAndClosesOnce) {
+  obs::ScopedMetricsReset reset;
+  ServeConfig cfg = bare_rung(/*workers=*/4);
+  cfg.breaker_failure_threshold = 1;
+  cfg.breaker_cooldown_requests = 4;
+  constexpr std::size_t kBurst = 16;
+
+  GemmServer server(cfg);
+  const auto [A, B] = operands<fp16_t>(32, 32, 32);
+  {
+    const verify::ScopedFault guard(permanent_fault());
+    const auto r = server.serve<fp16_t>(Algo::OneD, sim::gh200(), A, B);
+    ASSERT_EQ(r.code, ErrorCode::TransientFault) << r.message;
+  }
+  ASSERT_EQ(server.breaker_state(sim::gh200().name, Algo::OneD, Precision::FP16,
+                                 32, 32, 32),
+            BreakerState::Open);
+  ASSERT_EQ(counter("serve.breaker.trips"), 1.0);
+
+  // Fault cleared; a concurrent burst races the half-open transition. The
+  // admission gate is mutex-serialized, so exactly `cooldown` requests
+  // short-circuit, the next one flips the breaker half-open, and every
+  // request admitted during the half-open window (the race this test pins)
+  // serves — the first success closes the breaker, exactly once.
+  std::vector<std::future<ServeResult<fp16_t>>> futures;
+  for (std::size_t i = 0; i < kBurst; ++i)
+    futures.push_back(server.submit_async<fp16_t>(Algo::OneD, sim::gh200(), A, B));
+  std::size_t ok = 0, short_circuited = 0;
+  for (auto& f : futures) {
+    const ServeResult<fp16_t> r = f.get();
+    if (r.ok()) {
+      ++ok;
+    } else {
+      ++short_circuited;
+      EXPECT_EQ(r.code, ErrorCode::TransientFault) << r.message;  // stored code
+      EXPECT_NE(r.message.find("short-circuited"), std::string::npos) << r.message;
+    }
+  }
+  EXPECT_EQ(short_circuited, 4u);
+  EXPECT_EQ(ok, kBurst - 4u);
+  EXPECT_EQ(server.breaker_state(sim::gh200().name, Algo::OneD, Precision::FP16,
+                                 32, 32, 32),
+            BreakerState::Closed);
+  EXPECT_EQ(counter("serve.breaker.short_circuits"), 4.0);
+  EXPECT_EQ(counter("serve.breaker.half_open_probes"), 1.0);
+  EXPECT_EQ(counter("serve.breaker.closes"), 1.0);
+  EXPECT_EQ(counter("serve.breaker.trips"), 1.0);  // never re-tripped
+}
+
+TEST(BreakerConcurrency, FailedProbeReopensUnderConcurrentLoad) {
+  obs::ScopedMetricsReset reset;
+  ServeConfig cfg = bare_rung(/*workers=*/4);
+  cfg.breaker_failure_threshold = 1;
+  cfg.breaker_cooldown_requests = 2;
+  constexpr std::size_t kBurst = 8;
+
+  std::vector<std::future<ServeResult<fp16_t>>> futures;
+  {
+    GemmServer server(cfg);
+    const auto [A, B] = operands<fp16_t>(32, 32, 32);
+    const verify::ScopedFault guard(permanent_fault());
+    const auto r = server.serve<fp16_t>(Algo::OneD, sim::gh200(), A, B);
+    ASSERT_EQ(r.code, ErrorCode::TransientFault) << r.message;
+
+    // Fault still armed: every probe the concurrent burst earns fails and
+    // reopens the breaker; nothing can close it.
+    for (std::size_t i = 0; i < kBurst; ++i)
+      futures.push_back(server.submit_async<fp16_t>(Algo::OneD, sim::gh200(), A, B));
+    for (auto& f : futures) {
+      const ServeResult<fp16_t> r2 = f.get();
+      EXPECT_FALSE(r2.ok());
+      EXPECT_EQ(r2.code, ErrorCode::TransientFault) << r2.message;
+    }
+    EXPECT_EQ(server.breaker_state(sim::gh200().name, Algo::OneD, Precision::FP16,
+                                   32, 32, 32),
+              BreakerState::Open);
+  }
+  EXPECT_GE(counter("serve.breaker.trips"), 2.0);  // initial trip + >= 1 reopen
+  EXPECT_EQ(counter("serve.breaker.closes"), 0.0);
+  EXPECT_EQ(counter("serve.ok"), 0.0);
+}
+
+}  // namespace
+}  // namespace kami

@@ -1,0 +1,105 @@
+// Fleet chaos campaign: deterministic point generation, clean fixed-seed
+// campaigns, worker-count-invariant reports, and targeted single points that
+// pin the campaign's hardest conditions (full blackout, storms against
+// depth-1 queues, hedged dispatch) to a zero-violation outcome.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "serve/fleet_chaos.hpp"
+#include "serve/slo.hpp"
+
+namespace kami::serve {
+namespace {
+
+TEST(FleetChaos, PointGenerationIsDeterministic) {
+  for (const std::uint64_t seed : {1ull, 7ull, 123456789ull}) {
+    const FleetChaosPoint a = fleet_chaos_point(seed);
+    const FleetChaosPoint b = fleet_chaos_point(seed);
+    EXPECT_EQ(to_string(a), to_string(b)) << "seed " << seed;
+    EXPECT_FALSE(to_string(a).empty());
+  }
+  EXPECT_NE(to_string(fleet_chaos_point(1)), to_string(fleet_chaos_point(2)));
+}
+
+TEST(FleetChaos, FixedSeedSmokeCampaignIsClean) {
+  const auto slo = std::make_shared<SloTracker>();
+  const FleetChaosReport rep = run_fleet_campaign(1, 40, /*workers=*/1, nullptr, slo);
+  EXPECT_TRUE(rep.clean()) << rep.violations.size() << " violations, first: "
+                           << (rep.violations.empty() ? std::string()
+                                                      : rep.violations[0].detail);
+  EXPECT_EQ(rep.ran, 40u);
+  EXPECT_EQ(rep.served_ok + rep.typed_errors, rep.ran);
+  EXPECT_FALSE(rep.by_rung.empty());
+  // 40 seeds comfortably cover both sides of every distribution: some points
+  // serve, some refuse typed, and the blackout machinery fires.
+  EXPECT_GT(rep.served_ok, 0u);
+  EXPECT_GT(rep.typed_errors, 0u);
+  // One fleet request (plus storm and recovery traffic) per point, recorded
+  // at fleet level only — the SLO tracker must have seen every point.
+  EXPECT_GE(slo->total_requests(), rep.ran);
+}
+
+TEST(FleetChaos, CampaignReportIsWorkerCountInvariant) {
+  const FleetChaosReport serial = run_fleet_campaign(11, 16, /*workers=*/1);
+  const FleetChaosReport fanned = run_fleet_campaign(11, 16, /*workers=*/4);
+  EXPECT_TRUE(serial.clean());
+  EXPECT_TRUE(fanned.clean());
+  EXPECT_EQ(serial.ran, fanned.ran);
+  EXPECT_EQ(serial.served_ok, fanned.served_ok);
+  EXPECT_EQ(serial.typed_errors, fanned.typed_errors);
+  EXPECT_EQ(serial.failovers, fanned.failovers);
+  EXPECT_EQ(serial.hedged, fanned.hedged);
+  EXPECT_EQ(serial.storm_requests, fanned.storm_requests);
+  EXPECT_EQ(serial.storm_rejected, fanned.storm_rejected);
+  EXPECT_EQ(serial.by_code, fanned.by_code);
+  EXPECT_EQ(serial.by_rung, fanned.by_rung);
+  EXPECT_EQ(serial.by_device, fanned.by_device);
+  EXPECT_EQ(serial.by_fault, fanned.by_fault);
+}
+
+// The campaign's worst corner, pinned explicitly so a distribution change in
+// fleet_chaos_point() can never silently stop covering it: all four devices
+// dark, a storm against depth-1 queues, and hedging armed. The point must
+// run violation-free — the full outage comes back typed, every storm future
+// resolves, and the devices recover once the blackout clears.
+TEST(FleetChaos, FullBlackoutWithStormAndHedgeIsViolationFree) {
+  FleetChaosPoint p = fleet_chaos_point(3);
+  p.fault = ChaosFault::None;
+  p.blackout_mask = 0xF;
+  p.storm_requests = 8;
+  p.queue_depth = 1;
+  p.hedge = true;
+  p.probe_cooldown = 1;
+  const FleetChaosOutcome o = run_fleet_chaos_point(p);
+  EXPECT_FALSE(o.violation) << o.detail;
+  // A dark fleet serves nothing: storm futures come back as typed admission
+  // refusals or dark-dispatch errors, never results.
+  EXPECT_EQ(o.storm_ok, 0);
+  EXPECT_GT(o.storm_rejected, 0);
+  EXPECT_NE(o.code, ErrorCode::Ok);  // nothing can serve a fully dark fleet
+}
+
+TEST(FleetChaos, RouterMispredictionPointIsViolationFree) {
+  FleetChaosPoint p = fleet_chaos_point(5);
+  p.fault = ChaosFault::None;
+  p.blackout_mask = 0;
+  p.route_skew = {64.0, 0.25, 4.0, 1.0};  // deliberately wrong ranking
+  const FleetChaosOutcome o = run_fleet_chaos_point(p);
+  EXPECT_FALSE(o.violation) << o.detail;
+}
+
+TEST(FleetChaos, InjectedFaultPointsStayWithinTheContract) {
+  // A handful of fixed seeds spanning the fault kinds; each point internally
+  // asserts bit-correct-or-typed, failover identity, recovery, and replay.
+  for (const std::uint64_t seed : {2ull, 9ull, 17ull, 33ull, 41ull}) {
+    const FleetChaosPoint p = fleet_chaos_point(seed);
+    const FleetChaosOutcome o = run_fleet_chaos_point(p);
+    EXPECT_FALSE(o.violation) << "seed " << seed << ": " << o.detail << "\n  point: "
+                              << to_string(p);
+  }
+}
+
+}  // namespace
+}  // namespace kami::serve

@@ -96,6 +96,47 @@ TEST(Device, LookupByName) {
   EXPECT_THROW((void)device_by_name("H100"), kami::PreconditionError);
 }
 
+// validate_device: the admission gate FleetServer and the serving layer run
+// every spec through. A zeroed or negative field must be refused with a
+// typed PreconditionError naming the field — not surface later as a
+// divide-by-zero or NaN latency deep inside the throughput conversion.
+TEST(DeviceValidation, Table3SpecsAllPass) {
+  for (const DeviceSpec* d : {&gh200(), &rtx5090(), &amd7900xtx(), &intel_max1100()})
+    EXPECT_NO_THROW(validate_device(*d)) << d->name;
+}
+
+TEST(DeviceValidation, BadFieldsAreRefusedNamingTheField) {
+  const auto expect_names = [](DeviceSpec d, const char* field) {
+    try {
+      validate_device(d);
+      FAIL() << "expected PreconditionError naming " << field;
+    } catch (const kami::PreconditionError& e) {
+      EXPECT_NE(std::string(e.what()).find(field), std::string::npos) << e.what();
+    }
+  };
+  DeviceSpec d = gh200();
+  d.num_sms = 0;
+  expect_names(d, "num_sms");
+  d = gh200();
+  d.boost_clock_ghz = -1.0;
+  expect_names(d, "boost_clock_ghz");
+  d = gh200();
+  d.bank_width_bytes = 0;
+  expect_names(d, "bank_width_bytes");
+  d = gh200();
+  d.smem_latency_cycles = -22.0;  // latencies may be zero, never negative
+  expect_names(d, "smem_latency_cycles");
+  d = gh200();
+  d.mma_efficiency = 1.5;  // an efficiency above 1 would "beat" peak
+  expect_names(d, "mma_efficiency");
+  d = gh200();
+  d.peak_fp64_tflops = d.peak_fp32_tflops = d.peak_fp16_tflops = d.peak_fp8_tflops = 0.0;
+  expect_names(d, "peak_*_tflops");  // a device must support something
+  d = gh200();
+  d.name.clear();
+  EXPECT_THROW(validate_device(d), kami::PreconditionError);
+}
+
 TEST(Device, WorkedExampleConstants) {
   // §4.3's example assumes L_sm = 22 and B_sm = 128 on NVIDIA hardware.
   EXPECT_DOUBLE_EQ(gh200().smem_latency_cycles, 22.0);

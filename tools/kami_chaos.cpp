@@ -5,6 +5,7 @@
 //              [--flight out.json]
 //   kami_chaos --smoke [--json out.json]     small fixed campaign for CI
 //   kami_chaos --soak [...]                  shared-server sequential soak
+//   kami_chaos --fleet [...]                 multi-device FleetServer campaign
 //
 // Every request is traced into a flight recorder (typed-error traces are
 // always retained; ok traces ride a bounded ring). --flight writes the
@@ -25,6 +26,13 @@
 // so it fans out across --threads workers with a bit-identical report).
 // --soak keeps the original shared-server mode: points run sequentially and
 // interact through the server's circuit breakers.
+//
+// --fleet runs the FleetServer campaign instead (src/serve/fleet_chaos.hpp):
+// each point serves through a fresh four-device fleet under seeded blackouts,
+// router-misprediction skew, and queue-overflow storms, checking the fleet
+// contract (bit-correct-or-typed, no request lost, failover bit-identity,
+// probe recovery, deterministic replay) on top of the serving contract.
+// Replay a fleet violation with: kami_chaos --fleet --seed <s> --points 1.
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -37,6 +45,7 @@
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "serve/chaos.hpp"
+#include "serve/fleet_chaos.hpp"
 #include "serve/slo.hpp"
 #include "util/table.hpp"
 
@@ -49,7 +58,9 @@ int usage() {
             << "  kami_chaos [--points N] [--seed S] [--threads W] [--json out.json]\n"
             << "             [--flight out.json]\n"
             << "  kami_chaos --smoke [--json out.json] [--flight out.json]\n"
-            << "  kami_chaos --soak [--points N] [--seed S] [--json out.json]\n";
+            << "  kami_chaos --soak [--points N] [--seed S] [--json out.json]\n"
+            << "  kami_chaos --fleet [--points N] [--seed S] [--threads W]\n"
+            << "             [--json out.json] [--flight out.json]\n";
   return 2;
 }
 
@@ -132,6 +143,66 @@ int run(std::uint64_t seed, std::size_t points, int threads, bool soak,
   return rep.clean() ? 0 : 1;
 }
 
+int run_fleet(std::uint64_t seed, std::size_t points, int threads,
+              const std::string& json_path, const std::string& flight_path) {
+  const auto flight = std::make_shared<kami::obs::FlightRecorder>();
+  const auto slo = std::make_shared<kami::serve::SloTracker>();
+  const kami::serve::FleetChaosReport rep =
+      kami::serve::run_fleet_campaign(seed, points, threads, flight, slo);
+
+  TablePrinter rungs = count_table(rep.by_rung);
+  rungs.print(std::cout, "served by rung");
+  if (!rep.by_code.empty()) {
+    TablePrinter codes = count_table(rep.by_code);
+    codes.print(std::cout, "typed errors by code");
+  }
+  TablePrinter devices = count_table(rep.by_device);
+  devices.print(std::cout, "served by device");
+  TablePrinter faults = count_table(rep.by_fault);
+  faults.print(std::cout, "injected faults");
+
+  TablePrinter violations({"seed", "point", "detail"});
+  for (const auto& v : rep.violations)
+    violations.add_row({std::to_string(v.seed), v.point, v.detail});
+  if (!rep.violations.empty()) violations.print(std::cout, "contract violations");
+
+  if (!json_path.empty()) {
+    kami::obs::RunReport report("kami_chaos");
+    report.set_meta("base_seed", std::to_string(seed));
+    report.set_meta("mode", "fleet");
+    report.set_meta("threads", std::to_string(threads));
+    report.set_meta("ran", std::to_string(rep.ran));
+    report.set_meta("served_ok", std::to_string(rep.served_ok));
+    report.set_meta("typed_errors", std::to_string(rep.typed_errors));
+    report.set_meta("failovers", std::to_string(rep.failovers));
+    report.set_meta("hedged", std::to_string(rep.hedged));
+    report.set_meta("storm_requests", std::to_string(rep.storm_requests));
+    report.set_meta("storm_rejected", std::to_string(rep.storm_rejected));
+    report.set_meta("violations", std::to_string(rep.violations.size()));
+    report.add_table("served by rung", rungs);
+    report.add_table("served by device", devices);
+    report.add_table("injected faults", faults);
+    report.add_table("contract violations", violations);
+    report.set_metrics(kami::obs::MetricRegistry::global());
+    report.set_slo(slo->to_json());
+    write_report(report, json_path);
+  }
+
+  if (!flight_path.empty()) {
+    write_flight(*flight, flight_path);
+  } else if (!rep.clean()) {
+    write_flight(*flight, "kami_chaos_fleet_flight.json");
+  }
+
+  std::cout << (rep.clean() ? "OK" : "FAILED") << " (ran " << rep.ran << ", served "
+            << rep.served_ok << ", typed errors " << rep.typed_errors << ", failovers "
+            << rep.failovers << ", hedged " << rep.hedged << ", storm "
+            << rep.storm_requests << " (" << rep.storm_rejected
+            << " rejected), violations " << rep.violations.size() << ")\n"
+            << "replay any seed with: kami_chaos --fleet --seed <s> --points 1\n";
+  return rep.clean() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -140,6 +211,7 @@ int main(int argc, char** argv) {
   std::size_t points = 500;
   int threads = 0;  // 0 = defer to KAMI_THREADS
   bool soak = false;
+  bool fleet = false;
   std::string json_path;
   std::string flight_path;
   try {
@@ -151,8 +223,11 @@ int main(int argc, char** argv) {
       else if (args[i] == "--flight" && i + 1 < args.size()) flight_path = args[++i];
       else if (args[i] == "--smoke") points = 60;
       else if (args[i] == "--soak") soak = true;
+      else if (args[i] == "--fleet") fleet = true;
       else return usage();
     }
+    if (fleet && soak) return usage();
+    if (fleet) return run_fleet(seed, points, threads, json_path, flight_path);
     return run(seed, points, threads, soak, json_path, flight_path);
   } catch (const std::exception& e) {
     std::cerr << "kami_chaos: " << e.what() << "\n";
