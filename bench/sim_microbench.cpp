@@ -18,7 +18,9 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <fstream>
 #include <limits>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -31,6 +33,11 @@
 
 namespace kami {
 namespace {
+
+/// Flipped by any failed bit/profile-equivalence check; the binary exits
+/// nonzero so CI catches a Full-mode data-plane divergence even without the
+/// baseline diff.
+bool g_equivalence_ok = true;
 
 // ---------------------------------------------------------------------------
 // google-benchmark kernel microbenchmarks (--gbench)
@@ -193,15 +200,98 @@ void mode_comparison(int reps) {
 
     const double flops = model::gemm_flops(64, 64, 64);
     if (algo == Algo::OneD && t_numer > 0.0) numerics_gflops_1d = flops / t_numer / 1e9;
+    const bool prof_eq = profiles_identical(timing.profile, full.profile);
+    const bool bits_eq = bits_identical(numer.C, full.C);
+    if (!prof_eq || !bits_eq) g_equivalence_ok = false;
     table.add_row({std::string(algo_name(algo)) + " fp16 64", ms(t_full), ms(t_timing),
                    ms(t_numer), ratio(t_full, t_timing), ratio(t_full, t_numer),
-                   gflops(flops, t_numer),
-                   profiles_identical(timing.profile, full.profile) ? "yes" : "NO",
-                   bits_identical(numer.C, full.C) ? "yes" : "NO"});
+                   gflops(flops, t_numer), prof_eq ? "yes" : "NO",
+                   bits_eq ? "yes" : "NO"});
   }
   bench::emit_table(table, "Execution modes, host cost per simulated block");
   bench::run_report().set_meta("numerics_gflops_1d_fp16_64",
                                fmt_double(numerics_gflops_1d, 2));
+}
+
+/// Full-mode host cost over the Fig 8 square sweep (GH200 FP16, all three
+/// kernels): the data-plane throughput the SIMD fragment kernels and arena
+/// transfers buy. Cold is the first simulation of the shape (planning and
+/// arena growth included), warm the best of `reps` repeats. The equivalence
+/// columns assert that Full stayed profile-identical to TimingOnly and
+/// bit-identical to NumericsOnly; any "NO" fails the binary's exit code.
+///
+/// When `gate` is given, the stable subset (orders 16/32/64 — the --smoke
+/// orders, so smoke and full runs produce the same gate table) also lands in
+/// a standalone gate report: only machine-independent cells (simulated
+/// cycles, equivalence flags) plus dimensionless host-cost ratios, so CI can
+/// `kami_prof diff` it against the committed baseline with a wide tolerance.
+void fig08_full_sweep(int reps, bool smoke, obs::RunReport* gate) {
+  const auto& dev = sim::gh200();
+  const std::vector<std::size_t> orders =
+      smoke ? std::vector<std::size_t>{16, 32, 64}
+            : std::vector<std::size_t>{16, 32, 64, 128, 192};
+  TablePrinter table({"order", "kernel", "full cold (ms)", "full warm (ms)",
+                      "timing (ms)", "full/timing", "profile==full", "C==full"});
+  TablePrinter gate_table({"order", "kernel", "latency (cycles)", "profile==full",
+                           "C==full", "full/timing"});
+  double warm_total = 0.0;
+  bool sweep_ok = true;
+  for (const std::size_t n : orders) {
+    for (const Algo algo : {Algo::OneD, Algo::TwoD, Algo::ThreeD}) {
+      const bool in_gate = gate != nullptr && n <= 64;
+      const std::string name(algo_name(algo));
+      Rng rng(n);
+      const auto A = random_matrix<fp16_t>(n, n, rng);
+      const auto B = random_matrix<fp16_t>(n, n, rng);
+      GemmOptions full_opt, timing_opt, numerics_opt;
+      timing_opt.mode = sim::ExecMode::TimingOnly;
+      numerics_opt.mode = sim::ExecMode::NumericsOnly;
+
+      std::optional<GemmResult<fp16_t>> full;
+      const auto t0 = std::chrono::steady_clock::now();
+      try {
+        full.emplace(gemm(algo, dev, A, B, full_opt));
+      } catch (const PreconditionError&) {
+        // Infeasibility is deterministic, so "-" rows are stable gate cells.
+        table.add_row({std::to_string(n), name, "-", "-", "-", "-", "-", "-"});
+        if (in_gate)
+          gate_table.add_row({std::to_string(n), name, "-", "-", "-", "-"});
+        continue;
+      }
+      const std::chrono::duration<double> cold_dt =
+          std::chrono::steady_clock::now() - t0;
+
+      const auto timing = gemm(algo, dev, A, B, timing_opt);
+      const auto numer = gemm(algo, dev, A, B, numerics_opt);
+      const double t_warm = best_seconds(reps, [&] {
+        benchmark::DoNotOptimize(gemm(algo, dev, A, B, full_opt).profile.latency);
+      });
+      const double t_timing = best_seconds(reps, [&] {
+        benchmark::DoNotOptimize(gemm(algo, dev, A, B, timing_opt).profile.latency);
+      });
+
+      const bool prof_eq = profiles_identical(timing.profile, full->profile);
+      const bool bits_eq = bits_identical(numer.C, full->C);
+      if (!prof_eq || !bits_eq) {
+        g_equivalence_ok = false;
+        sweep_ok = false;
+      }
+      warm_total += t_warm;
+      table.add_row({std::to_string(n), name, ms(cold_dt.count()), ms(t_warm),
+                     ms(t_timing), ratio(t_warm, t_timing),
+                     prof_eq ? "yes" : "NO", bits_eq ? "yes" : "NO"});
+      if (in_gate)
+        gate_table.add_row({std::to_string(n), name,
+                            fmt_double(full->profile.latency, 1),
+                            prof_eq ? "yes" : "NO", bits_eq ? "yes" : "NO",
+                            t_timing > 0.0 ? fmt_double(t_warm / t_timing, 2) : "-"});
+    }
+  }
+  bench::emit_table(table, "Fig 8 sweep, Full-mode host cost (GH200 fp16)");
+  bench::run_report().set_meta("fig08_full_warm_ms_total",
+                               fmt_double(warm_total * 1e3, 3));
+  bench::run_report().set_meta("fig08_equivalence", sweep_ok ? "yes" : "NO");
+  if (gate != nullptr) gate->add_table("Full-mode data plane gate", gate_table);
 }
 
 /// Pre-split autotune (per-candidate Full on random operands) vs the cached
@@ -338,7 +428,7 @@ void cache_comparison(int reps) {
   bench::emit_table(table, "ProfileCache, 1D fp16 64x64x64");
 }
 
-void run_harness(bool smoke) {
+void run_harness(bool smoke, const std::string& gate_path) {
   const int reps = smoke ? 1 : 5;
   const std::size_t batch = smoke ? 12 : 120;
   bench::run_report().set_meta("smoke", smoke ? "1" : "0");
@@ -351,10 +441,26 @@ void run_harness(bool smoke) {
       "simd_lanes_f32", std::to_string(core::numeric_simd_lanes<float>));
   bench::run_report().set_meta(
       "simd_lanes_f64", std::to_string(core::numeric_simd_lanes<double>));
+  obs::RunReport gate_report("sim_microbench_gate");
+  obs::RunReport* gate = gate_path.empty() ? nullptr : &gate_report;
   mode_comparison(reps);
+  fig08_full_sweep(reps, smoke, gate);
   autotune_comparison(reps);
   batched_comparison(reps, batch);
   cache_comparison(reps);
+  if (gate != nullptr) {
+    // Meta is informational only — `kami_prof diff` compares tables, not
+    // meta — so build-dependent values here cannot trip the CI gate.
+    gate_report.set_meta("simd_mode", core::numeric_simd_name());
+    gate_report.set_meta("smoke", smoke ? "1" : "0");
+    std::ofstream os(gate_path);
+    if (!os) {
+      std::cerr << "sim_microbench: cannot open " << gate_path << " for writing\n";
+      g_equivalence_ok = false;
+    } else {
+      gate_report.write_json(os);
+    }
+  }
 }
 
 }  // namespace
@@ -375,15 +481,27 @@ int main(int argc, char** argv) {
     }
   }
 
+  // `--smoke` and `--gate <path>` are ours; everything else goes through to
+  // bench_main (which rejects unknown flags).
   bool smoke = false;
+  std::string gate_path;
   std::vector<char*> fargv{argv[0]};
   for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--smoke")
+    const std::string arg = argv[i];
+    if (arg == "--smoke")
       smoke = true;
+    else if (arg == "--gate" && i + 1 < argc)
+      gate_path = argv[++i];
     else
       fargv.push_back(argv[i]);
   }
-  return kami::bench::bench_main(static_cast<int>(fargv.size()), fargv.data(),
-                                 "sim_microbench",
-                                 [&] { kami::run_harness(smoke); });
+  const int rc = kami::bench::bench_main(static_cast<int>(fargv.size()), fargv.data(),
+                                         "sim_microbench",
+                                         [&] { kami::run_harness(smoke, gate_path); });
+  if (rc != 0) return rc;
+  if (!kami::g_equivalence_ok) {
+    std::cerr << "sim_microbench: equivalence check failed (see NO cells above)\n";
+    return 1;
+  }
+  return 0;
 }

@@ -25,6 +25,7 @@
 // (mk + kn) * s_e (times the chunk count for A when chunked).
 #pragma once
 
+#include <cstring>
 #include <optional>
 #include <vector>
 
@@ -143,13 +144,14 @@ GemmResult<T> kami_3d_gemm(const sim::DeviceSpec& dev, const Matrix<T>& A,
             w.copy_reg(BRecv[id],
                        Bop[id]->resident_slice(s).window(0, n0, plan.b.slice_rows(), nc));
           } else {
-            // Spilled slice: pull the chunk columns from the spill region.
+            // Spilled slice: pull the chunk columns from the spill region
+            // (each chunk row is contiguous in B, so one memcpy per row).
             w.charge_smem_read_traffic(plan.b.slice_rows() * nc * sizeof(T), opt.theta_r);
             if (w.numerics_enabled())
               for (std::size_t rr = 0; rr < plan.b.slice_rows(); ++rr)
-                for (std::size_t cc = 0; cc < nc; ++cc)
-                  BRecv[id](rr, cc) =
-                      B(l * kb + s * plan.slice_w + rr, col_of(id) * nb + n0 + cc);
+                std::memcpy(BRecv[id].row_data(rr),
+                            &B(l * kb + s * plan.slice_w + rr, col_of(id) * nb + n0),
+                            nc * sizeof(T));
           }
         }
       });
@@ -178,9 +180,9 @@ GemmResult<T> kami_3d_gemm(const sim::DeviceSpec& dev, const Matrix<T>& A,
             w.charge_smem_read_traffic(plan.b.slice_rows() * nc * sizeof(T), opt.theta_r);
             if (w.numerics_enabled())
               for (std::size_t rr = 0; rr < plan.b.slice_rows(); ++rr)
-                for (std::size_t cc = 0; cc < nc; ++cc)
-                  BRecv[id](rr, cc) =
-                      B(l * kb + s * plan.slice_w + rr, j * nb + n0 + cc);
+                std::memcpy(BRecv[id].row_data(rr),
+                            &B(l * kb + s * plan.slice_w + rr, j * nb + n0),
+                            nc * sizeof(T));
           }
         }
       });
@@ -197,11 +199,20 @@ GemmResult<T> kami_3d_gemm(const sim::DeviceSpec& dev, const Matrix<T>& A,
     }
 
     // Inter-layer reduction of this chunk: layer 0 accumulates layers
-    // 1..c-1, streamed through shared memory in <=16-column pieces.
+    // 1..c-1, streamed through shared memory in <=16-column pieces. The
+    // ragged last piece (nc not a multiple of red_cols) gets its own
+    // receive fragment, allocated once here rather than per reduce op —
+    // the seed re-allocated it inside the piece loop, c-1 times per chunk.
+    // Allocation order (Pscratch then Ptail, same phase) reproduces the
+    // seed's peak register set exactly, so overflow behavior and the
+    // profiled register high-water are unchanged.
     obs::ScopedRegion r_red(rp, "reduce");
-    std::vector<std::optional<sim::Fragment<Acc>>> Pscratch(p);
+    const std::size_t tail_cols = nc % red_cols;
+    std::vector<std::optional<sim::Fragment<Acc>>> Pscratch(p), Ptail(p);
     blk.phase([&](sim::Warp& w) {
-      Pscratch[static_cast<std::size_t>(w.id())].emplace(w.regs(), mb, red_cols);
+      const auto id = static_cast<std::size_t>(w.id());
+      Pscratch[id].emplace(w.regs(), mb, red_cols);
+      if (tail_cols != 0 && layer_of(id) == 0) Ptail[id].emplace(w.regs(), mb, tail_cols);
     });
     for (std::size_t l = 1; l < c; ++l) {
       for (std::size_t c0 = 0; c0 < nc; c0 += red_cols) {
@@ -221,14 +232,9 @@ GemmResult<T> kami_3d_gemm(const sim::DeviceSpec& dev, const Matrix<T>& A,
           const std::size_t i = row_of(id), j = col_of(id);
           auto tile = SmP[i * c + j];
           tile.cols = cw;
-          if (cw == Pscratch[id]->cols()) {
-            w.load_smem(*Pscratch[id], tile, opt.theta_r);
-            w.add_inplace_at(Ci[id], 0, c0, Pscratch[id]->view());
-          } else {
-            auto tail = w.alloc_fragment<Acc>(mb, cw);
-            w.load_smem(tail, tile, opt.theta_r);
-            w.add_inplace_at(Ci[id], 0, c0, tail.view());
-          }
+          auto& recv = cw == red_cols ? *Pscratch[id] : *Ptail[id];
+          w.load_smem(recv, tile, opt.theta_r);
+          w.add_inplace_at(Ci[id], 0, c0, recv.view());
         });
         blk.sync();
       }

@@ -37,125 +37,15 @@
 #include <cstring>
 
 #include "core/arena.hpp"
+#include "core/vector_kernels.hpp"
 #include "types/decode_tables.hpp"
 #include "types/matrix.hpp"
 
 namespace kami::core {
 
-/// k-tile width for the accumulate loops: a tile of B rows
-/// (kNumericKTile x n accumulators) stays cache-resident while every row of
-/// C sweeps it, instead of streaming the whole k extent per C row. Tiling
-/// only regroups the i/k loop nest — each (i, j) element still accumulates
-/// over ascending k, so results are bit-identical (differential-tested).
-inline constexpr std::size_t kNumericKTile = 64;
-
-namespace detail {
-
-#if !defined(KAMI_NO_SIMD) && (defined(__GNUC__) || defined(__clang__))
-#define KAMI_NUMERIC_SIMD 1
-
-template <typename Acc>
-struct SimdVec;
-template <>
-struct SimdVec<float> {
-  typedef float type __attribute__((vector_size(32)));
-};
-template <>
-struct SimdVec<double> {
-  typedef double type __attribute__((vector_size(32)));
-};
-
-template <typename Acc>
-inline constexpr std::size_t kSimdWidth =
-    sizeof(typename SimdVec<Acc>::type) / sizeof(Acc);
-
-/// Broadcast by lane assignment (not `v + x`, which would quietly turn -0.0
-/// into +0.0 and flip downstream product signs).
-template <typename Acc>
-inline typename SimdVec<Acc>::type simd_splat(Acc x) noexcept {
-  typename SimdVec<Acc>::type v{};
-  for (std::size_t l = 0; l < kSimdWidth<Acc>; ++l) v[l] = x;
-  return v;
-}
-#endif
-
-/// crow[j] += sum_{kk in [kt, kend)} arow[kk] * bf[kk*n + j], accumulated in
-/// ascending kk per element. The SIMD form register-blocks two vectors of C
-/// columns across the whole k-tile (C is loaded/stored once per tile instead
-/// of once per kk); every lane still runs the scalar chain.
-template <typename Acc>
-inline void accumulate_row_tile(Acc* __restrict__ crow, const Acc* __restrict__ arow,
-                                const Acc* __restrict__ bf, std::size_t kt,
-                                std::size_t kend, std::size_t n) {
-#ifdef KAMI_NUMERIC_SIMD
-  using V = typename SimdVec<Acc>::type;
-  constexpr std::size_t W = kSimdWidth<Acc>;
-  std::size_t j = 0;
-  for (; j + 2 * W <= n; j += 2 * W) {
-    V c0, c1;
-    std::memcpy(&c0, crow + j, sizeof(V));
-    std::memcpy(&c1, crow + j + W, sizeof(V));
-    for (std::size_t kk = kt; kk < kend; ++kk) {
-      const V av = simd_splat(arow[kk]);
-      const Acc* brow = bf + kk * n + j;
-      V b0, b1;
-      std::memcpy(&b0, brow, sizeof(V));
-      std::memcpy(&b1, brow + W, sizeof(V));
-      c0 += av * b0;
-      c1 += av * b1;
-    }
-    std::memcpy(crow + j, &c0, sizeof(V));
-    std::memcpy(crow + j + W, &c1, sizeof(V));
-  }
-  if (j + W <= n) {
-    V c0;
-    std::memcpy(&c0, crow + j, sizeof(V));
-    for (std::size_t kk = kt; kk < kend; ++kk) {
-      const V av = simd_splat(arow[kk]);
-      V b0;
-      std::memcpy(&b0, bf + kk * n + j, sizeof(V));
-      c0 += av * b0;
-    }
-    std::memcpy(crow + j, &c0, sizeof(V));
-    j += W;
-  }
-  for (; j < n; ++j) {
-    Acc cj = crow[j];
-    for (std::size_t kk = kt; kk < kend; ++kk) cj += arow[kk] * bf[kk * n + j];
-    crow[j] = cj;
-  }
-#else
-  // Scalar fallback (KAMI_NO_SIMD or non-GNU compiler): the original loop
-  // nest. The compiler may still auto-vectorize it — that is fine, because
-  // the per-element chains above are what define the result bits.
-  for (std::size_t kk = kt; kk < kend; ++kk) {
-    const Acc av = arow[kk];
-    const Acc* brow = bf + kk * n;
-    for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-  }
-#endif
-}
-
-}  // namespace detail
-
-/// Width (in accumulator lanes) of the explicit SIMD kernel, 1 when the
-/// scalar fallback is compiled in. Exported so benchmarks can stamp the
-/// SIMD configuration into their run-report meta.
-template <typename Acc>
-inline constexpr std::size_t numeric_simd_lanes =
-#ifdef KAMI_NUMERIC_SIMD
-    detail::kSimdWidth<Acc>;
-#else
-    1;
-#endif
-
-inline const char* numeric_simd_name() noexcept {
-#ifdef KAMI_NUMERIC_SIMD
-  return "vector-ext-32B";
-#else
-  return "scalar";
-#endif
-}
+// The SIMD machinery itself (SimdVec, accumulate_row_tile, kNumericKTile,
+// numeric_simd_lanes/name) lives in core/vector_kernels.hpp so the Full-mode
+// simulator data plane (sim/warp.hpp) runs the exact same kernels.
 
 /// C = A x B into a caller-provided row-major buffer (no allocation beyond
 /// arena scratch). `a` is m x k, `b` is k x n, `c` is m x n.

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstring>
 #include <utility>
 #include <vector>
 
@@ -78,28 +79,28 @@ class SlicedOperand {
     for (std::size_t s = 0; s < lay_.n_slices; ++s) {
       const auto [sr, sc] = slice_origin(s);
       if (lay_.is_resident(s)) {
-        // Pack into the resident fragment at the resident index.
-        if (w.numerics_enabled()) {
+        // Pack into the resident fragment at the resident index. Source and
+        // destination rows are both contiguous, so each slice row is one
+        // memcpy (the seed packed element by element).
+        if (w.numerics_enabled() && lay_.slice_cols() > 0) {
           const std::size_t off = lay_.resident_index(s) * lay_.slice_w;
-          for (std::size_t r = 0; r < lay_.slice_rows(); ++r)
-            for (std::size_t c = 0; c < lay_.slice_cols(); ++c) {
-              const std::size_t fr = lay_.axis == SliceAxis::Rows ? off + r : r;
-              const std::size_t fc = lay_.axis == SliceAxis::Cols ? off + c : c;
-              frag_(fr, fc) = src(r0 + sr + r, c0 + sc + c);
-            }
+          for (std::size_t r = 0; r < lay_.slice_rows(); ++r) {
+            const std::size_t fr = lay_.axis == SliceAxis::Rows ? off + r : r;
+            const std::size_t fc = lay_.axis == SliceAxis::Cols ? off : 0;
+            std::memcpy(frag_.row_data(fr) + fc, &src(r0 + sr + r, c0 + sc),
+                        lay_.slice_cols() * sizeof(T));
+          }
         }
         w.charge_global_traffic(slice_bytes);
       } else {
         // The tile is allocated in every mode so smem feasibility (and the
         // overflow error) is mode-independent; only the byte fill is skipped.
+        // Rows stream from the source matrix straight into the tile — the
+        // seed staged each slice through a per-call std::vector.
         auto tile = smem.alloc<T>(lay_.slice_rows(), lay_.slice_cols());
-        if (w.numerics_enabled()) {
-          std::vector<T> linear(lay_.slice_elems());
+        if (w.numerics_enabled() && lay_.slice_cols() > 0)
           for (std::size_t r = 0; r < lay_.slice_rows(); ++r)
-            for (std::size_t c = 0; c < lay_.slice_cols(); ++c)
-              linear[r * lay_.slice_cols() + c] = src(r0 + sr + r, c0 + sc + c);
-          smem.write(tile, linear.data(), linear.size());
-        }
+            smem.write_row(tile, r, &src(r0 + sr + r, c0 + sc), lay_.slice_cols());
         if (w.gmem_charging()) {
           w.charge_global_traffic(slice_bytes);
           w.charge_smem_write_traffic(slice_bytes);

@@ -115,6 +115,13 @@ class ThreadBlock {
     return std::move(trace_);
   }
 
+  /// Publish every warp's batched counter totals into the metric registry.
+  /// Warps also flush on destruction; this exists so code that profiles a
+  /// live block (sim/throughput.cpp) sees up-to-date registry counters.
+  void flush_metrics() const {
+    for (const auto& w : warps_) w->flush_metrics();
+  }
+
   /// Peak register bytes across warps (Fig 14) and peak smem bytes (§5.6.1).
   std::size_t max_reg_high_water() const {
     std::size_t hw = 0;

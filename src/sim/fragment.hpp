@@ -36,6 +36,15 @@ class FragView {
     return (*frag_)(r0_ + r, c0_ + c);
   }
 
+  /// Pointer to this view's row `r` (cols() contiguous elements): fragment
+  /// storage is row-major, so a view row is a contiguous slice of the
+  /// underlying fragment row. This is what lets the Full-mode data plane
+  /// decode/copy whole rows through the span kernels instead of walking
+  /// operator() element by element.
+  const T* row(std::size_t r) const noexcept {
+    return frag_->data() + (r0_ + r) * frag_->cols() + c0_;
+  }
+
   /// A sub-window of this view (same underlying fragment).
   FragView window(std::size_t r0, std::size_t c0, std::size_t rows, std::size_t cols) const {
     KAMI_REQUIRE(r0 + rows <= rows_ && c0 + cols <= cols_);
@@ -85,6 +94,10 @@ class Fragment {
 
   T* data() noexcept { return data_.data(); }
   const T* data() const noexcept { return data_.data(); }
+
+  /// Pointer to row `r` (cols() contiguous elements, row-major storage).
+  T* row_data(std::size_t r) noexcept { return data_.data() + r * cols_; }
+  const T* row_data(std::size_t r) const noexcept { return data_.data() + r * cols_; }
 
   FragView<T> view() const { return FragView<T>(*this, 0, 0, rows_, cols_); }
   FragView<T> view(std::size_t r0, std::size_t c0, std::size_t rows, std::size_t cols) const {

@@ -8,6 +8,7 @@
 // are performed serially due to the limited number of shared memory banks").
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <vector>
 
@@ -57,10 +58,19 @@ class PortTimeline {
 };
 
 /// n_tc identical units; an MMA grabs the earliest-available one.
+///
+/// The pool keeps its units in a binary min-heap ordered by
+/// (free_at, unit index), so acquire() is O(log n_tc) instead of the seed's
+/// O(n_tc) linear min-scan. The lexicographic key reproduces the scan's
+/// tie-break exactly: among units free at the same cycle, the lowest index
+/// wins (pinned by UnitPoolTieBreak / UnitPoolMatchesLinearScan tests), so
+/// reservation schedules — and therefore every cycle profile — are unchanged.
 class UnitPool {
  public:
-  explicit UnitPool(std::size_t units) : free_at_(units, 0.0) {
+  explicit UnitPool(std::size_t units) {
     KAMI_REQUIRE(units >= 1);
+    units_ = units;
+    fill_idle();
   }
 
   /// Reserve the earliest-available unit at >= t for `occupancy` cycles;
@@ -68,26 +78,51 @@ class UnitPool {
   Cycles acquire(Cycles t, Cycles occupancy) {
     KAMI_INVARIANT(occupancy >= 0.0, "unit occupancy must be non-negative");
     KAMI_INVARIANT(t >= 0.0, "unit acquired before cycle zero");
-    std::size_t best = 0;
-    for (std::size_t u = 1; u < free_at_.size(); ++u)
-      if (free_at_[u] < free_at_[best]) best = u;
-    const Cycles start = free_at_[best] > t ? free_at_[best] : t;
+    std::pop_heap(heap_.begin(), heap_.end(), later);
+    Entry& e = heap_.back();
+    const Cycles start = e.free_at > t ? e.free_at : t;
     KAMI_INVARIANT(start >= t, "unit reservation cannot start before request");
-    free_at_[best] = start + occupancy;
+    e.free_at = start + occupancy;
+    last_unit_ = e.unit;
+    std::push_heap(heap_.begin(), heap_.end(), later);
     busy_ += occupancy;
     return start;
   }
 
-  std::size_t units() const noexcept { return free_at_.size(); }
+  std::size_t units() const noexcept { return units_; }
   Cycles busy_cycles() const noexcept { return busy_; }
 
+  /// The unit index the most recent acquire() reserved (units() when none
+  /// yet). Exposed so determinism tests can pin the tie-break order.
+  std::size_t last_acquired_unit() const noexcept { return last_unit_; }
+
   void reset() noexcept {
-    for (auto& f : free_at_) f = 0.0;
+    fill_idle();
     busy_ = 0.0;
   }
 
  private:
-  std::vector<Cycles> free_at_;
+  struct Entry {
+    Cycles free_at = 0.0;
+    std::size_t unit = 0;
+  };
+  /// Heap comparator: `a` is served after `b`. Lexicographic on
+  /// (free_at, unit) makes the heap top the earliest-free, lowest-index unit.
+  static bool later(const Entry& a, const Entry& b) noexcept {
+    return a.free_at != b.free_at ? a.free_at > b.free_at : a.unit > b.unit;
+  }
+
+  void fill_idle() {
+    heap_.clear();
+    heap_.reserve(units_);
+    // All-idle entries in index order already satisfy the heap property.
+    for (std::size_t u = 0; u < units_; ++u) heap_.push_back(Entry{0.0, u});
+    last_unit_ = units_;
+  }
+
+  std::size_t units_ = 0;
+  std::vector<Entry> heap_;
+  std::size_t last_unit_ = 0;
   Cycles busy_ = 0.0;
 };
 

@@ -95,6 +95,17 @@ class SharedMemory {
     std::memcpy(dst, bytes_.data() + tile.byte_offset, count * sizeof(T));
   }
 
+  /// Write one row of a tile directly from a contiguous source row. Lets
+  /// fragment views copy into shared memory row by row with no linearized
+  /// staging buffer (the old per-call std::vector in copy_view_to_smem).
+  template <typename T>
+  void write_row(const SmemTile<T>& tile, std::size_t row, const T* src,
+                 std::size_t count) {
+    KAMI_ASSERT(row < tile.rows && count <= tile.cols);
+    std::memcpy(bytes_.data() + tile.byte_offset + row * tile.cols * sizeof(T), src,
+                count * sizeof(T));
+  }
+
  private:
   std::vector<std::byte> bytes_;
   std::size_t top_ = 0;

@@ -9,6 +9,9 @@
 namespace kami::sim {
 
 KernelProfile profile_block(const ThreadBlock& blk, double useful_flops) {
+  // Warps batch their hot-path counter adds; make the totals visible in the
+  // registry before anyone snapshots it alongside this profile.
+  blk.flush_metrics();
   KernelProfile p;
   p.latency = blk.cycles();
   p.tc_busy = blk.tc_busy_cycles();

@@ -16,11 +16,33 @@
 //                issue-efficiency gap), while the unit is booked at the ideal
 //                rate so multi-block steady state can still reach peak.
 //   Global     — gmem latency + bytes/bandwidth on the per-SM gmem port.
+//
+// Data plane (numerics half of each op). Since PR 10 the fragment ops run on
+// the same vector kernels as the NumericsOnly fast path
+// (core/vector_kernels.hpp): mma/fma_scalar decode operand rows through the
+// types/decode_tables LUT spans into arena scratch and accumulate with
+// accumulate_row_tile; add_inplace uses the element-wise add_span;
+// fragment<->smem/global copies are row-granular memcpys. Each C element is
+// still one ascending-k sequential chain in accumulator precision, narrowed
+// once — so results are bit-identical to the scalar seed loops and to
+// NumericsOnly (differential-tested, in SIMD and KAMI_NO_SIMD builds).
+// Scratch comes from the per-thread core::Arena, marked and rewound per op:
+// steady-state simulation performs zero heap allocations in the data plane.
+//
+// The timing half of every op is untouched: clock advances, port/unit
+// acquires, and trace record() calls are exactly the seed model, so cycle
+// profiles are bit-identical too. Hot-path metric counters are batched in
+// PendingWarpMetrics (plain doubles) and flushed to the atomic registry
+// handles at block-profile/destruction time instead of per op.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
+#include <cstring>
 #include <string>
 
+#include "core/arena.hpp"
+#include "core/vector_kernels.hpp"
 #include "obs/metrics.hpp"
 #include "sim/deadline.hpp"
 #include "sim/device.hpp"
@@ -30,6 +52,7 @@
 #include "sim/resources.hpp"
 #include "sim/shared_memory.hpp"
 #include "sim/trace.hpp"
+#include "types/decode_tables.hpp"
 #include "types/matrix.hpp"
 #include "verify/invariants.hpp"
 
@@ -68,6 +91,25 @@ struct WarpMetricHandles {
   }
 };
 
+/// Per-warp metric accumulator: ops bump plain (non-atomic) doubles and the
+/// totals are published to the WarpMetricHandles atomics in one batch by
+/// flush_metrics() — at block profiling and at warp destruction. A block
+/// simulation is single-threaded, so nothing observes the counters mid-op;
+/// batching removes eleven potential atomic RMWs from the per-op path.
+struct PendingWarpMetrics {
+  double smem_bytes_written = 0.0;
+  double smem_bytes_read = 0.0;
+  double smem_conflicted_transfers = 0.0;
+  double smem_conflict_excess_cycles = 0.0;
+  double gmem_bytes_loaded = 0.0;
+  double gmem_bytes_stored = 0.0;
+  double reg_bytes_copied = 0.0;
+  double mma_instructions = 0.0;
+  double mma_flops = 0.0;
+  double vector_flops = 0.0;
+  double sync_wait_cycles = 0.0;
+};
+
 class Warp {
  public:
   Warp(int id, const DeviceSpec& dev, SharedMemory& smem, UnitPool& tensor_cores,
@@ -79,6 +121,10 @@ class Warp {
         gmem_port_(&gmem_port),
         vector_pipe_(&vector_pipe),
         regs_(dev.reg_bytes_per_warp()) {}
+
+  ~Warp() { flush_metrics(); }
+  Warp(const Warp&) = delete;
+  Warp& operator=(const Warp&) = delete;
 
   int id() const noexcept { return id_; }
 
@@ -104,6 +150,28 @@ class Warp {
   const CycleBreakdown& breakdown() const noexcept { return bd_; }
   const DeviceSpec& device() const noexcept { return *dev_; }
 
+  /// Publish the batched per-warp counter totals into the registry handles.
+  /// Idempotent; called by ThreadBlock profiling and by the destructor, and
+  /// safe to call from const contexts (the pending block is a cache, not
+  /// observable state).
+  void flush_metrics() const {
+    PendingWarpMetrics& p = pending_;
+    if (p.smem_bytes_written != 0.0) metrics_.smem_bytes_written.add(p.smem_bytes_written);
+    if (p.smem_bytes_read != 0.0) metrics_.smem_bytes_read.add(p.smem_bytes_read);
+    if (p.smem_conflicted_transfers != 0.0)
+      metrics_.smem_conflicted_transfers.add(p.smem_conflicted_transfers);
+    if (p.smem_conflict_excess_cycles != 0.0)
+      metrics_.smem_conflict_excess_cycles.add(p.smem_conflict_excess_cycles);
+    if (p.gmem_bytes_loaded != 0.0) metrics_.gmem_bytes_loaded.add(p.gmem_bytes_loaded);
+    if (p.gmem_bytes_stored != 0.0) metrics_.gmem_bytes_stored.add(p.gmem_bytes_stored);
+    if (p.reg_bytes_copied != 0.0) metrics_.reg_bytes_copied.add(p.reg_bytes_copied);
+    if (p.mma_instructions != 0.0) metrics_.mma_instructions.add(p.mma_instructions);
+    if (p.mma_flops != 0.0) metrics_.mma_flops.add(p.mma_flops);
+    if (p.vector_flops != 0.0) metrics_.vector_flops.add(p.vector_flops);
+    if (p.sync_wait_cycles != 0.0) metrics_.sync_wait_cycles.add(p.sync_wait_cycles);
+    p = PendingWarpMetrics{};
+  }
+
   /// Allocate a fragment in this warp's register file.
   template <Scalar T>
   Fragment<T> alloc_fragment(std::size_t rows, std::size_t cols) {
@@ -124,7 +192,7 @@ class Warp {
     const Cycles issue = clock_;
     const Cycles start = smem_->port().acquire(clock_, occ);
     advance(start + occ, bd_.smem_comm);
-    metrics_.smem_bytes_written.add(static_cast<double>(src.bytes()));
+    pending_.smem_bytes_written += static_cast<double>(src.bytes());
     note_smem_conflict(src.bytes(), theta_w);
     record(OpKind::SmemStore, issue, start, static_cast<double>(src.bytes()));
   }
@@ -141,7 +209,7 @@ class Warp {
     const Cycles issue = clock_;
     const Cycles start = smem_->port().acquire(clock_, occ);
     advance(start + occ + smem_->latency(), bd_.smem_comm);
-    metrics_.smem_bytes_read.add(static_cast<double>(dst.bytes()));
+    pending_.smem_bytes_read += static_cast<double>(dst.bytes());
     note_smem_conflict(dst.bytes(), theta_r);
     record(OpKind::SmemLoad, issue, start, static_cast<double>(dst.bytes()));
   }
@@ -152,14 +220,16 @@ class Warp {
   template <Scalar T>
   void copy_reg(Fragment<T>& dst, const FragView<T>& src) {
     KAMI_REQUIRE(dst.rows() == src.rows() && dst.cols() == src.cols());
-    if (numerics_)
+    if (numerics_ && src.cols() > 0)
+      // memmove: fragment rows are contiguous; source and destination may be
+      // views of the same fragment.
       for (std::size_t r = 0; r < src.rows(); ++r)
-        for (std::size_t c = 0; c < src.cols(); ++c) dst(r, c) = src(r, c);
+        std::memmove(dst.row_data(r), src.row(r), src.cols() * sizeof(T));
     if (!timing_) return;
     const Cycles issue = clock_;
     advance(clock_ + 1.0 + static_cast<double>(src.bytes()) / dev_->reg_bytes_per_cycle,
             bd_.reg_copy);
-    metrics_.reg_bytes_copied.add(static_cast<double>(src.bytes()));
+    pending_.reg_bytes_copied += static_cast<double>(src.bytes());
     record(OpKind::RegCopy, issue, issue, static_cast<double>(src.bytes()));
   }
 
@@ -169,19 +239,9 @@ class Warp {
   template <Scalar T>
   void mma(Fragment<typename num_traits<T>::acc_t>& C, std::size_t cr0, std::size_t cc0,
            const FragView<T>& A, const FragView<T>& B) {
-    using Acc = typename num_traits<T>::acc_t;
     KAMI_REQUIRE(A.cols() == B.rows(), "mma inner dimensions must agree");
     KAMI_REQUIRE(cr0 + A.rows() <= C.rows() && cc0 + B.cols() <= C.cols());
-    if (numerics_) {
-      for (std::size_t i = 0; i < A.rows(); ++i) {
-        for (std::size_t j = 0; j < B.cols(); ++j) {
-          Acc acc = C(cr0 + i, cc0 + j);
-          for (std::size_t k = 0; k < A.cols(); ++k)
-            acc += num_traits<T>::to_acc(A(i, k)) * num_traits<T>::to_acc(B(k, j));
-          C(cr0 + i, cc0 + j) = acc;
-        }
-      }
-    }
+    if (numerics_) mma_accumulate(C, cr0, cc0, A, B);
     charge_mma(num_traits<T>::precision, A.rows(), B.cols(), A.cols());
   }
 
@@ -196,11 +256,7 @@ class Warp {
   template <Scalar T>
   void add_inplace(Fragment<T>& C, const FragView<T>& P) {
     KAMI_REQUIRE(C.rows() == P.rows() && C.cols() == P.cols());
-    if (numerics_)
-      for (std::size_t r = 0; r < C.rows(); ++r)
-        for (std::size_t c = 0; c < C.cols(); ++c)
-          C(r, c) = num_traits<T>::from_acc(num_traits<T>::to_acc(C(r, c)) +
-                                            num_traits<T>::to_acc(P(r, c)));
+    if (numerics_) add_rows(C, 0, 0, P);
     charge_vector_flops(static_cast<double>(C.rows() * C.cols()), num_traits<T>::precision);
   }
 
@@ -210,11 +266,7 @@ class Warp {
   void add_inplace_at(Fragment<T>& C, std::size_t r0, std::size_t c0,
                       const FragView<T>& P) {
     KAMI_REQUIRE(r0 + P.rows() <= C.rows() && c0 + P.cols() <= C.cols());
-    if (numerics_)
-      for (std::size_t r = 0; r < P.rows(); ++r)
-        for (std::size_t c = 0; c < P.cols(); ++c)
-          C(r0 + r, c0 + c) = num_traits<T>::from_acc(
-              num_traits<T>::to_acc(C(r0 + r, c0 + c)) + num_traits<T>::to_acc(P(r, c)));
+    if (numerics_) add_rows(C, r0, c0, P);
     charge_vector_flops(static_cast<double>(P.rows() * P.cols()), num_traits<T>::precision);
   }
 
@@ -223,17 +275,9 @@ class Warp {
   template <Scalar T>
   void fma_scalar(Fragment<typename num_traits<T>::acc_t>& C, const FragView<T>& A,
                   const FragView<T>& B) {
-    using Acc = typename num_traits<T>::acc_t;
     KAMI_REQUIRE(A.cols() == B.rows());
     KAMI_REQUIRE(A.rows() <= C.rows() && B.cols() <= C.cols());
-    if (numerics_)
-      for (std::size_t i = 0; i < A.rows(); ++i)
-        for (std::size_t j = 0; j < B.cols(); ++j) {
-          Acc acc = C(i, j);
-          for (std::size_t k = 0; k < A.cols(); ++k)
-            acc += num_traits<T>::to_acc(A(i, k)) * num_traits<T>::to_acc(B(k, j));
-          C(i, j) = acc;
-        }
+    if (numerics_) mma_accumulate(C, 0, 0, A, B);
     charge_vector_flops(2.0 * static_cast<double>(A.rows() * B.cols() * A.cols()),
                         num_traits<T>::precision);
   }
@@ -244,9 +288,9 @@ class Warp {
   template <Scalar T>
   void load_global(Fragment<T>& dst, const Matrix<T>& src, std::size_t r0, std::size_t c0) {
     KAMI_REQUIRE(r0 + dst.rows() <= src.rows() && c0 + dst.cols() <= src.cols());
-    if (numerics_)
+    if (numerics_ && dst.cols() > 0)
       for (std::size_t r = 0; r < dst.rows(); ++r)
-        for (std::size_t c = 0; c < dst.cols(); ++c) dst(r, c) = src(r0 + r, c0 + c);
+        std::memcpy(dst.row_data(r), &src(r0 + r, c0), dst.cols() * sizeof(T));
     charge_gmem(dst.bytes(), OpKind::GmemLoad);
   }
 
@@ -254,9 +298,9 @@ class Warp {
   template <Scalar T>
   void store_global(Matrix<T>& dst, const FragView<T>& src, std::size_t r0, std::size_t c0) {
     KAMI_REQUIRE(r0 + src.rows() <= dst.rows() && c0 + src.cols() <= dst.cols());
-    if (numerics_)
+    if (numerics_ && src.cols() > 0)
       for (std::size_t r = 0; r < src.rows(); ++r)
-        for (std::size_t c = 0; c < src.cols(); ++c) dst(r0 + r, c0 + c) = src(r, c);
+        std::memcpy(&dst(r0 + r, c0), src.row(r), src.cols() * sizeof(T));
     charge_gmem(src.bytes(), OpKind::GmemStore);
   }
 
@@ -278,10 +322,11 @@ class Warp {
                              std::size_t sc0, std::size_t rows, std::size_t cols) {
     KAMI_REQUIRE(sr0 + rows <= src.rows() && sc0 + cols <= src.cols());
     KAMI_REQUIRE(r0 + rows <= dst.rows() && c0 + cols <= dst.cols());
-    if (numerics_)
+    if (numerics_ && cols > 0)
+      // Row-granular narrowing through the same encode path as NumericsOnly
+      // writeback (per-element from_acc, TF32 via the vectorized rounder).
       for (std::size_t r = 0; r < rows; ++r)
-        for (std::size_t c = 0; c < cols; ++c)
-          dst(r0 + r, c0 + c) = num_traits<T>::from_acc(src(sr0 + r, sc0 + c));
+        types::encode_span(src.row_data(sr0 + r) + sc0, &dst(r0 + r, c0), cols);
     charge_gmem(rows * cols * sizeof(T), OpKind::GmemStore);
   }
 
@@ -316,7 +361,7 @@ class Warp {
     const Cycles occ = static_cast<double>(bytes) / dev_->gmem_bytes_per_cycle_per_sm;
     const Cycles start = gmem_port_->acquire(clock_, occ);
     advance(start + occ, bd_.gmem);
-    metrics_.gmem_bytes_loaded.add(static_cast<double>(bytes));
+    pending_.gmem_bytes_loaded += static_cast<double>(bytes);
   }
 
   /// Account a shared-memory write without a fragment source.
@@ -326,7 +371,7 @@ class Warp {
                        dev_->smem_transaction_overhead_cycles;
     const Cycles start = smem_->port().acquire(clock_, occ);
     advance(start + occ, bd_.smem_comm);
-    metrics_.smem_bytes_written.add(static_cast<double>(bytes));
+    pending_.smem_bytes_written += static_cast<double>(bytes);
     note_smem_conflict(bytes, theta_w);
   }
 
@@ -339,7 +384,7 @@ class Warp {
                        dev_->smem_transaction_overhead_cycles;
     const Cycles start = smem_->port().acquire(clock_, occ);
     advance(start + occ + smem_->latency(), bd_.smem_comm);
-    metrics_.smem_bytes_read.add(static_cast<double>(bytes));
+    pending_.smem_bytes_read += static_cast<double>(bytes);
     note_smem_conflict(bytes, theta_r);
   }
 
@@ -351,7 +396,7 @@ class Warp {
       const Cycles issue = clock_;
       bd_.sync_wait += t - clock_;
       clock_ = t;
-      metrics_.sync_wait_cycles.add(t - issue);
+      pending_.sync_wait_cycles += t - issue;
       record(OpKind::SyncWait, issue, issue, t - issue);
       check_deadline();
     }
@@ -399,8 +444,8 @@ class Warp {
     const Cycles issue = clock_;
     const Cycles start = tc_->acquire(clock_, ideal);
     advance(start + ideal / dev_->mma_efficiency, bd_.compute);
-    metrics_.mma_instructions.add(instrs);
-    metrics_.mma_flops.add(issued_flops);
+    pending_.mma_instructions += instrs;
+    pending_.mma_flops += issued_flops;
     record(OpKind::Mma, issue, start, issued_flops);
   }
 
@@ -413,7 +458,7 @@ class Warp {
     const Cycles issue = clock_;
     const Cycles start = vector_pipe_->acquire(clock_, occ);
     advance(start + occ, bd_.compute);
-    metrics_.vector_flops.add(flops);
+    pending_.vector_flops += flops;
     record(OpKind::VectorOp, issue, start, flops);
   }
 
@@ -423,8 +468,8 @@ class Warp {
     const Cycles issue = clock_;
     const Cycles start = gmem_port_->acquire(clock_, occ);
     advance(start + occ + dev_->gmem_latency_cycles, bd_.gmem);
-    (kind == OpKind::GmemStore ? metrics_.gmem_bytes_stored : metrics_.gmem_bytes_loaded)
-        .add(static_cast<double>(bytes));
+    (kind == OpKind::GmemStore ? pending_.gmem_bytes_stored : pending_.gmem_bytes_loaded) +=
+        static_cast<double>(bytes);
     record(kind, issue, start, static_cast<double>(bytes));
   }
 
@@ -432,17 +477,74 @@ class Warp {
   /// port cycles relative to the same transfer at theta = 1.
   void note_smem_conflict(std::size_t bytes, double theta) {
     if (theta >= 1.0) return;
-    metrics_.smem_conflicted_transfers.increment();
-    metrics_.smem_conflict_excess_cycles.add(smem_->transfer_occupancy(bytes, theta) -
-                                             smem_->transfer_occupancy(bytes, 1.0));
+    pending_.smem_conflicted_transfers += 1.0;
+    pending_.smem_conflict_excess_cycles += smem_->transfer_occupancy(bytes, theta) -
+                                            smem_->transfer_occupancy(bytes, 1.0);
   }
 
+  /// Row-granular fragment -> smem copy; no staging buffer (the seed version
+  /// linearized the view into a per-call std::vector).
   template <Scalar T>
   void copy_view_to_smem(const SmemTile<T>& dst, const FragView<T>& src) {
-    std::vector<T> linear(src.rows() * src.cols());
+    if (src.cols() == 0) return;
     for (std::size_t r = 0; r < src.rows(); ++r)
-      for (std::size_t c = 0; c < src.cols(); ++c) linear[r * src.cols() + c] = src(r, c);
-    smem_->write(dst, linear.data(), linear.size());
+      smem_->write_row(dst, r, src.row(r), src.cols());
+  }
+
+  /// Shared numerics for mma and fma_scalar: C[cr0.., cc0..] += A x B with
+  /// one ascending-k sequential chain per output element in accumulator
+  /// precision. Operand rows are decoded through the LUT spans into arena
+  /// scratch once (hoisting the num_traits conversions out of the O(m*n*k)
+  /// loop), then the k-tiled accumulate_row_tile — the exact kernel the
+  /// NumericsOnly path runs — updates C rows in place. Bit-identical to the
+  /// scalar seed triple loop by the argument in core/vector_kernels.hpp.
+  template <Scalar T>
+  void mma_accumulate(Fragment<typename num_traits<T>::acc_t>& C, std::size_t cr0,
+                      std::size_t cc0, const FragView<T>& A, const FragView<T>& B) {
+    using Acc = typename num_traits<T>::acc_t;
+    const std::size_t fm = A.rows(), fn = B.cols(), fk = A.cols();
+    if (fm == 0 || fn == 0 || fk == 0) return;
+    core::Arena& arena = core::Arena::tls();
+    core::ArenaScope scope(arena);
+    Acc* Af = arena.alloc<Acc>(fm * fk);
+    Acc* Bf = arena.alloc<Acc>(fk * fn);
+    for (std::size_t r = 0; r < fm; ++r) types::decode_span(A.row(r), Af + r * fk, fk);
+    for (std::size_t r = 0; r < fk; ++r) types::decode_span(B.row(r), Bf + r * fn, fn);
+    Acc* cbase = C.data() + cr0 * C.cols() + cc0;
+    for (std::size_t kt = 0; kt < fk; kt += core::kNumericKTile) {
+      const std::size_t kend = std::min(kt + core::kNumericKTile, fk);
+      for (std::size_t i = 0; i < fm; ++i)
+        core::detail::accumulate_row_tile(cbase + i * C.cols(), Af + i * fk, Bf, kt, kend,
+                                          fn);
+    }
+  }
+
+  /// Shared numerics for add_inplace/add_inplace_at: C[r0.., c0..] += P,
+  /// element-wise in accumulator precision with one narrowing per element —
+  /// the same from_acc(to_acc(c) + to_acc(p)) value the seed loop produced.
+  /// Identity-codec types (fp32/fp64 accumulate in themselves) skip the
+  /// decode/encode round-trip and add in place.
+  template <Scalar T>
+  void add_rows(Fragment<T>& C, std::size_t r0, std::size_t c0, const FragView<T>& P) {
+    using Acc = typename num_traits<T>::acc_t;
+    const std::size_t rows = P.rows(), cols = P.cols();
+    if (rows == 0 || cols == 0) return;
+    if constexpr (std::is_same_v<T, Acc>) {
+      for (std::size_t r = 0; r < rows; ++r)
+        core::detail::add_span(C.row_data(r0 + r) + c0, P.row(r), cols);
+    } else {
+      core::Arena& arena = core::Arena::tls();
+      core::ArenaScope scope(arena);
+      Acc* ca = arena.alloc<Acc>(cols);
+      Acc* pa = arena.alloc<Acc>(cols);
+      for (std::size_t r = 0; r < rows; ++r) {
+        T* crow = C.row_data(r0 + r) + c0;
+        types::decode_span(crow, ca, cols);
+        types::decode_span(P.row(r), pa, cols);
+        core::detail::add_span(ca, pa, cols);
+        types::encode_span(ca, crow, cols);
+      }
+    }
   }
 
   int id_;
@@ -453,6 +555,7 @@ class Warp {
   PortTimeline* vector_pipe_;
   RegisterFile regs_;
   WarpMetricHandles metrics_ = WarpMetricHandles::acquire();
+  mutable PendingWarpMetrics pending_;
   Cycles clock_ = 0.0;
   Cycles deadline_ = 0.0;  ///< 0 = no cycle budget
   CycleBreakdown bd_;
